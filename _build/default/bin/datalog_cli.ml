@@ -1,0 +1,306 @@
+(* datalog-unchained: command-line front end for the whole language
+   family. *)
+open Relational
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program path =
+  try Datalog.Parser.parse (read_file path) with
+  | Datalog.Parser.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: parse error: %s\n" path line msg;
+      exit 2
+  | Datalog.Lexer.Lex_error (line, msg) ->
+      Printf.eprintf "%s:%d: lex error: %s\n" path line msg;
+      exit 2
+
+let load_facts = function
+  | None -> Instance.empty
+  | Some path -> (
+      try Instance.parse_facts (read_file path) with
+      | Failure msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2)
+
+let print_instance inst = Format.printf "%a@." Instance.pp inst
+
+let print_answer inst = function
+  | None -> print_instance inst
+  | Some pred ->
+      Relation.iter
+        (fun t ->
+          Format.printf "%a@." Datalog.Pretty.pp_fact (pred, t))
+        (Instance.find pred inst)
+
+(* --- arguments ---------------------------------------------------------- *)
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM" ~doc:"Datalog program file (.dl)")
+
+let facts_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "facts"; "f" ] ~docv:"FILE" ~doc:"EDB facts file")
+
+let answer_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "answer"; "a" ] ~docv:"PRED"
+        ~doc:"Print only this predicate's relation")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed")
+
+let order_arg =
+  Arg.(
+    value & flag
+    & info [ "ordered" ]
+        ~doc:"Adjoin succ/lt/first/last order relations over the active \
+              domain before evaluation (Theorem 4.7/4.8 experiments)")
+
+let semantics_conv =
+  Arg.enum
+    [
+      ("naive", `Naive);
+      ("seminaive", `Seminaive);
+      ("stratified", `Stratified);
+      ("semipositive", `Semipositive);
+      ("inflationary", `Inflationary);
+      ("noninflationary", `Noninflationary);
+      ("wellfounded", `Wellfounded);
+      ("stable", `Stable);
+      ("invent", `Invent);
+    ]
+
+let semantics_arg =
+  Arg.(
+    value
+    & opt semantics_conv `Seminaive
+    & info [ "semantics"; "s" ] ~docv:"SEM"
+        ~doc:
+          "Evaluation semantics: $(b,naive), $(b,seminaive), \
+           $(b,stratified), $(b,semipositive), $(b,inflationary), \
+           $(b,noninflationary), $(b,wellfounded), $(b,stable), \
+           $(b,invent)")
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let run semantics program facts answer ordered =
+    let { Datalog.Parser.program = p; _ } = load_program program in
+    let inst = load_facts facts in
+    let inst = if ordered then Order.adjoin inst else inst in
+    match semantics with
+    | `Naive -> print_answer (Datalog.Naive.eval p inst).Datalog.Naive.instance answer
+    | `Seminaive ->
+        print_answer (Datalog.Seminaive.eval p inst).Datalog.Seminaive.instance
+          answer
+    | `Stratified ->
+        print_answer (Datalog.Stratified.eval p inst).Datalog.Stratified.instance
+          answer
+    | `Semipositive ->
+        print_answer
+          (Datalog.Semipositive.eval p inst).Datalog.Semipositive.instance
+          answer
+    | `Inflationary ->
+        print_answer
+          (Datalog.Inflationary.eval p inst).Datalog.Inflationary.instance
+          answer
+    | `Noninflationary -> (
+        match Datalog.Noninflationary.run p inst with
+        | Datalog.Noninflationary.Fixpoint { instance; stages } ->
+            Format.printf "%% fixpoint after %d stages@." stages;
+            print_answer instance answer
+        | Datalog.Noninflationary.Diverged { period; entered; _ } ->
+            Format.printf
+              "%% diverges: cycle of period %d entered at stage %d@." period
+              entered
+        | Datalog.Noninflationary.Contradiction { pred; stage; _ } ->
+            Format.printf "%% contradiction on %s at stage %d@." pred stage)
+    | `Wellfounded ->
+        let res = Datalog.Wellfounded.eval p inst in
+        Format.printf "%% true facts:@.";
+        print_answer res.Datalog.Wellfounded.true_facts answer;
+        let unk = Datalog.Wellfounded.unknown res in
+        if Instance.total_facts unk > 0 then (
+          Format.printf "%% unknown facts:@.";
+          print_answer unk answer)
+    | `Stable ->
+        let models = Datalog.Stable.models p inst in
+        Format.printf "%% %d stable model(s)@." (List.length models);
+        List.iteri
+          (fun i m ->
+            Format.printf "%% model %d:@." (i + 1);
+            print_answer m answer)
+          models
+    | `Invent -> (
+        match Datalog.Invent.run p inst with
+        | Datalog.Invent.Fixpoint { instance; stages; invented } ->
+            Format.printf "%% fixpoint after %d stages, %d invented values@."
+              stages invented;
+            print_answer instance answer
+        | Datalog.Invent.Out_of_fuel { stages; _ } ->
+            Format.printf "%% out of fuel after %d stages@." stages)
+  in
+  let doc = "Evaluate a program under a chosen semantics" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ semantics_arg $ program_arg $ facts_arg $ answer_arg
+      $ order_arg)
+
+(* --- nondet ------------------------------------------------------------- *)
+
+let nondet_cmd =
+  let mode_conv =
+    Arg.enum
+      [ ("walk", `Walk); ("enumerate", `Enumerate); ("poss", `Poss); ("cert", `Cert) ]
+  in
+  let mode_arg =
+    Arg.(
+      value & opt mode_conv `Walk
+      & info [ "mode"; "m" ]
+          ~doc:
+            "$(b,walk) one random terminal instance, $(b,enumerate) the \
+             whole effect relation, $(b,poss)/$(b,cert) the possibility / \
+             certainty semantics")
+  in
+  let run mode program facts answer seed =
+    let { Datalog.Parser.program = p; _ } = load_program program in
+    Datalog.Ast.check_ndatalog_any p;
+    let inst = load_facts facts in
+    match mode with
+    | `Walk -> (
+        match Nondet.Nd_eval.run ~seed p inst with
+        | Nondet.Nd_eval.Terminal { instance; steps } ->
+            Format.printf "%% terminal after %d firings@." steps;
+            print_answer instance answer
+        | Nondet.Nd_eval.Abandoned { steps } ->
+            Format.printf "%% abandoned (\xe2\x8a\xa5) after %d firings@." steps
+        | Nondet.Nd_eval.Out_of_fuel { steps; _ } ->
+            Format.printf "%% out of fuel after %d firings@." steps)
+    | `Enumerate ->
+        let stats = Nondet.Enumerate.effect p inst in
+        Format.printf "%% %d terminal instance(s), %d states explored@."
+          (List.length stats.Nondet.Enumerate.terminals)
+          stats.Nondet.Enumerate.explored;
+        List.iteri
+          (fun i j ->
+            Format.printf "%% outcome %d:@." (i + 1);
+            print_answer j answer)
+          stats.Nondet.Enumerate.terminals
+    | `Poss -> print_answer (Nondet.Posscert.poss p inst) answer
+    | `Cert -> print_answer (Nondet.Posscert.cert p inst) answer
+  in
+  let doc = "Evaluate a nondeterministic program (N-Datalog variants)" in
+  Cmd.v (Cmd.info "nondet" ~doc)
+    Term.(
+      const run $ mode_arg $ program_arg $ facts_arg $ answer_arg $ seed_arg)
+
+(* --- stratify / deps / check ------------------------------------------- *)
+
+let stratify_cmd =
+  let run program =
+    let { Datalog.Parser.program = p; _ } = load_program program in
+    match Datalog.Stratify.stratify p with
+    | Error msg ->
+        Format.printf "not stratifiable: %s@." msg;
+        exit 1
+    | Ok s ->
+        List.iteri
+          (fun i stratum ->
+            if stratum <> [] then (
+              Format.printf "%% stratum %d:@." i;
+              List.iter
+                (fun r -> Format.printf "%s@." (Datalog.Pretty.rule_to_string r))
+                stratum))
+          s.Datalog.Stratify.strata
+  in
+  let doc = "Print the stratification of a Datalog¬ program" in
+  Cmd.v (Cmd.info "stratify" ~doc) Term.(const run $ program_arg)
+
+let deps_cmd =
+  let run program =
+    let { Datalog.Parser.program = p; _ } = load_program program in
+    Format.printf "%a@." Datalog.Depgraph.pp_dot p
+  in
+  let doc = "Print the predicate dependency graph in Graphviz format" in
+  Cmd.v (Cmd.info "deps" ~doc) Term.(const run $ program_arg)
+
+let check_cmd =
+  let lang_conv =
+    Arg.enum
+      [
+        ("datalog", `Datalog);
+        ("datalog-neg", `Neg);
+        ("datalog-negneg", `Negneg);
+        ("datalog-new", `New);
+        ("ndatalog", `Nd);
+        ("ndatalog-bottom", `NdBottom);
+        ("ndatalog-forall", `NdForall);
+      ]
+  in
+  let lang_arg =
+    Arg.(
+      value & opt lang_conv `Neg
+      & info [ "language"; "l" ] ~doc:"Fragment to validate against")
+  in
+  let run lang program =
+    let { Datalog.Parser.program = p; _ } = load_program program in
+    let check =
+      match lang with
+      | `Datalog -> Datalog.Ast.check_datalog
+      | `Neg -> Datalog.Ast.check_datalog_neg
+      | `Negneg -> Datalog.Ast.check_datalog_negneg
+      | `New -> Datalog.Ast.check_invent
+      | `Nd -> Datalog.Ast.check_ndatalog
+      | `NdBottom -> Datalog.Ast.check_ndatalog_bottom
+      | `NdForall -> Datalog.Ast.check_ndatalog_forall
+    in
+    match check p with
+    | () -> Format.printf "ok@."
+    | exception Datalog.Ast.Check_error msg ->
+        Format.printf "invalid: %s@." msg;
+        exit 1
+  in
+  let doc = "Validate a program against a language fragment" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ lang_arg $ program_arg)
+
+let query_cmd =
+  let run program facts =
+    let { Datalog.Parser.program = p; queries } = load_program program in
+    let inst = load_facts facts in
+    match queries with
+    | [] ->
+        Printf.eprintf "no ?- query directive in program\n";
+        exit 2
+    | qs ->
+        List.iter
+          (fun q ->
+            let rel = Datalog.Magic.answer p inst q in
+            Relation.iter
+              (fun t ->
+                Format.printf "%a@." Datalog.Pretty.pp_fact (q.Datalog.Ast.pred, t))
+              rel)
+          qs
+  in
+  let doc = "Answer ?- queries with magic-set rewriting" in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ program_arg $ facts_arg)
+
+let main =
+  let doc =
+    "The Datalog Unchained language family: forward-chaining Datalog \
+     engines (PODS 2021 Gems reproduction)"
+  in
+  Cmd.group (Cmd.info "datalog-unchained" ~version:"1.0.0" ~doc)
+    [ run_cmd; nondet_cmd; stratify_cmd; deps_cmd; check_cmd; query_cmd ]
+
+let () = exit (Cmd.eval main)

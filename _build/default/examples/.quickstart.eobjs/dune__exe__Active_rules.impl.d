@@ -1,0 +1,1 @@
+examples/active_rules.ml: Datalog Format Instance List Nondet Relation Relational

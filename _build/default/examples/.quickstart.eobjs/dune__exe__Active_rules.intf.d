@@ -1,0 +1,1 @@
+examples/active_rules.mli:

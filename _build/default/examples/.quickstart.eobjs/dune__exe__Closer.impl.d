@@ -1,0 +1,1 @@
+examples/closer.ml: Datalog Format Graph_gen Instance List Printf Relation Relational Tuple Value

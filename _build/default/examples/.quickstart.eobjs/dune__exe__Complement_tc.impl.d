@@ -1,0 +1,1 @@
+examples/complement_tc.ml: Datalog Format Graph_gen Instance Relation Relational

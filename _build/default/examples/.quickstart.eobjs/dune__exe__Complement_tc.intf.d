@@ -1,0 +1,1 @@
+examples/complement_tc.mli:

@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Datalog Distributed Format Instance List Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+examples/expert_system.ml: Datalog Format Instance List Nondet Relational String Tuple

@@ -1,0 +1,1 @@
+examples/expert_system.mli:

@@ -1,0 +1,1 @@
+examples/game_win.ml: Datalog Format Graph_gen Instance List Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+examples/game_win.mli:

@@ -1,0 +1,1 @@
+examples/ontology_reasoning.ml: Datalog Format Instance List Ontology Relation Relational

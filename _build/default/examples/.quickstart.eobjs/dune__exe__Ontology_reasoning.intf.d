@@ -1,0 +1,1 @@
+examples/ontology_reasoning.mli:

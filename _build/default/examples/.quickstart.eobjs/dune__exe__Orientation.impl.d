@@ -1,0 +1,1 @@
+examples/orientation.ml: Datalog Format Graph_gen Instance List Nondet Relation Relational

@@ -1,0 +1,1 @@
+examples/orientation.mli:

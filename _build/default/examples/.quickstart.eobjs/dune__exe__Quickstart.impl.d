@@ -1,0 +1,1 @@
+examples/quickstart.ml: Datalog Format Instance Relation Relational

@@ -1,0 +1,1 @@
+examples/routing.ml: Datalog Format Instance Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+examples/spanning_tree.ml: Datalog Fixpoint_logic Format Instance List Nondet Relation Relational Tuple Value

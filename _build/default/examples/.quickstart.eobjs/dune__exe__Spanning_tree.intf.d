@@ -1,0 +1,1 @@
+examples/spanning_tree.mli:

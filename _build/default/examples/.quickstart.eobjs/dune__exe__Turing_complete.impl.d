@@ -1,0 +1,1 @@
+examples/turing_complete.ml: Datalog Format List String Turing

@@ -1,0 +1,1 @@
+examples/turing_complete.mli:

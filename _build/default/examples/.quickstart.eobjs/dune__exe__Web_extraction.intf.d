@@ -1,0 +1,1 @@
+examples/web_extraction.mli:

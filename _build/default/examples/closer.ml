@@ -1,0 +1,40 @@
+(* Example 4.1 of the paper: the closer program under inflationary
+   semantics, with its stage-by-stage trace.
+
+   closer(x, y, x', y') is derived at stage n+1 whenever T(x,y) has been
+   inferred by stage n (d(x,y) <= n) while T(x',y') has not (d(x',y') > n):
+   the stage counter is what compares the distances.
+
+   Run with: dune exec examples/closer.exe *)
+open Relational
+
+let program =
+  Datalog.Parser.parse_program
+    {|
+      T(X, Y) :- G(X, Y).
+      T(X, Y) :- T(X, Z), G(Z, Y).
+      closer(X, Y, X2, Y2) :- T(X, Y), !T(X2, Y2).
+    |}
+
+let () =
+  let edges = Graph_gen.chain 5 in
+  Format.printf "input: chain n0 -> n1 -> n2 -> n3 -> n4@.@.";
+  let trace = Datalog.Inflationary.trace program edges in
+  List.iteri
+    (fun stage inst ->
+      Format.printf "stage %d: |T| = %d, |closer| = %d@." stage
+        (Relation.cardinal (Instance.find "T" inst))
+        (Relation.cardinal (Instance.find "closer" inst)))
+    trace;
+  let final = List.nth trace (List.length trace - 1) in
+  let closer = Instance.find "closer" final in
+  let v i = Value.sym (Printf.sprintf "n%d" i) in
+  let is_closer (a, b) (c, d) =
+    Relation.mem (Tuple.of_list [ v a; v b; v c; v d ]) closer
+  in
+  Format.printf "@.closer((n0,n1), (n0,n3)) = %b  (1 < 3)@."
+    (is_closer (0, 1) (0, 3));
+  Format.printf "closer((n0,n3), (n0,n1)) = %b  (3 > 1)@."
+    (is_closer (0, 3) (0, 1));
+  Format.printf "closer((n0,n2), (n3,n1)) = %b  (2 < infinity)@."
+    (is_closer (0, 2) (3, 1))

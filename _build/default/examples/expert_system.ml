@@ -1,0 +1,68 @@
+(* The classic OPS5 demonstration: monkey and bananas, as a production
+   system over working memory (§5 of the paper: "nondeterminism has long
+   been present in expert systems and production systems"; OPS5 [39, 59]).
+
+   The monkey must push the box under the bananas, climb it, and grab.
+   Each rule retracts the old state and asserts the new one — pure
+   forward chaining with working-memory updates (N-Datalog¬¬ rule syntax
+   driving the recognize-act cycle).
+
+   Run with: dune exec examples/expert_system.exe *)
+open Relational
+
+let rules =
+  Datalog.Parser.parse_program
+    {|
+      % walk to the box if not already there
+      monkey_at(B), !monkey_at(M) :-
+        monkey_at(M), box_at(B), M != B, !on_box().
+
+      % push the box under the bananas
+      box_at(T), monkey_at(T), !box_at(B), !monkey_at(B) :-
+        monkey_at(B), box_at(B), bananas_at(T), B != T, !on_box().
+
+      % climb when the box is under the bananas
+      on_box() :-
+        monkey_at(P), box_at(P), bananas_at(P), !on_box().
+
+      % grab!
+      has_bananas() :-
+        on_box(), monkey_at(P), bananas_at(P), !has_bananas().
+    |}
+
+let world =
+  Instance.parse_facts
+    {|
+      monkey_at(door).
+      box_at(window).
+      bananas_at(center).
+    |}
+
+let () =
+  Format.printf "initial world:@.%a@.@." Instance.pp world;
+  let res = Datalog.Production.run ~strategy:Datalog.Production.First rules world in
+  Format.printf "plan found in %d recognize-act cycles:@."
+    res.Datalog.Production.cycles;
+  List.iteri
+    (fun i fired ->
+      Format.printf "  %d. rule %d: +%s -%s@." (i + 1)
+        fired.Datalog.Production.rule_index
+        (String.concat ","
+           (List.map (fun (p, _) -> p) fired.Datalog.Production.asserted))
+        (String.concat ","
+           (List.map (fun (p, _) -> p) fired.Datalog.Production.retracted)))
+    res.Datalog.Production.trace;
+  Format.printf "@.final world:@.%a@.@." Instance.pp
+    res.Datalog.Production.memory;
+  assert (
+    Instance.mem_fact "has_bananas" (Tuple.of_list []) res.Datalog.Production.memory);
+  Format.printf "the monkey has the bananas.@.@.";
+
+  (* the same rules under exhaustive nondeterministic semantics: every
+     serialization reaches the same goal here (the plan is forced) *)
+  let outcomes = Nondet.Enumerate.terminals rules world in
+  Format.printf "nondeterministic endings: %d; all with bananas: %b@."
+    (List.length outcomes)
+    (List.for_all
+       (fun j -> Instance.mem_fact "has_bananas" (Tuple.of_list []) j)
+       outcomes)

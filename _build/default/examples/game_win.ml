@@ -1,0 +1,47 @@
+(* Example 3.2 of the paper: the win/move game under well-founded
+   semantics, on the exact instance K from the paper.
+
+   A player loses when stuck. win(x) holds if some move from x leads to a
+   position where the opponent loses:
+
+     win(X) :- moves(X, Y), !win(Y).
+
+   The program is not stratifiable (win depends negatively on itself); the
+   well-founded semantics assigns three truth values.
+
+   Run with: dune exec examples/game_win.exe *)
+open Relational
+
+let () =
+  let program = Datalog.Parser.parse_program "win(X) :- moves(X, Y), !win(Y)." in
+  let k = Graph_gen.paper_game () in
+  Format.printf "moves:@.%a@.@." Instance.pp k;
+
+  (match Datalog.Stratify.stratify program with
+  | Error msg -> Format.printf "stratified semantics: %s@.@." msg
+  | Ok _ -> assert false);
+
+  let res = Datalog.Wellfounded.eval program k in
+  Format.printf "well-founded model (%d alternating rounds):@."
+    res.Datalog.Wellfounded.rounds;
+  List.iter
+    (fun s ->
+      let tr =
+        Datalog.Wellfounded.truth_of res "win" (Tuple.of_list [ Value.sym s ])
+      in
+      Format.printf "  win(%s) = %s@." s
+        (match tr with
+        | Datalog.Wellfounded.True -> "true"
+        | Datalog.Wellfounded.False -> "false"
+        | Datalog.Wellfounded.Unknown -> "unknown"))
+    [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ];
+
+  (* The 3-valued model matches the paper: winning strategies exist from d
+     and f; e and g are lost; the a-b-c cycle is drawn (unknown). *)
+  Format.printf "@.stable models (branching on the unknowns):@.";
+  let models = Datalog.Stable.models program k in
+  Format.printf "  %d stable model(s)@." (List.length models);
+  List.iter
+    (fun m ->
+      Format.printf "  win = %a@." Relation.pp (Instance.find "win" m))
+    models

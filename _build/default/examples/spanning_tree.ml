@@ -1,0 +1,62 @@
+(* The choice operator (§5.2): LDL's classic nondeterministic spanning
+   tree. choice((Y), (X)) on the recursive rule forces each node Y to
+   commit to a single parent X — different seeds yield different trees.
+
+   Also shows the witness operator W of FO+IFP+W ([14], §5.2) computing a
+   nondeterministically-rooted reachable set.
+
+   Run with: dune exec examples/spanning_tree.exe *)
+open Relational
+module Fp = Fixpoint_logic.Fp
+
+let rules =
+  [
+    { Nondet.Choice.rule = Datalog.Parser.parse_rule "st(root, root)."; choices = [] };
+    {
+      Nondet.Choice.rule =
+        Datalog.Parser.parse_rule "st(X, Y) :- st(W, X), e(X, Y).";
+      choices = [ ([ "Y" ], [ "X" ]) ];
+    };
+  ]
+
+let graph =
+  Instance.parse_facts
+    {|
+      e(root, a). e(root, b).
+      e(a, c). e(b, c). e(c, d). e(a, d).
+    |}
+
+let () =
+  Format.printf "graph:@.%a@.@." Instance.pp graph;
+  List.iter
+    (fun seed ->
+      let st = Nondet.Choice.answer ~seed rules graph "st" in
+      Format.printf "seed %d spanning tree:@." seed;
+      Relation.iter
+        (fun t ->
+          let p = Tuple.get t 0 and c = Tuple.get t 1 in
+          if not (Value.equal p c) then
+            Format.printf "  %s -> %s@." (Value.to_string p)
+              (Value.to_string c))
+        st;
+      assert (Nondet.Choice.respects_choices rules (Instance.set "st" st Instance.empty)))
+    [ 0; 1; 2 ];
+
+  (* FO+IFP+W: choose a root among the candidates, then close under e *)
+  Format.printf "@.FO+IFP+W: reachable set from a nondeterministic root@.";
+  let f =
+    Fp.ifp ~rel:"S" ~vars:[ "x" ]
+      (Fp.Or
+         ( Fp.Witness ([ "x" ], Fp.Atom ("cand", [ Fp.Var "x" ])),
+           Fp.Exists
+             ( [ "z" ],
+               Fp.And
+                 ( Fp.Atom ("S", [ Fp.Var "z" ]),
+                   Fp.Atom ("e", [ Fp.Var "z"; Fp.Var "x" ]) ) ) ))
+      [ Fp.Var "u" ]
+  in
+  let inst = Instance.union graph (Instance.parse_facts "cand(a). cand(b).") in
+  List.iter
+    (fun r ->
+      Format.printf "  outcome: %a@." Relation.pp r)
+    (Fp.outcomes inst f [ "u" ])

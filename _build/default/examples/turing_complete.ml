@@ -1,0 +1,41 @@
+(* Theorem 4.6 made executable: Datalog¬new expresses all computable
+   queries. A Turing machine is compiled into a Datalog¬new program whose
+   invented values materialize time points and fresh tape cells — the
+   unbounded workspace that breaks the polynomial space barrier of the
+   invention-free languages.
+
+   Run with: dune exec examples/turing_complete.exe *)
+
+let show m input =
+  let sim = Turing.Tm_compile.simulate m input in
+  Format.printf "%s on [%s]:@." m.Turing.Tm.name (String.concat "" input);
+  Format.printf "  accepted=%b rejected=%b steps=%d@."
+    sim.Turing.Tm_compile.accepted sim.Turing.Tm_compile.rejected
+    sim.Turing.Tm_compile.steps;
+  Format.printf "  invented values=%d inflationary stages=%d@."
+    sim.Turing.Tm_compile.invented sim.Turing.Tm_compile.stages;
+  if sim.Turing.Tm_compile.accepted then
+    Format.printf "  final tape: %s@."
+      (String.concat ""
+         (List.map snd sim.Turing.Tm_compile.final_tape));
+  (* sanity: the reference interpreter agrees *)
+  assert (Turing.Tm_compile.agrees_with_reference m input);
+  Format.printf "  (agrees with the direct TM interpreter)@.@."
+
+let () =
+  let program = Turing.Tm_compile.compile Turing.Tm.binary_increment in
+  Format.printf
+    "compiled binary-increment machine: %d Datalog\xc2\xacnew rules@.@."
+    (List.length program);
+  (* a glimpse of the generated rules *)
+  List.iteri
+    (fun i r ->
+      if i < 6 then
+        Format.printf "  %s@." (Datalog.Pretty.rule_to_string r))
+    program;
+  Format.printf "  ...@.@.";
+
+  show Turing.Tm.unary_increment [ "1"; "1"; "1" ];
+  show Turing.Tm.binary_increment [ "1"; "0"; "1"; "1" ];
+  show Turing.Tm.parity [ "1"; "0"; "1" ];
+  show Turing.Tm.palindrome [ "0"; "1"; "1"; "0" ]

@@ -1,0 +1,1 @@
+lib/datalog/active.ml: Ast Instance List Matcher Queue Relational Set Tuple Value

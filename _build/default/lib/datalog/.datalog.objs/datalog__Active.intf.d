@@ -1,0 +1,1 @@
+lib/datalog/active.mli: Ast Instance Relational Tuple

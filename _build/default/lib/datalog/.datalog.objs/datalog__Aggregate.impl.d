@@ -1,0 +1,1 @@
+lib/datalog/aggregate.ml: Ast Eval_util Format Hashtbl Instance List Matcher Option Relational Stratified Tuple Value

@@ -1,0 +1,1 @@
+lib/datalog/aggregate.mli: Ast Instance Relation Relational

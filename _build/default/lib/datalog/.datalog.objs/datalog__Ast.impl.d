@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Format Hashtbl List Option Relational Schema Set String Tuple Value

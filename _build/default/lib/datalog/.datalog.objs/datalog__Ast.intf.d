@@ -1,0 +1,1 @@
+lib/datalog/ast.mli: Relational Schema Tuple Value

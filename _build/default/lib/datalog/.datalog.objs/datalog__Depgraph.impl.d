@@ -1,0 +1,1 @@
+lib/datalog/depgraph.ml: Ast Format Hashtbl List Option String

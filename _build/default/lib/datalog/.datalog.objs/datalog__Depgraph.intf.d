@@ -1,0 +1,1 @@
+lib/datalog/depgraph.mli: Ast Format

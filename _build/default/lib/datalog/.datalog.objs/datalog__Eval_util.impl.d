@@ -1,0 +1,1 @@
+lib/datalog/eval_util.ml: Ast Instance List Matcher Relation Relational Set String Value

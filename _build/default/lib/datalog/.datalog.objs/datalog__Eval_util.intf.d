@@ -1,0 +1,1 @@
+lib/datalog/eval_util.mli: Ast Instance Matcher Relational Value

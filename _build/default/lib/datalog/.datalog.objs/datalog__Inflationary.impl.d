@@ -1,0 +1,1 @@
+lib/datalog/inflationary.ml: Ast Eval_util Instance Relational

@@ -1,0 +1,1 @@
+lib/datalog/inflationary.mli: Ast Instance Relation Relational

@@ -1,0 +1,1 @@
+lib/datalog/invent.ml: Ast Hashtbl Instance List Matcher Printf Relation Relational Set Tuple Value

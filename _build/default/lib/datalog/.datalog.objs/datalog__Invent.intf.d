@@ -1,0 +1,1 @@
+lib/datalog/invent.mli: Ast Instance Relation Relational

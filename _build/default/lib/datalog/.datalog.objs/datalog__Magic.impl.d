@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Ast Hashtbl Instance List Printf Queue Relation Relational Seminaive String Tuple Value

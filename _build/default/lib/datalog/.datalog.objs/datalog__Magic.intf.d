@@ -1,0 +1,1 @@
+lib/datalog/magic.mli: Ast Instance Relation Relational Tuple

@@ -1,0 +1,1 @@
+lib/datalog/matcher.ml: Ast Fun Hashtbl Instance Int List Option Relation Relational Set String Tuple Value

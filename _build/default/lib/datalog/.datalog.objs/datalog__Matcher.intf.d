@@ -1,0 +1,1 @@
+lib/datalog/matcher.mli: Ast Instance Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+lib/datalog/naive.ml: Ast Eval_util Instance Relational

@@ -1,0 +1,1 @@
+lib/datalog/naive.mli: Ast Instance Relation Relational

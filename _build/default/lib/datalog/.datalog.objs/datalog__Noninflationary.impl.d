@@ -1,0 +1,1 @@
+lib/datalog/noninflationary.ml: Ast Eval_util Instance List Map Printf Relation Relational Stdlib Tuple

@@ -1,0 +1,1 @@
+lib/datalog/noninflationary.mli: Ast Instance Relation Relational Stdlib Tuple

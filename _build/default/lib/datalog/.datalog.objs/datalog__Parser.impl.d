@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Ast Format Lexer List Printf Relational String Value

@@ -1,0 +1,1 @@
+lib/datalog/pretty.ml: Ast Format Relational String Tuple Value

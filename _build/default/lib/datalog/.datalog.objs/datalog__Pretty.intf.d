@@ -1,0 +1,1 @@
+lib/datalog/pretty.mli: Ast Format Relational Tuple

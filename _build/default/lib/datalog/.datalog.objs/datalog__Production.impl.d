@@ -1,0 +1,1 @@
+lib/datalog/production.ml: Ast Eval_util Hashtbl Instance List Matcher Option Printf Random Relation Relational Tuple

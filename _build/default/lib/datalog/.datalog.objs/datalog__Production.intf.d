@@ -1,0 +1,1 @@
+lib/datalog/production.mli: Ast Instance Relational Tuple

@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Ast Eval_util Instance Relational

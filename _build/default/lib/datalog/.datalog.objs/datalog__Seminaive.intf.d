@@ -1,0 +1,1 @@
+lib/datalog/seminaive.mli: Ast Instance Relation Relational

@@ -1,0 +1,1 @@
+lib/datalog/semipositive.ml: Ast Eval_util Instance Relational Stratify

@@ -1,0 +1,1 @@
+lib/datalog/semipositive.mli: Ast Instance Relation Relational

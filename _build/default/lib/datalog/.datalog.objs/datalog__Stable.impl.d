@@ -1,0 +1,1 @@
+lib/datalog/stable.ml: Ast Eval_util Instance List Matcher Printf Relation Relational Wellfounded

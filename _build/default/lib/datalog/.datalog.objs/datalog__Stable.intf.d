@@ -1,0 +1,1 @@
+lib/datalog/stable.mli: Ast Instance Relational

@@ -1,0 +1,1 @@
+lib/datalog/stratified.ml: Ast Eval_util Instance List Relational Stratify

@@ -1,0 +1,1 @@
+lib/datalog/stratified.mli: Ast Instance Relation Relational

@@ -1,0 +1,1 @@
+lib/datalog/stratify.ml: Array Ast Depgraph Hashtbl List Printf

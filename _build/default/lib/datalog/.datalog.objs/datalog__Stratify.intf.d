@@ -1,0 +1,1 @@
+lib/datalog/stratify.mli: Ast

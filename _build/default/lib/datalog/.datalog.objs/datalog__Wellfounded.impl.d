@@ -1,0 +1,1 @@
+lib/datalog/wellfounded.ml: Ast Eval_util Instance List Matcher Relational

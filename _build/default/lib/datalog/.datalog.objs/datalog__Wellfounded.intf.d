@@ -1,0 +1,1 @@
+lib/datalog/wellfounded.mli: Ast Instance Relation Relational Tuple

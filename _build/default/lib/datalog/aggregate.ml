@@ -1,0 +1,121 @@
+open Relational
+
+type func = Count | Sum of string | Min of string | Max of string
+
+type agg_rule = {
+  pred : string;
+  group_by : string list;
+  func : func;
+  body : Ast.blit list;
+}
+
+type layer = { rules : Ast.program; aggregates : agg_rule list }
+
+exception Agg_error of string
+
+let agg_error fmt = Format.kasprintf (fun s -> raise (Agg_error s)) fmt
+
+let eval_agg inst dom (a : agg_rule) =
+  (* collect satisfying substitutions of the body *)
+  let probe_vars =
+    a.group_by
+    @ (match a.func with
+      | Count -> []
+      | Sum x | Min x | Max x -> [ x ])
+  in
+  let probe =
+    {
+      Ast.head =
+        [ Ast.HPos (Ast.atom "agg__" (List.map (fun x -> Ast.var x) probe_vars)) ];
+      body = a.body;
+      forall = [];
+    }
+  in
+  Ast.check_safe probe;
+  let db = Matcher.Db.of_instance inst in
+  let substs = Matcher.run ~dom (Matcher.prepare probe) db in
+  let groups : (Value.t list, Value.t list list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun subst ->
+      let get x =
+        match List.assoc_opt x subst with
+        | Some v -> v
+        | None -> agg_error "aggregate variable %s not bound by the body" x
+      in
+      let key = List.map get a.group_by in
+      let payload =
+        match a.func with
+        | Count -> []
+        | Sum x | Min x | Max x -> [ get x ]
+      in
+      Hashtbl.replace groups key
+        (payload :: (try Hashtbl.find groups key with Not_found -> [])))
+    substs;
+  Hashtbl.fold
+    (fun key payloads acc ->
+      let result =
+        match a.func with
+        | Count -> Value.Int (List.length payloads)
+        | Sum _ ->
+            Value.Int
+              (List.fold_left
+                 (fun s p ->
+                   match p with
+                   | [ Value.Int n ] -> s + n
+                   | [ v ] ->
+                       agg_error "sum over non-integer value %s"
+                         (Value.to_string v)
+                   | _ -> assert false)
+                 0 payloads)
+        | Min _ ->
+            List.fold_left
+              (fun best p ->
+                match (best, p) with
+                | None, [ v ] -> Some v
+                | Some b, [ v ] ->
+                    Some (if Value.compare v b < 0 then v else b)
+                | _ -> best)
+              None payloads
+            |> Option.get
+        | Max _ ->
+            List.fold_left
+              (fun best p ->
+                match (best, p) with
+                | None, [ v ] -> Some v
+                | Some b, [ v ] ->
+                    Some (if Value.compare v b > 0 then v else b)
+                | _ -> best)
+              None payloads
+            |> Option.get
+      in
+      (a.pred, Tuple.of_list (key @ [ result ])) :: acc)
+    groups []
+
+let eval layers inst =
+  List.fold_left
+    (fun current { rules; aggregates } ->
+      let current =
+        match rules with
+        | [] -> current
+        | _ ->
+            (* each layer's rule set must stratify internally *)
+            (Stratified.eval rules current).Stratified.instance
+      in
+      let dom =
+        Eval_util.program_dom
+          (rules
+          @ List.map
+              (fun a -> { Ast.head = [ Ast.HPos (Ast.atom a.pred []) ];
+                          body = a.body; forall = [] })
+              aggregates)
+          current
+      in
+      List.fold_left
+        (fun acc (pred, tup) -> Instance.add_fact pred tup acc)
+        current
+        (List.concat_map (eval_agg current dom) aggregates))
+    inst layers
+
+let answer layers inst pred = Instance.find pred (eval layers inst)

@@ -1,0 +1,53 @@
+(** Stratified aggregation — the extension every practical engine the
+    paper surveys carries (§6: LogiQL "supports sophisticated analytics",
+    BigDatalog "relies on Datalog extended with aggregates" [110, 118]).
+
+    An aggregate rule
+
+    {v p(x̄, agg<e>) :- body v}
+
+    groups the body's satisfying valuations by the head's group-by
+    variables [x̄] and combines the aggregated column [e] with one of
+    count / sum / min / max; [count] may aggregate [*] (all rows).
+    Aggregation here is {e stratified}: a program is a list of layers,
+    each layer being ordinary Datalog¬ rules evaluated to fixpoint
+    followed by aggregate rules computed once over the completed layer —
+    the standard semantics that keeps aggregation monotone-free and
+    deterministic (recursion {e through} aggregation, as in [118]'s
+    monotonic min/max fixpoints, is out of scope and documented in
+    DESIGN.md).
+
+    Sum/count produce integer values; min/max work on any column under
+    {!Relational.Value.compare}. Empty groups simply produce no fact (as
+    in SQL's GROUP BY). *)
+
+open Relational
+
+type func =
+  | Count  (** number of satisfying valuations per group *)
+  | Sum of string  (** sum of an integer variable *)
+  | Min of string
+  | Max of string
+
+type agg_rule = {
+  pred : string;  (** head predicate *)
+  group_by : string list;  (** head columns before the aggregate *)
+  func : func;
+  body : Ast.blit list;  (** Datalog¬ body literals *)
+}
+
+type layer = {
+  rules : Ast.program;  (** recursive Datalog¬ rules, run to fixpoint *)
+  aggregates : agg_rule list;  (** computed once over the finished layer *)
+}
+
+exception Agg_error of string
+
+(** [eval layers inst] evaluates the layers in order.
+    @raise Agg_error on non-integer input to [Sum], or aggregate
+    variables not bound by the body.
+    @raise Ast.Check_error via the underlying engine on malformed rules. *)
+val eval : layer list -> Instance.t -> Instance.t
+
+(** [answer layers inst pred]. *)
+val answer : layer list -> Instance.t -> string -> Relation.t

@@ -1,0 +1,104 @@
+type edge = { src : string; dst : string; negative : bool }
+
+let edges p =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      let heads =
+        List.filter_map
+          (fun h -> Option.map (fun a -> a.Ast.pred) (Ast.atom_of_hlit h))
+          r.Ast.head
+      in
+      List.iter
+        (fun dst ->
+          List.iter
+            (fun l ->
+              match l with
+              | Ast.BPos a ->
+                  Hashtbl.replace tbl (a.Ast.pred, dst, false) ()
+              | Ast.BNeg a -> Hashtbl.replace tbl (a.Ast.pred, dst, true) ()
+              | Ast.BEq _ | Ast.BNeq _ -> ())
+            r.Ast.body)
+        heads)
+    p;
+  Hashtbl.fold
+    (fun (src, dst, negative) () acc -> { src; dst; negative } :: acc)
+    tbl []
+  |> List.sort compare
+
+(* Tarjan's strongly connected components. *)
+let sccs p =
+  let nodes = Ast.preds p in
+  let es = edges p in
+  let succs n =
+    List.filter_map (fun e -> if e.src = n then Some e.dst else None) es
+  in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.add index v !counter;
+    Hashtbl.add lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then (
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w)))
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then (
+      let comp = ref [] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            comp := w :: !comp;
+            if w = v then continue := false
+      done;
+      components := List.sort String.compare !comp :: !components)
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* Tarjan emits components in reverse topological order of the
+     condensation (a component is finished only after everything reachable
+     from it); since edges point body -> head, reversing gives
+     dependencies-first order. *)
+  !components
+
+let component_of p q =
+  List.find_opt (fun c -> List.mem q c) (sccs p)
+
+let recursive_with p a b =
+  match component_of p a with Some c -> List.mem b c | None -> false
+
+let negative_in_cycle p =
+  let comps = sccs p in
+  let comp_of = Hashtbl.create 16 in
+  List.iteri (fun i c -> List.iter (fun n -> Hashtbl.add comp_of n i) c) comps;
+  List.find_opt
+    (fun e ->
+      e.negative
+      && Hashtbl.find_opt comp_of e.src = Hashtbl.find_opt comp_of e.dst
+      && Hashtbl.mem comp_of e.src)
+    (edges p)
+
+let pp_dot ppf p =
+  Format.fprintf ppf "digraph deps {@\n";
+  List.iter (fun n -> Format.fprintf ppf "  %S;@\n" n) (Ast.preds p);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %S -> %S%s;@\n" e.src e.dst
+        (if e.negative then " [style=dashed,label=\"\xc2\xac\"]" else ""))
+    (edges p);
+  Format.fprintf ppf "}"

@@ -1,0 +1,35 @@
+(** Predicate dependency graph and strongly connected components.
+
+    The graph has an edge [q -> p] (labelled negative when [q] appears
+    under [¬]) for every rule with head predicate [p] and body literal over
+    [q]. Stratifiability (§3.2) is the absence of a negative edge inside a
+    cycle. *)
+
+type edge = {
+  src : string;  (** body predicate *)
+  dst : string;  (** head predicate *)
+  negative : bool;  (** [src] occurs negated in the rule body *)
+}
+
+(** [edges p] lists dependency edges (deduplicated; an edge that occurs
+    both positively and negatively is reported twice, once per
+    polarity). Head retractions ([!R(...)] heads) count as heads. *)
+val edges : Ast.program -> edge list
+
+(** [sccs p] returns the strongly connected components of the dependency
+    graph restricted to the predicates of [p], in reverse topological
+    order (dependencies first). Every predicate appears in exactly one
+    component. *)
+val sccs : Ast.program -> string list list
+
+(** [recursive_with p a b] tests whether [a] and [b] are in the same
+    component (mutually recursive). *)
+val recursive_with : Ast.program -> string -> string -> bool
+
+(** [negative_in_cycle p] returns a witness negative edge lying inside an
+    SCC, if any — the obstruction to stratifiability. *)
+val negative_in_cycle : Ast.program -> edge option
+
+(** [pp_dot ppf p] renders the graph in Graphviz dot syntax (negative
+    edges dashed). *)
+val pp_dot : Format.formatter -> Ast.program -> unit

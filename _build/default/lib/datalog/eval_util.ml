@@ -1,0 +1,115 @@
+open Relational
+
+let program_dom p inst =
+  let module VSet = Set.Make (Value) in
+  VSet.elements
+    (VSet.union
+       (VSet.of_list (Ast.adom p))
+       (VSet.of_list (Instance.adom inst)))
+
+type prepared = (Ast.rule * Matcher.prepared) list
+
+let prepare p = List.map (fun r -> (r, Matcher.prepare r)) p
+let rules p = p
+
+let fire_rule ?delta db dom (rule, plan) k =
+  let substs = Matcher.run ?delta ~dom plan db in
+  List.iter
+    (fun subst ->
+      let _bottom, facts = Matcher.instantiate_heads subst rule.Ast.head in
+      List.iter (fun f -> k f) facts)
+    substs
+
+let consequences prepared inst ~dom =
+  let db = Matcher.Db.of_instance inst in
+  let out = ref Instance.empty in
+  List.iter
+    (fun rp ->
+      fire_rule db dom rp (fun (pos, pred, tup) ->
+          if pos then out := Instance.add_fact pred tup !out
+          else
+            invalid_arg
+              "Eval_util.consequences: negative head (use consequences_signed)"))
+    prepared;
+  !out
+
+let consequences_signed prepared inst ~dom =
+  let db = Matcher.Db.of_instance inst in
+  let pos = ref Instance.empty and neg = ref Instance.empty in
+  List.iter
+    (fun rp ->
+      fire_rule db dom rp (fun (p, pred, tup) ->
+          if p then pos := Instance.add_fact pred tup !pos
+          else neg := Instance.add_fact pred tup !neg))
+    prepared;
+  (!pos, !neg)
+
+let delta_round prepared delta_preds current delta ~dom =
+  let db = Matcher.Db.of_instance current in
+  let out = ref Instance.empty in
+  List.iter
+    (fun (rule, plan) ->
+      let body_delta_preds =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (function
+               | Ast.BPos a when List.mem a.Ast.pred delta_preds ->
+                   Some a.Ast.pred
+               | _ -> None)
+             rule.Ast.body)
+      in
+      List.iter
+        (fun pred ->
+          let drel = Instance.find pred delta in
+          if not (Relation.is_empty drel) then
+            let substs = Matcher.run ~delta:(pred, drel) ~dom plan db in
+            List.iter
+              (fun subst ->
+                let _, facts =
+                  Matcher.instantiate_heads subst rule.Ast.head
+                in
+                List.iter
+                  (fun (pos, p, t) ->
+                    if pos && not (Instance.mem_fact p t current) then
+                      out := Instance.add_fact p t !out)
+                  facts)
+              substs)
+        body_delta_preds)
+    prepared;
+  !out
+
+let seminaive_fixpoint prepared ~delta_preds ~dom inst =
+  let first = consequences prepared inst ~dom in
+  let delta0 = Instance.diff first inst in
+  (* [stages] counts the applications of Γ that inferred new facts, to
+     agree with the naive engine's count. *)
+  let rec loop current delta stages =
+    if Instance.total_facts delta = 0 then (current, stages)
+    else
+      let current = Instance.union current delta in
+      let fresh = delta_round prepared delta_preds current delta ~dom in
+      loop current fresh (stages + 1)
+  in
+  loop inst delta0 0
+
+let naive_fixpoint prepared ~dom inst =
+  let rec loop current stages =
+    let derived = consequences prepared current ~dom in
+    let next = Instance.union current derived in
+    if Instance.equal next current then (current, stages)
+    else loop next (stages + 1)
+  in
+  loop inst 0
+
+let stage_trace prepared ~dom inst =
+  let rec loop current acc =
+    let derived = consequences prepared current ~dom in
+    let next = Instance.union current derived in
+    if Instance.equal next current then List.rev (current :: acc)
+    else loop next (current :: acc)
+  in
+  loop inst []
+
+type stats = { stages : int; facts_inferred : int }
+
+let restrict_idb program inst = Instance.restrict (Ast.idb program) inst

@@ -1,0 +1,71 @@
+(** Shared engine plumbing: one parallel firing of a rule set (the
+    immediate-consequence operator's "new facts" half), domains, and
+    common bookkeeping. *)
+
+open Relational
+
+(** [program_dom p inst] is [adom(P, K)]: constants of the program plus the
+    active domain of the instance. Computed once per evaluation — for the
+    invention-free languages the domain never grows during the run. *)
+val program_dom : Ast.program -> Instance.t -> Value.t list
+
+(** A prepared program: matcher plans per rule, in program order. *)
+type prepared
+
+val prepare : Ast.program -> prepared
+val rules : prepared -> (Ast.rule * Matcher.prepared) list
+
+(** [consequences prepared inst ~dom] computes all head facts produced by
+    firing every rule with every applicable instantiation against [inst]
+    (positive heads only — engines handling retraction use
+    {!consequences_signed}). The result contains only the derived facts,
+    not [inst]. *)
+val consequences :
+  prepared -> Instance.t -> dom:Value.t list -> Instance.t
+
+(** [consequences_signed prepared inst ~dom] returns
+    [(asserted, retracted)] instances: facts from positive and negative
+    head literals respectively. A ⊥ head raises [Invalid_argument] (the
+    deterministic engines reject it at check time). *)
+val consequences_signed :
+  prepared -> Instance.t -> dom:Value.t list -> Instance.t * Instance.t
+
+(** [seminaive_fixpoint prepared ~delta_preds ~dom inst] computes the
+    inflationary fixpoint of the rule set from [inst] using delta
+    iteration: stage 1 evaluates every rule in full; stage [k+1]
+    re-evaluates only rules with a positive body occurrence of a
+    [delta_preds] predicate, restricted to the facts newly derived at
+    stage [k]. Negative literals are checked against the instance of the
+    previous stage, which equals the current one within a stage —
+    this is exact for (a) one stratum of a stratified program (negated
+    predicates are fixed) and (b) inflationary Datalog¬ (facts never
+    retract, so a body satisfied now but not before must use a delta
+    fact). Returns the fixpoint and the number of stages (applications of
+    the immediate-consequence operator, i.e. the paper's "stages"). *)
+val seminaive_fixpoint :
+  prepared ->
+  delta_preds:string list ->
+  dom:Value.t list ->
+  Instance.t ->
+  Instance.t * int
+
+(** [naive_fixpoint prepared ~dom inst] is the same fixpoint computed by
+    full re-evaluation at every stage — the reference strategy. *)
+val naive_fixpoint :
+  prepared -> dom:Value.t list -> Instance.t -> Instance.t * int
+
+(** [stage_trace prepared ~dom inst] returns the full stage sequence
+    [K ⊆ Γ(K) ⊆ Γ²(K) ⊆ ...] up to and including the fixpoint — stage
+    numbers are meaningful to programs like Example 4.1's [closer]. *)
+val stage_trace :
+  prepared -> dom:Value.t list -> Instance.t -> Instance.t list
+
+(** Result bookkeeping common to all engines. *)
+type stats = {
+  stages : int;  (** number of applications of the consequence operator *)
+  facts_inferred : int;  (** facts in the final idb *)
+}
+
+(** [restrict_idb program inst] keeps only the idb relations of the
+    program — the paper's image/answer of [P] on [I]. *)
+val restrict_idb : Ast.program -> Instance.t -> Instance.t

@@ -1,0 +1,26 @@
+open Relational
+
+type strategy = Naive_loop | Delta_loop
+
+type result = { instance : Instance.t; stages : int }
+
+let eval ?(strategy = Delta_loop) p inst =
+  Ast.check_datalog_neg p;
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  let instance, stages =
+    match strategy with
+    | Naive_loop -> Eval_util.naive_fixpoint prepared ~dom inst
+    | Delta_loop ->
+        Eval_util.seminaive_fixpoint prepared ~delta_preds:(Ast.idb p) ~dom
+          inst
+  in
+  { instance; stages }
+
+let trace p inst =
+  Ast.check_datalog_neg p;
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  Eval_util.stage_trace prepared ~dom inst
+
+let answer p inst pred = Instance.find pred (eval p inst).instance

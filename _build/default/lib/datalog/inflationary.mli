@@ -1,0 +1,32 @@
+(** Inflationary (forward chaining) Datalog¬ — §4.1 of the paper.
+
+    Rules are fired in parallel with all applicable instantiations, and the
+    inferred facts are {e added} to the instance; a negative literal [¬A]
+    is true iff [A] has not been inferred {e so far}. The sequence
+    [K ⊆ Γ_P(K) ⊆ Γ²_P(K) ⊆ ...] reaches its fixpoint [Γ^ω_P(K)] in
+    polynomially many stages. Theorem 4.2: this language expresses exactly
+    the fixpoint queries. *)
+
+open Relational
+
+type strategy =
+  | Naive_loop  (** recompute all consequences each stage *)
+  | Delta_loop
+      (** semi-naive deltas — exact for inflationary semantics because
+          facts never retract (see {!Eval_util.seminaive_fixpoint}) *)
+
+type result = {
+  instance : Instance.t;  (** [Γ^ω_P(I)], the full instance *)
+  stages : int;  (** stages that inferred new facts *)
+}
+
+(** [eval ?strategy p inst] (default {!Delta_loop}).
+    @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
+val eval : ?strategy:strategy -> Ast.program -> Instance.t -> result
+
+(** [trace p inst] returns the stage sequence
+    [[K; Γ(K); Γ²(K); ...; Γ^ω(K)]] — stage numbers carry meaning for
+    programs like Example 4.1's [closer]. *)
+val trace : Ast.program -> Instance.t -> Instance.t list
+
+val answer : Ast.program -> Instance.t -> string -> Relation.t

@@ -1,0 +1,86 @@
+open Relational
+
+type outcome =
+  | Fixpoint of { instance : Instance.t; stages : int; invented : int }
+  | Out_of_fuel of { instance : Instance.t; stages : int; invented : int }
+
+(* A canonical key identifying one body instantiation of one rule, used to
+   guarantee single firing. *)
+let firing_key rule_idx subst =
+  (rule_idx, List.sort compare subst)
+
+let run ?(max_stages = 10_000) p inst =
+  Ast.check_invent p;
+  let gen = Value.Gen.create () in
+  let prepared =
+    List.mapi (fun i r -> (i, r, Matcher.prepare r, Ast.head_only_vars r)) p
+  in
+  let fired = Hashtbl.create 256 in
+  let program_consts = Ast.adom p in
+  let rec loop current stages =
+    if stages >= max_stages then
+      Out_of_fuel
+        { instance = current; stages; invented = Value.Gen.count gen }
+    else
+      (* the active domain grows as values are invented *)
+      let dom =
+        let module VSet = Set.Make (Value) in
+        VSet.elements
+          (VSet.union
+             (VSet.of_list program_consts)
+             (VSet.of_list (Instance.adom current)))
+      in
+      let db = Matcher.Db.of_instance current in
+      let additions = ref [] in
+      List.iter
+        (fun (i, rule, plan, new_vars) ->
+          let substs = Matcher.run ~dom plan db in
+          List.iter
+            (fun subst ->
+              let key = firing_key i subst in
+              if not (Hashtbl.mem fired key) then (
+                Hashtbl.add fired key ();
+                let subst =
+                  List.fold_left
+                    (fun s x -> (x, Value.Gen.fresh gen) :: s)
+                    subst new_vars
+                in
+                let _, facts =
+                  Matcher.instantiate_heads subst rule.Ast.head
+                in
+                additions := facts @ !additions))
+            substs)
+        prepared;
+      let next =
+        List.fold_left
+          (fun acc (pos, pr, t) ->
+            if pos then Instance.add_fact pr t acc else acc)
+          current !additions
+      in
+      if Instance.equal next current then
+        Fixpoint { instance = current; stages; invented = Value.Gen.count gen }
+      else loop next (stages + 1)
+  in
+  loop inst 0
+
+let eval ?max_stages p inst =
+  match run ?max_stages p inst with
+  | Fixpoint { instance; _ } -> instance
+  | Out_of_fuel { stages; _ } ->
+      failwith
+        (Printf.sprintf
+           "Datalog\xc2\xacnew: no fixpoint within %d stages (the language is \
+            Turing-complete; supply more fuel if the program terminates)"
+           stages)
+
+let answer ?max_stages p inst pred =
+  let r = Instance.find pred (eval ?max_stages p inst) in
+  Relation.filter (fun t -> not (Tuple.exists Value.is_invented t)) r
+
+let answer_exn ?max_stages p inst pred =
+  let r = Instance.find pred (eval ?max_stages p inst) in
+  if Relation.exists (fun t -> Tuple.exists Value.is_invented t) r then
+    failwith
+      (Printf.sprintf
+         "Datalog\xc2\xacnew: answer relation %s contains invented values" pred)
+  else r

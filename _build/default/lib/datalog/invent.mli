@@ -1,0 +1,45 @@
+(** Datalog¬new — value invention (§4.3).
+
+    Syntax is Datalog¬ except that variables may occur only in the head of
+    a rule; such variables are valuated with {e distinct fresh values
+    outside the current active domain}, once per applicable body
+    instantiation. The inflationary semantics is otherwise unchanged.
+    Because re-firing a body instantiation at a later stage must not mint
+    new values forever, each (rule, body-instantiation) pair fires exactly
+    once — the standard reading under which the semantics is
+    deterministic up to the choice of fresh values (and fully
+    deterministic on invention-free answers).
+
+    Theorem 4.6: Datalog¬new expresses all computable queries — the
+    invented values supply the unbounded workspace a Turing machine needs
+    (see {!Tm_compile} for the executable construction). Termination is
+    therefore undecidable; [run] takes fuel. *)
+
+open Relational
+
+type outcome =
+  | Fixpoint of {
+      instance : Instance.t;
+      stages : int;
+      invented : int;  (** how many fresh values were created *)
+    }
+  | Out_of_fuel of { instance : Instance.t; stages : int; invented : int }
+
+(** [run ?max_stages p inst] (default fuel 10_000 stages).
+    @raise Ast.Check_error if [p] is not Datalog¬new syntax. *)
+val run : ?max_stages:int -> Ast.program -> Instance.t -> outcome
+
+(** [eval p inst] expects a fixpoint; @raise Failure when fuel runs out. *)
+val eval : ?max_stages:int -> Ast.program -> Instance.t -> Instance.t
+
+(** [answer p inst pred] returns [pred]'s relation {e restricted to
+    invention-free tuples} — the paper's safety restriction guaranteeing a
+    deterministic query: programs whose answers never contain invented
+    values define deterministic queries. Use [answer_exn] to additionally
+    enforce the restriction. *)
+val answer : ?max_stages:int -> Ast.program -> Instance.t -> string -> Relation.t
+
+(** [answer_exn p inst pred] like [answer] but
+    @raise Failure if the relation contains an invented value. *)
+val answer_exn :
+  ?max_stages:int -> Ast.program -> Instance.t -> string -> Relation.t

@@ -1,0 +1,37 @@
+(** Hand-written lexer for the Datalog surface syntax.
+
+    Tokens cover the whole family's syntax: rules, negation ([!] or [not]),
+    retraction heads, [bottom] (⊥), (in)equality, [forall], and the [?-]
+    query directive. Comments: [%] or [//] to end of line, and nestable
+    [/* ... */]. *)
+
+type token =
+  | IDENT of string   (** identifier; case decides var/constant in terms *)
+  | QVAR of string    (** [?x] — explicit variable *)
+  | INT of int
+  | STRING of string  (** double-quoted string constant *)
+  | QSYM of string    (** single-quoted symbolic constant *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW             (** [:-] or [<-] *)
+  | QUERY             (** [?-] *)
+  | BANG              (** [!] *)
+  | EQ                (** [=] *)
+  | NEQ               (** [!=] *)
+  | COLON             (** [:] (after [forall] binders) *)
+  | KW_NOT
+  | KW_FORALL
+  | KW_BOTTOM
+  | EOF
+
+exception Lex_error of int * string
+(** [(line, message)] *)
+
+(** [tokenize src] lexes a whole source text. The result always ends in
+    [EOF]. Each token is paired with its 1-based line number.
+    @raise Lex_error on unknown characters or unterminated literals. *)
+val tokenize : string -> (token * int) list
+
+val token_to_string : token -> string

@@ -1,0 +1,126 @@
+open Relational
+
+type rewritten = {
+  program : Ast.program;
+  seed : string * Tuple.t;
+  query_pred : string;
+}
+
+let adorned_name pred adornment = Printf.sprintf "%s__%s" pred adornment
+let magic_name pred adornment = Printf.sprintf "m__%s__%s" pred adornment
+
+(* Adornment of an atom given the set of bound variables: 'b' for constant
+   or bound-variable positions, 'f' otherwise. *)
+let adorn bound (a : Ast.atom) =
+  String.concat ""
+    (List.map
+       (function
+         | Ast.Cst _ -> "b"
+         | Ast.Var x -> if List.mem x bound then "b" else "f")
+       a.Ast.args)
+
+let bound_args adornment (a : Ast.atom) =
+  List.filteri (fun i _ -> adornment.[i] = 'b') a.Ast.args
+
+let atom_vars (a : Ast.atom) =
+  List.filter_map
+    (function Ast.Var x -> Some x | Ast.Cst _ -> None)
+    a.Ast.args
+
+let rewrite p (query : Ast.atom) =
+  Ast.check_datalog p;
+  let idb = Ast.idb p in
+  if not (List.mem query.Ast.pred idb) then
+    raise
+      (Ast.Check_error
+         (Printf.sprintf "Magic.rewrite: %s is not an idb predicate"
+            query.Ast.pred));
+  let query_adornment = adorn [] query in
+  let out_rules = ref [] in
+  let done_adornments = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Queue.add (query.Ast.pred, query_adornment) queue;
+  Hashtbl.add done_adornments (query.Ast.pred, query_adornment) ();
+  let request pred adornment =
+    if not (Hashtbl.mem done_adornments (pred, adornment)) then (
+      Hashtbl.add done_adornments (pred, adornment) ();
+      Queue.add (pred, adornment) queue)
+  in
+  while not (Queue.is_empty queue) do
+    let pred, adornment = Queue.pop queue in
+    let magic_atom_of (a : Ast.atom) ad =
+      Ast.atom (magic_name a.Ast.pred ad) (bound_args ad a)
+    in
+    List.iter
+      (fun (r : Ast.rule) ->
+        match r.Ast.head with
+        | [ Ast.HPos head ] when head.Ast.pred = pred ->
+            (* variables bound on entry: those at 'b' head positions *)
+            let bound0 =
+              List.concat
+                (List.filteri
+                   (fun i _ -> adornment.[i] = 'b')
+                   (List.map
+                      (function Ast.Var x -> [ x ] | Ast.Cst _ -> [])
+                      head.Ast.args))
+            in
+            let head_magic = magic_atom_of head adornment in
+            (* left-to-right SIPS over the body *)
+            let _, rev_body =
+              List.fold_left
+                (fun (bound, acc) lit ->
+                  match lit with
+                  | Ast.BPos a when List.mem a.Ast.pred idb ->
+                      let beta = adorn bound a in
+                      request a.Ast.pred beta;
+                      (* magic rule for this subgoal *)
+                      out_rules :=
+                        Ast.rule (magic_atom_of a beta)
+                          (Ast.BPos head_magic :: List.rev acc)
+                        :: !out_rules;
+                      let a' =
+                        Ast.atom (adorned_name a.Ast.pred beta) a.Ast.args
+                      in
+                      (bound @ atom_vars a, Ast.BPos a' :: acc)
+                  | Ast.BPos a -> (bound @ atom_vars a, Ast.BPos a :: acc)
+                  | other -> (bound, other :: acc))
+                (bound0, []) r.Ast.body
+            in
+            (* guarded, adorned rule *)
+            out_rules :=
+              Ast.rule
+                (Ast.atom (adorned_name pred adornment) head.Ast.args)
+                (Ast.BPos head_magic :: List.rev rev_body)
+              :: !out_rules
+        | _ -> ())
+      p
+  done;
+  let seed_pred = magic_name query.Ast.pred query_adornment in
+  let seed_args =
+    List.map
+      (function
+        | Ast.Cst v -> v
+        | Ast.Var _ -> assert false (* bound positions are constants *))
+      (bound_args query_adornment query)
+  in
+  {
+    program = List.rev !out_rules;
+    seed = (seed_pred, Tuple.of_list seed_args);
+    query_pred = adorned_name query.Ast.pred query_adornment;
+  }
+
+let answer p inst (query : Ast.atom) =
+  let { program; seed = seed_pred, seed_tup; query_pred } = rewrite p query in
+  let inst = Instance.add_fact seed_pred seed_tup inst in
+  let res = Seminaive.eval program inst in
+  let rel = Instance.find query_pred res.Seminaive.instance in
+  (* keep only tuples matching the query's constants *)
+  Relation.filter
+    (fun t ->
+      List.for_all2
+        (fun arg v ->
+          match arg with
+          | Ast.Cst c -> Value.equal c v
+          | Ast.Var _ -> true)
+        query.Ast.args (Tuple.to_list t))
+    rel

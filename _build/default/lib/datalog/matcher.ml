@@ -1,0 +1,309 @@
+open Relational
+
+module Db = struct
+  (* Secondary indexes are memoized per (predicate, constrained positions):
+     a hash table from the value vector at those positions to the matching
+     tuples. *)
+  type t = {
+    inst : Instance.t;
+    indexes : (string * int list, (Value.t list, Tuple.t list) Hashtbl.t) Hashtbl.t;
+  }
+
+  let of_instance inst = { inst; indexes = Hashtbl.create 32 }
+  let relation db p = Instance.find p db.inst
+  let mem db p tup = Instance.mem_fact p tup db.inst
+
+  let index db p positions =
+    let key = (p, positions) in
+    match Hashtbl.find_opt db.indexes key with
+    | Some ix -> ix
+    | None ->
+        let ix = Hashtbl.create 64 in
+        Relation.iter
+          (fun t ->
+            let k = List.map (fun i -> Tuple.get t i) positions in
+            Hashtbl.replace ix k
+              (t :: (try Hashtbl.find ix k with Not_found -> [])))
+          (relation db p);
+        Hashtbl.add db.indexes key ix;
+        ix
+
+  let lookup db p bindings =
+    match bindings with
+    | [] -> Relation.to_list (relation db p)
+    | _ ->
+        let bindings =
+          List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
+        in
+        let positions = List.map fst bindings in
+        let key = List.map snd bindings in
+        let ix = index db p positions in
+        Option.value (Hashtbl.find_opt ix key) ~default:[]
+end
+
+(* ------------------------------------------------------------------ *)
+
+type step =
+  | SAtom of Ast.atom  (** join with a stored relation *)
+  | SDomain of string  (** enumerate a variable over the active domain *)
+
+type prepared = {
+  rule : Ast.rule;
+  steps : step list;  (** join plan: atoms then leftover domain vars *)
+  filters : Ast.blit list;  (** negatives and (in)equalities *)
+  forall : string list;
+}
+
+let atom_vars (a : Ast.atom) =
+  List.filter_map
+    (function Ast.Var x -> Some x | Ast.Cst _ -> None)
+    a.Ast.args
+
+let prepare (rule : Ast.rule) =
+  let pos_atoms =
+    List.filter_map (function Ast.BPos a -> Some a | _ -> None) rule.Ast.body
+  in
+  let filters =
+    List.filter (function Ast.BPos _ -> false | _ -> true) rule.Ast.body
+  in
+  (* greedy ordering: repeatedly pick the atom sharing the most variables
+     with the already-bound set; tie-break on fewer new variables, then on
+     original position (stable). *)
+  let module SSet = Set.Make (String) in
+  let rec order bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let score a =
+          let vs = atom_vars a in
+          let b = List.length (List.filter (fun v -> SSet.mem v bound) vs) in
+          let fresh =
+            List.length
+              (List.sort_uniq String.compare
+                 (List.filter (fun v -> not (SSet.mem v bound)) vs))
+          in
+          (b, -fresh)
+        in
+        let best =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some (a, score a)
+              | Some (_, sb) when score a > sb -> Some (a, score a)
+              | some -> some)
+            None remaining
+        in
+        let a, _ = Option.get best in
+        let remaining = List.filter (fun x -> x != a) remaining in
+        let bound =
+          List.fold_left (fun s v -> SSet.add v s) bound (atom_vars a)
+        in
+        order bound remaining (SAtom a :: acc)
+  in
+  let atom_steps = order SSet.empty pos_atoms [] in
+  let bound_by_atoms =
+    List.concat_map (function SAtom a -> atom_vars a | _ -> []) atom_steps
+  in
+  (* body variables not bound by any positive atom range over the domain
+     (paper: instantiations valuate into adom(P, K)); ∀-variables are
+     handled separately, and head-only variables are never enumerated —
+     they are either rejected by the safety checks or freshly invented
+     (Datalog¬new). *)
+  let needed =
+    Ast.body_vars rule
+    |> List.filter (fun v ->
+           (not (List.mem v bound_by_atoms))
+           && not (List.mem v rule.Ast.forall))
+  in
+  { rule;
+    steps = atom_steps @ List.map (fun v -> SDomain v) needed;
+    filters;
+    forall = rule.Ast.forall }
+
+(* ------------------------------------------------------------------ *)
+
+let term_value subst = function
+  | Ast.Cst v -> Some v
+  | Ast.Var x -> List.assoc_opt x subst
+
+let check_filter ?neg_db db subst = function
+  | Ast.BNeg a ->
+      let vs = atom_vars a in
+      if List.for_all (fun v -> List.assoc_opt v subst <> None) vs then
+        let ndb = Option.value neg_db ~default:db in
+        let _, tup = Ast.ground_atom subst a in
+        Some (not (Db.mem ndb a.Ast.pred tup))
+      else None
+  | Ast.BEq (s, t) -> (
+      match (term_value subst s, term_value subst t) with
+      | Some a, Some b -> Some (Value.equal a b)
+      | _ -> None)
+  | Ast.BNeq (s, t) -> (
+      match (term_value subst s, term_value subst t) with
+      | Some a, Some b -> Some (not (Value.equal a b))
+      | _ -> None)
+  | Ast.BPos a ->
+      let vs = atom_vars a in
+      if List.for_all (fun v -> List.assoc_opt v subst <> None) vs then
+        let _, tup = Ast.ground_atom subst a in
+        Some (Db.mem db a.Ast.pred tup)
+      else None
+
+(* Apply all filters decidable under [subst]; returns [None] when some
+   filter fails, otherwise the list of still-pending filters. *)
+let apply_filters ?neg_db db subst filters =
+  let rec go pending = function
+    | [] -> Some (List.rev pending)
+    | f :: rest -> (
+        match check_filter ?neg_db db subst f with
+        | Some true -> go pending rest
+        | Some false -> None
+        | None -> go (f :: pending) rest)
+  in
+  go [] filters
+
+let unify_atom subst (a : Ast.atom) (tup : Tuple.t) =
+  let rec go subst i = function
+    | [] -> Some subst
+    | Ast.Cst v :: rest ->
+        if Value.equal v (Tuple.get tup i) then go subst (i + 1) rest else None
+    | Ast.Var x :: rest -> (
+        let v = Tuple.get tup i in
+        match List.assoc_opt x subst with
+        | Some w -> if Value.equal v w then go subst (i + 1) rest else None
+        | None -> go ((x, v) :: subst) (i + 1) rest)
+  in
+  go subst 0 a.Ast.args
+
+let bound_positions subst (a : Ast.atom) =
+  List.filteri (fun _ o -> o <> None)
+    (List.mapi
+       (fun i t ->
+         match term_value subst t with Some v -> Some (i, v) | None -> None)
+       a.Ast.args)
+  |> List.filter_map Fun.id
+
+let run ?delta ?dom ?neg_db prepared db =
+  let need_dom =
+    List.exists (function SDomain _ -> true | _ -> false) prepared.steps
+    || prepared.forall <> []
+  in
+  (if need_dom && dom = None then
+     invalid_arg
+       "Matcher.run: rule has domain-bound or \xe2\x88\x80 variables; supply ~dom");
+  let dom = Option.value dom ~default:[] in
+  let results = ref [] in
+  (* [delta_slot]: index (into atom steps) of the occurrence currently
+     restricted to the delta relation; -1 means none. *)
+  let rec go delta_slot step_idx steps subst filters =
+    match steps with
+    | [] ->
+        if prepared.forall <> [] then (
+          (* ∀-rules: pending filters may mention ∀-variables;
+             check_forall re-evaluates the whole body over the domain *)
+          if check_forall subst filters then results := subst :: !results)
+        else (
+          (* all join/domain steps done: any still-pending filters are
+             fully ground (e.g. a rule with no positive atoms and constant
+             arguments) and must be checked now *)
+          match apply_filters ?neg_db db subst filters with
+          | Some [] -> results := subst :: !results
+          | Some _ | None -> ())
+    | SAtom a :: rest ->
+        let candidates =
+          if step_idx = delta_slot then
+            let drel = match delta with Some (_, r) -> r | None -> Relation.empty in
+            List.filter
+              (fun t -> Tuple.arity t = List.length a.Ast.args)
+              (Relation.to_list drel)
+          else Db.lookup db a.Ast.pred (bound_positions subst a)
+        in
+        List.iter
+          (fun tup ->
+            match unify_atom subst a tup with
+            | None -> ()
+            | Some subst -> (
+                match apply_filters ?neg_db db subst filters with
+                | None -> ()
+                | Some pending ->
+                    go delta_slot (step_idx + 1) rest subst pending))
+          candidates
+    | SDomain x :: rest ->
+        List.iter
+          (fun v ->
+            let subst = (x, v) :: subst in
+            match apply_filters ?neg_db db subst filters with
+            | None -> ()
+            | Some pending -> go delta_slot (step_idx + 1) rest subst pending)
+          dom
+  and check_forall subst pending =
+    (* All body literals must hold for every valuation of the ∀-variables
+       over the domain. Literals not mentioning ∀-variables were already
+       enforced (they are fully bound by now, [pending] only retains ∀
+       ones), but re-checking the whole body keeps this obviously
+       correct. *)
+    ignore pending;
+    let rec enum subst = function
+      | [] ->
+          List.for_all
+            (fun l ->
+              match check_filter ?neg_db db subst l with
+              | Some b -> b
+              | None -> false)
+            prepared.rule.Ast.body
+      | x :: rest ->
+          List.for_all (fun v -> enum ((x, v) :: subst) rest) dom
+    in
+    enum subst prepared.forall
+  in
+  (match delta with
+  | None -> go (-1) 0 prepared.steps [] prepared.filters
+  | Some (pred, _) ->
+      (* one pass per positive occurrence of [pred] *)
+      List.iteri
+        (fun i step ->
+          match step with
+          | SAtom a when a.Ast.pred = pred ->
+              go i 0 prepared.steps [] prepared.filters
+          | _ -> ())
+        prepared.steps);
+  (* Deduplicate: different derivations can yield the same substitution
+     (e.g. via the delta passes, or different ∀-witnesses). Restrict to
+     the rule variables that matter — ∀-variables are not part of the
+     firing. *)
+  let keep =
+    List.filter
+      (fun v -> not (List.mem v prepared.forall))
+      (Ast.rule_vars prepared.rule)
+  in
+  let canon subst =
+    List.sort compare (List.filter (fun (x, _) -> List.mem x keep) subst)
+  in
+  List.sort_uniq compare (List.map canon !results)
+
+let satisfies db subst blits =
+  List.for_all
+    (fun l ->
+      match check_filter db subst l with
+      | Some b -> b
+      | None -> raise (Ast.Check_error "Matcher.satisfies: unbound variable"))
+    blits
+
+let instantiate_heads subst heads =
+  let bottom = ref false in
+  let facts =
+    List.filter_map
+      (fun h ->
+        match h with
+        | Ast.HBottom ->
+            bottom := true;
+            None
+        | Ast.HPos a ->
+            let p, t = Ast.ground_atom subst a in
+            Some (true, p, t)
+        | Ast.HNeg a ->
+            let p, t = Ast.ground_atom subst a in
+            Some (false, p, t))
+      heads
+  in
+  (!bottom, facts)

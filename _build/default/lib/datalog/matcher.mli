@@ -1,0 +1,83 @@
+(** Rule instantiation: enumerating the valuations that satisfy a rule body
+    against a database.
+
+    This is the shared workhorse of every engine in the family. Bodies are
+    evaluated by an index-backed nested-loop join over the positive atoms
+    (greedy most-bound-first ordering) with negative and (in)equality
+    literals applied as soon as their variables are bound. Negative
+    literals are checked against the same database — the "not inferred so
+    far" reading of the paper's immediate-consequence operator (§4.1).
+
+    An instantiation of a rule w.r.t. K (paper, §4.1) maps each variable
+    into [adom(P, K)]; because our rules are range-restricted (safety
+    checks in {!Ast}), enumerating joins over the stored relations produces
+    exactly those valuations without materializing the domain. *)
+
+open Relational
+
+(** A database view with memoized secondary indexes. Build one per
+    evaluation stage (indexes are only valid for the instance supplied). *)
+module Db : sig
+  type t
+
+  val of_instance : Instance.t -> t
+
+  (** [relation db p] is the relation bound to predicate [p]. *)
+  val relation : t -> string -> Relation.t
+
+  (** [lookup db p bindings] returns the tuples of [p] agreeing with
+      [bindings], a list of (position, value) constraints. Builds (and
+      caches) a hash index on the constrained positions. *)
+  val lookup : t -> string -> (int * Value.t) list -> Tuple.t list
+
+  (** [mem db p tup] tests a ground fact. *)
+  val mem : t -> string -> Tuple.t -> bool
+end
+
+(** A rule body prepared for evaluation (atom ordering precomputed). *)
+type prepared
+
+(** [prepare rule] plans the body join. *)
+val prepare : Ast.rule -> prepared
+
+(** [run prepared db] enumerates all satisfying substitutions for the body.
+    Each substitution binds every body variable (and hence every head
+    variable of a safe rule).
+
+    [delta]: when [Some (pred, rel)], restricts one positive occurrence of
+    [pred] at a time to range over [rel] instead of its full relation, and
+    unions the results — the semi-naive evaluation primitive. If the body
+    has no positive occurrence of [pred] the result is empty.
+
+    [dom]: the active domain [adom(P, K)]. Variables not bound by a
+    positive atom (the paper allows head variables bound only by negative
+    literals, cf. Example 4.4) range over [dom], as do ∀-quantified
+    variables.
+
+    [neg_db]: when supplied, negative literals are checked against this
+    database instead of [db] — the Gelfond–Lifschitz transform primitive
+    used by the well-founded engine (positives grow in [db] while the
+    negation context stays fixed).
+
+    @raise Invalid_argument if the rule needs a domain (it has
+    non-positively-bound or ∀ variables) and [dom] was not supplied. *)
+val run :
+  ?delta:string * Relation.t ->
+  ?dom:Value.t list ->
+  ?neg_db:Db.t ->
+  prepared ->
+  Db.t ->
+  Ast.subst list
+
+(** [satisfies db subst blits] checks body literals under a full
+    substitution (quantifier-free). Used by the nondeterministic engines
+    to re-check applicability.
+    @raise Ast.Check_error on unbound variables. *)
+val satisfies : Db.t -> Ast.subst -> Ast.blit list -> bool
+
+(** [instantiate_heads subst heads] grounds head literals into
+    [(polarity, pred, tuple)] triples where polarity [true] asserts and
+    [false] retracts; ⊥ is returned as the [bottom] flag.
+    Result: [(bottom, facts)]. *)
+val instantiate_heads :
+  Ast.subst -> Ast.hlit list -> bool * (bool * string * Tuple.t) list

@@ -1,0 +1,17 @@
+open Relational
+
+type result = { instance : Instance.t; stages : int }
+
+let eval p inst =
+  Ast.check_datalog p;
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  let rec loop current stages =
+    let derived = Eval_util.consequences prepared current ~dom in
+    let next = Instance.union current derived in
+    if Instance.equal next current then { instance = current; stages }
+    else loop next (stages + 1)
+  in
+  loop inst 0
+
+let answer p inst pred = Instance.find pred (eval p inst).instance

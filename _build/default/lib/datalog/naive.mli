@@ -1,0 +1,22 @@
+(** Naive bottom-up evaluation of pure Datalog (§3.1).
+
+    Computes the minimum model of [Σ_P] extending the input by iterating
+    the immediate-consequence operator from the input until fixpoint,
+    re-deriving everything at every stage. The reference engine — slow but
+    obviously correct; {!Seminaive} must agree with it (tested by
+    property). *)
+
+open Relational
+
+type result = {
+  instance : Instance.t;  (** the minimum model: edb ∪ idb facts *)
+  stages : int;  (** fixpoint stages (applications of Γ_P) *)
+}
+
+(** [eval p inst] runs [p] on [inst].
+    @raise Ast.Check_error if [p] is not pure Datalog (negation,
+    multi-heads, ⊥, ∀ or arity inconsistencies). *)
+val eval : Ast.program -> Instance.t -> result
+
+(** [answer p inst pred] is the relation computed for [pred]. *)
+val answer : Ast.program -> Instance.t -> string -> Relation.t

@@ -1,0 +1,244 @@
+open Relational
+
+type parsed = { program : Ast.program; queries : Ast.atom list }
+
+exception Parse_error of int * string
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let err line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let peek st =
+  match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> fst t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let t, line = peek st in
+  if t = tok then advance st
+  else err line "expected %s, found %s" what (Lexer.token_to_string t)
+
+let is_upper_start s =
+  String.length s > 0
+  && match s.[0] with 'A' .. 'Z' | '_' -> true | _ -> false
+
+let parse_term st : Ast.term =
+  let t, line = peek st in
+  match t with
+  | Lexer.QVAR x ->
+      advance st;
+      Ast.Var x
+  | Lexer.INT n ->
+      advance st;
+      Ast.Cst (Value.Int n)
+  | Lexer.STRING s ->
+      advance st;
+      Ast.Cst (Value.Str s)
+  | Lexer.QSYM s ->
+      advance st;
+      Ast.Cst (Value.Sym s)
+  | Lexer.IDENT s ->
+      advance st;
+      if is_upper_start s then Ast.Var s else Ast.Cst (Value.Sym s)
+  | t -> err line "expected a term, found %s" (Lexer.token_to_string t)
+
+let parse_atom_tail st name : Ast.atom =
+  match fst (peek st) with
+  | Lexer.LPAREN ->
+      advance st;
+      if fst (peek st) = Lexer.RPAREN then (
+        advance st;
+        Ast.atom name [])
+      else
+        let rec args acc =
+          let t = parse_term st in
+          match fst (peek st) with
+          | Lexer.COMMA ->
+              advance st;
+              args (t :: acc)
+          | _ -> List.rev (t :: acc)
+        in
+        let a = args [] in
+        expect st Lexer.RPAREN ")";
+        Ast.atom name a
+  | _ -> Ast.atom name []
+
+let parse_atom_st st : Ast.atom =
+  let t, line = peek st in
+  match t with
+  | Lexer.IDENT name ->
+      advance st;
+      parse_atom_tail st name
+  | t -> err line "expected an atom, found %s" (Lexer.token_to_string t)
+
+(* A body literal: negated atom, (in)equality between terms, or atom.
+   Disambiguation: if the next tokens form `term (=|!=) ...` we parse an
+   equality; an IDENT followed by LPAREN is always an atom. *)
+let parse_blit st : Ast.blit =
+  let t, line = peek st in
+  match t with
+  | Lexer.BANG | Lexer.KW_NOT ->
+      advance st;
+      Ast.BNeg (parse_atom_st st)
+  | Lexer.QVAR _ | Lexer.INT _ | Lexer.STRING _ | Lexer.QSYM _ ->
+      let lhs = parse_term st in
+      let t, line = peek st in
+      (match t with
+      | Lexer.EQ ->
+          advance st;
+          Ast.BEq (lhs, parse_term st)
+      | Lexer.NEQ ->
+          advance st;
+          Ast.BNeq (lhs, parse_term st)
+      | t ->
+          err line "expected = or != after term, found %s"
+            (Lexer.token_to_string t))
+  | Lexer.IDENT name -> (
+      match peek2 st with
+      | Lexer.LPAREN ->
+          advance st;
+          Ast.BPos (parse_atom_tail st name)
+      | Lexer.EQ ->
+          advance st;
+          advance st;
+          let lhs =
+            if is_upper_start name then Ast.Var name
+            else Ast.Cst (Value.Sym name)
+          in
+          Ast.BEq (lhs, parse_term st)
+      | Lexer.NEQ ->
+          advance st;
+          advance st;
+          let lhs =
+            if is_upper_start name then Ast.Var name
+            else Ast.Cst (Value.Sym name)
+          in
+          Ast.BNeq (lhs, parse_term st)
+      | _ ->
+          advance st;
+          Ast.BPos (Ast.atom name []))
+  | t -> err line "expected a body literal, found %s" (Lexer.token_to_string t)
+
+let parse_hlit st : Ast.hlit =
+  let t, _line = peek st in
+  match t with
+  | Lexer.BANG | Lexer.KW_NOT ->
+      advance st;
+      Ast.HNeg (parse_atom_st st)
+  | Lexer.KW_BOTTOM ->
+      advance st;
+      Ast.HBottom
+  | _ -> Ast.HPos (parse_atom_st st)
+
+let parse_var st : string =
+  let t, line = peek st in
+  match t with
+  | Lexer.QVAR x ->
+      advance st;
+      x
+  | Lexer.IDENT s when is_upper_start s ->
+      advance st;
+      s
+  | t -> err line "expected a variable, found %s" (Lexer.token_to_string t)
+
+let parse_body st : string list * Ast.blit list =
+  let forall_vars =
+    if fst (peek st) = Lexer.KW_FORALL then (
+      advance st;
+      let rec vars acc =
+        let x = parse_var st in
+        match fst (peek st) with
+        | Lexer.COMMA ->
+            advance st;
+            vars (x :: acc)
+        | _ -> List.rev (x :: acc)
+      in
+      let vs = vars [] in
+      expect st Lexer.COLON ":";
+      vs)
+    else []
+  in
+  let rec blits acc =
+    let l = parse_blit st in
+    match fst (peek st) with
+    | Lexer.COMMA ->
+        advance st;
+        blits (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  (forall_vars, blits [])
+
+let parse_rule_st st : Ast.rule =
+  let rec heads acc =
+    let h = parse_hlit st in
+    match fst (peek st) with
+    | Lexer.COMMA ->
+        advance st;
+        heads (h :: acc)
+    | _ -> List.rev (h :: acc)
+  in
+  let hs = heads [] in
+  match fst (peek st) with
+  | Lexer.ARROW ->
+      advance st;
+      (* empty body allowed: `delay :- .` is written just `delay.`, but we
+         also accept an arrow immediately followed by the dot *)
+      if fst (peek st) = Lexer.DOT then { Ast.head = hs; body = []; forall = [] }
+      else
+        let forall, body = parse_body st in
+        { Ast.head = hs; body; forall }
+  | _ -> { Ast.head = hs; body = []; forall = [] }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rules = ref [] and queries = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF, _ -> ()
+    | Lexer.QUERY, _ ->
+        advance st;
+        let a = parse_atom_st st in
+        expect st Lexer.DOT ". after query";
+        queries := a :: !queries;
+        loop ()
+    | _ ->
+        let r = parse_rule_st st in
+        expect st Lexer.DOT ". after rule";
+        rules := r :: !rules;
+        loop ()
+  in
+  loop ();
+  { program = List.rev !rules; queries = List.rev !queries }
+
+let parse_program src =
+  let { program; queries } = parse src in
+  (match queries with
+  | [] -> ()
+  | a :: _ ->
+      raise
+        (Parse_error
+           (0, Printf.sprintf "unexpected ?- %s query directive" a.Ast.pred)));
+  program
+
+let parse_rule src =
+  let st = { toks = Lexer.tokenize src } in
+  let r = parse_rule_st st in
+  if fst (peek st) = Lexer.DOT then advance st;
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, line -> err line "trailing input: %s" (Lexer.token_to_string t));
+  r
+
+let parse_atom src =
+  let st = { toks = Lexer.tokenize src } in
+  let a = parse_atom_st st in
+  if fst (peek st) = Lexer.DOT then advance st;
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, line -> err line "trailing input: %s" (Lexer.token_to_string t));
+  a

@@ -1,0 +1,43 @@
+(** Recursive-descent parser for the family's surface syntax.
+
+    Grammar (superset of every variant; engines validate their fragment
+    with the [Ast.check_*] functions):
+
+    {v
+    program   ::= statement*
+    statement ::= "?-" atom "." | rule "."
+    rule      ::= heads (( ":-" | "<-" ) body?)?
+    heads     ::= hlit ("," hlit)*
+    hlit      ::= "!" atom | "not" atom | "bottom" | atom
+    body      ::= "forall" vars ":" blits | blits
+    blits     ::= blit ("," blit)*
+    blit      ::= "!" atom | "not" atom
+                | term "=" term | term "!=" term | atom
+    atom      ::= IDENT [ "(" terms? ")" ]
+    term      ::= "?"IDENT | INT | STRING | 'SYMBOL'
+                | IDENT   (uppercase/underscore initial: variable;
+                           otherwise: symbolic constant)
+    v}
+
+    Facts are body-less rules with constant arguments. *)
+
+type parsed = {
+  program : Ast.program;
+  queries : Ast.atom list;  (** [?-] directives, in order *)
+}
+
+exception Parse_error of int * string
+(** [(line, message)] *)
+
+(** [parse src] parses a whole source text.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+val parse : string -> parsed
+
+(** [parse_program src] parses and requires no [?-] directives. *)
+val parse_program : string -> Ast.program
+
+(** [parse_rule src] parses a single rule (final dot optional). *)
+val parse_rule : string -> Ast.rule
+
+(** [parse_atom src] parses a single atom, e.g. a query. *)
+val parse_atom : string -> Ast.atom

@@ -1,0 +1,21 @@
+open Relational
+
+exception Not_semipositive of string
+
+type result = { instance : Instance.t; stages : int }
+
+let eval p inst =
+  Ast.check_datalog_neg p;
+  if not (Stratify.is_semipositive p) then
+    raise
+      (Not_semipositive
+         "program negates an idb predicate; semi-positive Datalog\xc2\xac \
+          only negates edb predicates");
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  let instance, stages =
+    Eval_util.seminaive_fixpoint prepared ~delta_preds:(Ast.idb p) ~dom inst
+  in
+  { instance; stages }
+
+let answer p inst pred = Instance.find pred (eval p inst).instance

@@ -1,0 +1,20 @@
+(** Semi-positive Datalog¬ (§4.5): negation applied to edb predicates
+    only.
+
+    A semi-positive program is a single stratum, so evaluation is one
+    monotone (semi-naive) fixpoint. Theorem 4.7: on ordered databases with
+    explicit [min]/[max] constants, semi-positive Datalog¬ expresses
+    exactly db-ptime — exercised by experiment E7. *)
+
+open Relational
+
+exception Not_semipositive of string
+
+type result = { instance : Instance.t; stages : int }
+
+(** [eval p inst] evaluates a semi-positive program.
+    @raise Not_semipositive if some idb predicate is negated.
+    @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
+val eval : Ast.program -> Instance.t -> result
+
+val answer : Ast.program -> Instance.t -> string -> Relation.t

@@ -1,0 +1,61 @@
+open Relational
+
+let gl p inst context =
+  Ast.check_datalog_neg p;
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  let neg_db = Matcher.Db.of_instance context in
+  let rec loop current =
+    let db = Matcher.Db.of_instance current in
+    let out = ref Instance.empty in
+    List.iter
+      (fun (rule, plan) ->
+        let substs = Matcher.run ~dom ~neg_db plan db in
+        List.iter
+          (fun subst ->
+            let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
+            List.iter
+              (fun (pos, pr, t) ->
+                if pos && not (Instance.mem_fact pr t current) then
+                  out := Instance.add_fact pr t !out)
+              facts)
+          substs)
+      (Eval_util.rules prepared);
+    if Instance.total_facts !out = 0 then current
+    else loop (Instance.union current !out)
+  in
+  loop inst
+
+let is_stable p inst m = Instance.equal (gl p inst m) m
+
+let models ?limit p inst =
+  let wf = Wellfounded.eval p inst in
+  let unknowns =
+    Instance.fold
+      (fun pred r acc ->
+        Relation.fold (fun t acc -> (pred, t) :: acc) r acc)
+      (Wellfounded.unknown wf) []
+  in
+  if List.length unknowns > 20 then
+    failwith
+      (Printf.sprintf "Stable.models: %d unknown facts, search too large"
+         (List.length unknowns));
+  let out = ref [] in
+  let n = ref 0 in
+  let reached_limit () =
+    match limit with Some l -> !n >= l | None -> false
+  in
+  let rec branch candidate = function
+    | [] ->
+        if (not (reached_limit ())) && is_stable p inst candidate then (
+          out := candidate :: !out;
+          incr n)
+    | (pred, t) :: rest ->
+        if not (reached_limit ()) then (
+          branch candidate rest;
+          branch (Instance.add_fact pred t candidate) rest)
+  in
+  branch wf.Wellfounded.true_facts unknowns;
+  List.rev !out
+
+let count p inst = List.length (models p inst)

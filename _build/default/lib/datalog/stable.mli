@@ -1,0 +1,27 @@
+(** Stable model semantics for Datalog¬ (§3.3's discussion of the roots of
+    the well-founded semantics; Gelfond–Lifschitz).
+
+    A total instance [M ⊇ I] is a {e stable model} of [P] on [I] iff the
+    least fixpoint of the reduct [P^M] (negatives evaluated against [M],
+    then discarded) equals [M]. The well-founded model approximates every
+    stable model: true facts belong to all of them, false facts to none —
+    so enumeration only needs to branch on the well-founded {e unknown}
+    facts, which is how [models] works (exponential only in the number of
+    unknowns). A program whose well-founded model is total has exactly
+    that one stable model. *)
+
+open Relational
+
+(** [is_stable p inst m] checks the Gelfond–Lifschitz fixpoint condition.
+    [m] must contain the input facts.
+    @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
+val is_stable : Ast.program -> Instance.t -> Instance.t -> bool
+
+(** [models ?limit p inst] enumerates stable models (at most [limit],
+    default unlimited), branching on the well-founded unknowns.
+    @raise Failure if there are more than 20 unknown facts (the search
+    would explode; the limit guards accidental blowups). *)
+val models : ?limit:int -> Ast.program -> Instance.t -> Instance.t list
+
+(** [count p inst] is [List.length (models p inst)]. *)
+val count : Ast.program -> Instance.t -> int

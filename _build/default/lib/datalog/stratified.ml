@@ -1,0 +1,30 @@
+open Relational
+
+exception Not_stratifiable of string
+
+type result = { instance : Instance.t; strata : int; stages : int }
+
+let eval p inst =
+  match Stratify.stratify p with
+  | Error msg -> raise (Not_stratifiable msg)
+  | Ok { strata; _ } ->
+      (* adom(P, K) is shared by all strata: no stratum can invent
+         values, so the domain is fixed up front. *)
+      let dom = Eval_util.program_dom p inst in
+      let instance, stages =
+        List.fold_left
+          (fun (current, stages) stratum ->
+            match stratum with
+            | [] -> (current, stages)
+            | _ ->
+                let prepared = Eval_util.prepare stratum in
+                let next, s =
+                  Eval_util.seminaive_fixpoint prepared
+                    ~delta_preds:(Ast.idb stratum) ~dom current
+                in
+                (next, stages + s))
+          (inst, 0) strata
+      in
+      { instance; strata = List.length strata; stages }
+
+let answer p inst pred = Instance.find pred (eval p inst).instance

@@ -1,0 +1,25 @@
+(** Stratified Datalog¬ evaluation (§3.2).
+
+    Evaluates the strata of a stratifiable program in order, each to its
+    (semi-naive) fixpoint; within a stratum, negation refers only to edb
+    predicates and fully-computed earlier strata, so each stratum is a
+    monotone fixpoint computation. This realizes the "read the program so
+    the portion defining R comes before the negation of R is used"
+    semantics of the paper. *)
+
+open Relational
+
+exception Not_stratifiable of string
+
+type result = {
+  instance : Instance.t;  (** edb ∪ idb at the end of the last stratum *)
+  strata : int;  (** number of strata evaluated *)
+  stages : int;  (** total Γ applications across strata *)
+}
+
+(** [eval p inst] evaluates [p] under stratified semantics.
+    @raise Not_stratifiable if [p] has recursion through negation.
+    @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
+val eval : Ast.program -> Instance.t -> result
+
+val answer : Ast.program -> Instance.t -> string -> Relation.t

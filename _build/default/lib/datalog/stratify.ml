@@ -1,0 +1,84 @@
+type stratification = {
+  strata : Ast.program list;
+  stratum_of : (string * int) list;
+}
+
+let stratify p =
+  Ast.check_datalog_neg p;
+  match Depgraph.negative_in_cycle p with
+  | Some e ->
+      Error
+        (Printf.sprintf
+           "not stratifiable: %s depends negatively on %s inside a recursive \
+            component"
+           e.Depgraph.dst e.Depgraph.src)
+  | None ->
+      let comps = Depgraph.sccs p in
+      let comp_of = Hashtbl.create 16 in
+      List.iteri
+        (fun i c -> List.iter (fun n -> Hashtbl.add comp_of n i) c)
+        comps;
+      let edges = Depgraph.edges p in
+      (* components arrive dependencies-first; assign stratum as the max
+         over incoming edges of (stratum of source component) + 1 for
+         negative edges, 0 base. *)
+      let n = List.length comps in
+      let stratum = Array.make n 0 in
+      List.iteri
+        (fun i c ->
+          let s =
+            List.fold_left
+              (fun acc e ->
+                if List.mem e.Depgraph.dst c then
+                  match Hashtbl.find_opt comp_of e.Depgraph.src with
+                  | Some j when j <> i ->
+                      max acc
+                        (stratum.(j) + if e.Depgraph.negative then 1 else 0)
+                  | _ -> acc
+                else acc)
+              0 edges
+          in
+          stratum.(i) <- s)
+        comps;
+      let stratum_of_pred q =
+        match Hashtbl.find_opt comp_of q with
+        | Some i -> stratum.(i)
+        | None -> 0
+      in
+      let idb = Ast.idb p in
+      let max_stratum =
+        List.fold_left (fun acc q -> max acc (stratum_of_pred q)) 0 idb
+      in
+      let head_pred r =
+        match r.Ast.head with
+        | [ h ] -> (
+            match Ast.atom_of_hlit h with
+            | Some a -> a.Ast.pred
+            | None -> assert false)
+        | _ -> assert false
+      in
+      let strata =
+        List.init (max_stratum + 1) (fun s ->
+            List.filter (fun r -> stratum_of_pred (head_pred r) = s) p)
+      in
+      Ok
+        {
+          strata;
+          stratum_of = List.map (fun q -> (q, stratum_of_pred q)) (Ast.preds p);
+        }
+
+let is_stratifiable p =
+  match stratify p with Ok _ -> true | Error _ -> false
+
+let is_semipositive p =
+  let idb = Ast.idb p in
+  List.for_all
+    (fun r ->
+      List.for_all
+        (function
+          | Ast.BNeg a -> not (List.mem a.Ast.pred idb)
+          | _ -> true)
+        r.Ast.body)
+    p
+
+let num_strata s = List.length (List.filter (fun st -> st <> []) s.strata)

@@ -1,0 +1,29 @@
+(** Stratification of Datalog¬ programs (§3.2).
+
+    A stratification partitions the idb predicates into strata such that a
+    rule's head stratum is ≥ the stratum of every positive body predicate
+    and > the stratum of every negated idb body predicate. It exists iff
+    no negative edge of the dependency graph lies on a cycle. *)
+
+type stratification = {
+  strata : Ast.program list;
+      (** rules grouped by head stratum, lowest first; each stratum is
+          itself a (semi-positive w.r.t. earlier strata) Datalog¬ program *)
+  stratum_of : (string * int) list;
+      (** stratum index per predicate; edb predicates get stratum 0 *)
+}
+
+(** [stratify p] computes a stratification.
+    Returns [Error witness] with a human-readable explanation naming the
+    negative cycle when [p] is unstratifiable.
+    @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
+val stratify : Ast.program -> (stratification, string) result
+
+val is_stratifiable : Ast.program -> bool
+
+(** [is_semipositive p]: negation is applied to edb predicates only
+    (§4.5's semi-positive fragment). *)
+val is_semipositive : Ast.program -> bool
+
+(** [num_strata s] is the number of (non-empty) strata. *)
+val num_strata : stratification -> int

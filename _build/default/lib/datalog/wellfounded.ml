@@ -1,0 +1,66 @@
+open Relational
+
+type truth = True | False | Unknown
+
+type result = {
+  true_facts : Instance.t;
+  possible : Instance.t;
+  rounds : int;
+}
+
+(* A(J): least fixpoint of the rules with negatives checked against the
+   fixed context J, positives against the growing instance, starting from
+   the input. Semi-naive iteration is sound here because within one A
+   computation the negation context never changes. *)
+let gl_operator prepared dom inst context =
+  let neg_db = Matcher.Db.of_instance context in
+  let rec loop current =
+    let db = Matcher.Db.of_instance current in
+    let out = ref Instance.empty in
+    List.iter
+      (fun (rule, plan) ->
+        let substs = Matcher.run ~dom ~neg_db plan db in
+        List.iter
+          (fun subst ->
+            let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
+            List.iter
+              (fun (pos, p, t) ->
+                if pos && not (Instance.mem_fact p t current) then
+                  out := Instance.add_fact p t !out)
+              facts)
+          substs)
+      prepared;
+    if Instance.total_facts !out = 0 then current
+    else loop (Instance.union current !out)
+  in
+  loop inst
+
+let sequence p inst =
+  Ast.check_datalog_neg p;
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  let a = gl_operator (Eval_util.rules prepared) dom inst in
+  let rec loop under acc =
+    let over = a under in
+    let under' = a over in
+    let acc = (under', over) :: acc in
+    if Instance.equal under' under then List.rev acc
+    else loop under' acc
+  in
+  loop inst []
+
+let alternating_sequence = sequence
+
+let eval p inst =
+  let seq = sequence p inst in
+  let true_facts, possible = List.nth seq (List.length seq - 1) in
+  { true_facts; possible; rounds = List.length seq }
+
+let truth_of res pred tup =
+  if Instance.mem_fact pred tup res.true_facts then True
+  else if Instance.mem_fact pred tup res.possible then Unknown
+  else False
+
+let unknown res = Instance.diff res.possible res.true_facts
+let is_total res = Instance.equal res.true_facts res.possible
+let answer p inst pred = Instance.find pred (eval p inst).true_facts

@@ -1,0 +1,54 @@
+(** Well-founded semantics for Datalog¬ via the alternating fixpoint
+    (§3.3; Van Gelder's formulation).
+
+    The Gelfond–Lifschitz-style operator [A(J)] computes the least fixpoint
+    of the program with every negative literal [¬R(u)] evaluated against
+    the {e fixed} context [J] (and positives against the growing result).
+    [A] is antimonotone, so [A∘A] is monotone; iterating
+
+    {v U_0 = I,   U_{k+1} = A(A(U_k)) v}
+
+    converges to the least fixpoint [T] of [A²] — the {b true} facts —
+    while [A(T)] is the greatest fixpoint — the {b true-or-unknown}
+    facts. Everything else (within the Herbrand base over [adom(P, I)])
+    is {b false}. The well-founded model is total iff [T = A(T)].
+
+    Theorem (§3.3, [62]): the true-facts (2-valued) interpretation has
+    exactly the power of the fixpoint queries — equivalently, of
+    inflationary Datalog¬ — and is computable in ptime. *)
+
+open Relational
+
+type truth = True | False | Unknown
+
+type result = {
+  true_facts : Instance.t;  (** lfp(A²), including the input facts *)
+  possible : Instance.t;  (** gfp(A²) = A(lfp): true-or-unknown *)
+  rounds : int;  (** alternating-fixpoint rounds until convergence *)
+}
+
+(** [eval p inst] computes the well-founded model of [p] on [inst].
+    @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
+val eval : Ast.program -> Instance.t -> result
+
+(** [truth_of res pred tup] classifies one fact. Facts outside the
+    Herbrand base are simply [False]. *)
+val truth_of : result -> string -> Tuple.t -> truth
+
+(** [unknown res] is the instance of unknown facts ([possible] minus
+    [true_facts]). *)
+val unknown : result -> Instance.t
+
+(** [is_total res]: no unknown facts — e.g. the case for all stratifiable
+    programs, where the well-founded model coincides with the stratified
+    one. *)
+val is_total : result -> bool
+
+(** [answer p inst pred] is [pred]'s relation in the 2-valued (true facts)
+    reading. *)
+val answer : Ast.program -> Instance.t -> string -> Relation.t
+
+(** [alternating_sequence p inst] exposes the sequence of (under, over)
+    approximation pairs for inspection — benchmark E4 reports its
+    length. *)
+val alternating_sequence : Ast.program -> Instance.t -> (Instance.t * Instance.t) list

@@ -1,0 +1,1 @@
+lib/distributed/netlog.ml: Array Datalog Format Hashtbl Instance List Queue Random Relational Tuple Value

@@ -1,0 +1,1 @@
+lib/distributed/netlog.mli: Datalog Instance Relational

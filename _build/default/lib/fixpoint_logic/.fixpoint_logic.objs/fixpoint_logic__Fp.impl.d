@@ -1,0 +1,1 @@
+lib/fixpoint_logic/fp.ml: Format Hashtbl Instance List Obj Printf Relation Relational Set Tuple Value

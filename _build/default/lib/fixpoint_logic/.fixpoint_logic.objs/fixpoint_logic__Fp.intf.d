@@ -1,0 +1,1 @@
+lib/fixpoint_logic/fp.mli: Format Instance Relation Relational Tuple Value

@@ -1,0 +1,348 @@
+open Relational
+
+type term = Var of string | Cst of Value.t
+
+type formula =
+  | True
+  | False
+  | Atom of string * term list
+  | Eq of term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+  | Ifp of fp * term list
+  | Pfp of fp * term list
+  | Witness of string list * formula
+
+and fp = { rel : string; vars : string list; body : formula }
+
+exception Undefined of string
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(* --- free variables ------------------------------------------------------ *)
+
+let free_vars f =
+  let out = ref [] in
+  let note bound x =
+    if (not (List.mem x bound)) && not (List.mem x !out) then out := x :: !out
+  in
+  let term bound = function Var x -> note bound x | Cst _ -> () in
+  let rec go bound = function
+    | True | False -> ()
+    | Atom (_, ts) -> List.iter (term bound) ts
+    | Eq (a, b) ->
+        term bound a;
+        term bound b
+    | Not f -> go bound f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+        go bound a;
+        go bound b
+    | Exists (xs, f) | Forall (xs, f) -> go (xs @ bound) f
+    | Ifp (fp, ts) | Pfp (fp, ts) ->
+        (* the fixpoint's column variables are bound inside the body; the
+           argument terms are free occurrences *)
+        go (fp.vars @ bound) fp.body;
+        List.iter (term bound) ts
+    | Witness (_, f) ->
+        (* witness variables remain free (the formula holds of the
+           selected valuations) *)
+        go bound f
+  in
+  go [] f;
+  List.rev !out
+
+(* --- constants ------------------------------------------------------------ *)
+
+let constants f =
+  let module VSet = Set.Make (Value) in
+  let acc = ref VSet.empty in
+  let term = function Cst v -> acc := VSet.add v !acc | Var _ -> () in
+  let rec go = function
+    | True | False -> ()
+    | Atom (_, ts) -> List.iter term ts
+    | Eq (a, b) ->
+        term a;
+        term b
+    | Not f | Exists (_, f) | Forall (_, f) | Witness (_, f) -> go f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+        go a;
+        go b
+    | Ifp (fp, ts) | Pfp (fp, ts) ->
+        go fp.body;
+        List.iter term ts
+  in
+  go f;
+  VSet.elements !acc
+
+(* --- witness policies ------------------------------------------------------ *)
+
+type policy = int -> Value.t list -> Tuple.t list -> Tuple.t
+
+let first_policy _site _key candidates = List.hd candidates
+
+let seeded_policy seed site key candidates =
+  let h =
+    List.fold_left
+      (fun acc v -> (acc * 31) + Value.hash v)
+      ((seed * 131) + site)
+      key
+  in
+  List.nth candidates (abs h mod List.length candidates)
+
+(* --- evaluation -------------------------------------------------------------- *)
+
+(* Assign stable integer ids to Witness nodes (preorder, physical). *)
+let number_witnesses f =
+  let tbl = Hashtbl.create 8 in
+  let counter = ref 0 in
+  let rec go g =
+    match g with
+    | True | False | Eq _ | Atom _ -> ()
+    | Not f | Exists (_, f) | Forall (_, f) -> go f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+        go a;
+        go b
+    | Ifp (fp, _) | Pfp (fp, _) -> go fp.body
+    | Witness (_, inner) ->
+        if not (Hashtbl.mem tbl (Obj.repr g)) then (
+          Hashtbl.add tbl (Obj.repr g) !counter;
+          incr counter);
+        go inner
+  in
+  go f;
+  fun w -> try Hashtbl.find tbl (Obj.repr w) with Not_found -> -1
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> type_error "unbound variable %s" x
+
+let term_value env = function Var x -> lookup env x | Cst v -> v
+
+(* Build a [holds] closure over a fixed domain and witness-choice memo.
+   All queries evaluated through one closure share the same choice
+   function, as the W semantics requires. *)
+let make_holds ~policy inst f dom =
+  let witness_id = number_witnesses f in
+  let choices : (int * Value.t list, Tuple.t option) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let lookup_rel relenv p =
+    match List.assoc_opt p relenv with
+    | Some r -> r
+    | None -> Instance.find p inst
+  in
+  let rec holds relenv env f =
+    match f with
+    | True -> true
+    | False -> false
+    | Atom (p, ts) ->
+        let tup = Tuple.of_list (List.map (term_value env) ts) in
+        Relation.mem tup (lookup_rel relenv p)
+    | Eq (a, b) -> Value.equal (term_value env a) (term_value env b)
+    | Not f -> not (holds relenv env f)
+    | And (a, b) -> holds relenv env a && holds relenv env b
+    | Or (a, b) -> holds relenv env a || holds relenv env b
+    | Implies (a, b) -> (not (holds relenv env a)) || holds relenv env b
+    | Exists (xs, f) -> exists_val relenv env xs f
+    | Forall (xs, f) -> not (exists_val relenv env xs (Not f))
+    | Ifp (fp, ts) -> check_fp relenv env fp ts (eval_ifp relenv env fp)
+    | Pfp (fp, ts) -> check_fp relenv env fp ts (eval_pfp relenv env fp)
+    | Witness (xs, g) as w -> (
+        let params =
+          List.filter (fun v -> not (List.mem v xs)) (free_vars g)
+        in
+        let key = List.map (lookup env) params in
+        let site = witness_id w in
+        let chosen =
+          match Hashtbl.find_opt choices (site, key) with
+          | Some c -> c
+          | None ->
+              let candidates =
+                satisfying relenv env xs g |> List.sort_uniq Tuple.compare
+              in
+              let c =
+                match candidates with
+                | [] -> None
+                | _ -> Some (policy site key candidates)
+              in
+              Hashtbl.add choices (site, key) c;
+              c
+        in
+        match chosen with
+        | None -> false
+        | Some c ->
+            let current = Tuple.of_list (List.map (lookup env) xs) in
+            Tuple.equal current c)
+  and check_fp _relenv env fp ts j =
+    let tup = Tuple.of_list (List.map (term_value env) ts) in
+    if Tuple.arity tup <> List.length fp.vars then
+      type_error "fixpoint %s: %d arguments for arity %d" fp.rel
+        (Tuple.arity tup) (List.length fp.vars)
+    else Relation.mem tup j
+  and exists_val relenv env xs f =
+    match xs with
+    | [] -> holds relenv env f
+    | x :: rest ->
+        List.exists (fun v -> exists_val relenv ((x, v) :: env) rest f) dom
+  and satisfying relenv env xs g =
+    let rec enum env' = function
+      | [] ->
+          if holds relenv env' g then
+            [ Tuple.of_list (List.map (lookup env') xs) ]
+          else []
+      | x :: rest ->
+          List.concat_map (fun v -> enum ((x, v) :: env') rest) dom
+    in
+    enum env xs
+  and stage relenv env fp j =
+    Relation.of_list (satisfying ((fp.rel, j) :: relenv) env fp.vars fp.body)
+  and eval_ifp relenv env fp =
+    let rec loop j =
+      let next = Relation.union j (stage relenv env fp j) in
+      if Relation.equal next j then j else loop next
+    in
+    loop Relation.empty
+  and eval_pfp relenv env fp =
+    let module RSet = Set.Make (Relation) in
+    let rec loop j seen =
+      let next = stage relenv env fp j in
+      if Relation.equal next j then j
+      else if RSet.mem next seen then
+        raise
+          (Undefined (Printf.sprintf "PFP %s cycles without converging" fp.rel))
+      else loop next (RSet.add next seen)
+    in
+    loop Relation.empty RSet.empty
+  in
+  holds
+
+let make_dom inst f =
+  let module VSet = Set.Make (Value) in
+  VSet.elements
+    (VSet.union
+       (VSet.of_list (Instance.adom inst))
+       (VSet.of_list (constants f)))
+
+let eval ?(policy = first_policy) inst f vars =
+  let fv = free_vars f in
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg (Printf.sprintf "Fp.eval: free variable %s not listed" x))
+    fv;
+  let dom = make_dom inst f in
+  let holds = make_holds ~policy inst f dom in
+  let rec enum env = function
+    | [] ->
+        if holds [] env f then
+          [ Tuple.of_list (List.map (fun x -> List.assoc x env) vars) ]
+        else []
+    | x :: rest -> List.concat_map (fun v -> enum ((x, v) :: env) rest) dom
+  in
+  Relation.of_list (enum [] vars)
+
+let sentence ?(policy = first_policy) inst f =
+  (match free_vars f with
+  | [] -> ()
+  | x :: _ -> invalid_arg (Printf.sprintf "Fp.sentence: free variable %s" x));
+  let dom = make_dom inst f in
+  let holds = make_holds ~policy inst f dom in
+  holds [] [] f
+
+(* Enumerate all outcomes: DFS over the tree of witness decisions. A path
+   is a list of chosen indices in decision order; choices beyond the path
+   default to index 0, and the run records each decision's candidate
+   count, from which the next path is computed (mixed-radix DFS). *)
+let outcomes ?(max_outcomes = 10_000) inst f vars =
+  let results = ref [] in
+  let runs = ref 0 in
+  let rec run prefix =
+    incr runs;
+    if !runs > max_outcomes then
+      failwith "Fp.outcomes: too many choice functions";
+    let remaining = ref prefix in
+    let counts = ref [] in
+    let policy _site _key candidates =
+      let idx =
+        match !remaining with
+        | i :: rest ->
+            remaining := rest;
+            i
+        | [] -> 0
+      in
+      counts := List.length candidates :: !counts;
+      List.nth candidates (min idx (List.length candidates - 1))
+    in
+    let r = eval ~policy inst f vars in
+    if not (List.exists (Relation.equal r) !results) then
+      results := r :: !results;
+    let counts = List.rev !counts in
+    let digits =
+      List.mapi
+        (fun i _ -> try List.nth prefix i with _ -> 0)
+        counts
+    in
+    (* next path: bump the last digit with headroom, truncate after it *)
+    let rec last_bumpable i best =
+      match i with
+      | _ when i >= List.length counts -> best
+      | _ ->
+          let d = List.nth digits i and c = List.nth counts i in
+          last_bumpable (i + 1) (if d + 1 < c then Some i else best)
+    in
+    match last_bumpable 0 None with
+    | None -> ()
+    | Some i ->
+        let next =
+          List.init (i + 1) (fun j ->
+              if j = i then List.nth digits j + 1 else List.nth digits j)
+        in
+        run next
+  in
+  run [];
+  List.rev !results
+
+(* --- constructors / printing -------------------------------------------------- *)
+
+let ifp ~rel ~vars body ts = Ifp ({ rel; vars; body }, ts)
+let pfp ~rel ~vars body ts = Pfp ({ rel; vars; body }, ts)
+let atom p xs = Atom (p, List.map (fun x -> Var x) xs)
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Cst v -> Value.pp ppf v
+
+let pp_vars ppf xs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    Format.pp_print_string ppf xs
+
+let pp_terms ppf ts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_term ppf ts
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom (p, ts) -> Format.fprintf ppf "%s(%a)" p pp_terms ts
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_term a pp_term b
+  | Not f -> Format.fprintf ppf "\xc2\xac(%a)" pp f
+  | And (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa7 %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa8 %a)" pp a pp b
+  | Implies (a, b) -> Format.fprintf ppf "(%a \xe2\x86\x92 %a)" pp a pp b
+  | Exists (xs, f) -> Format.fprintf ppf "\xe2\x88\x83%a (%a)" pp_vars xs pp f
+  | Forall (xs, f) -> Format.fprintf ppf "\xe2\x88\x80%a (%a)" pp_vars xs pp f
+  | Ifp (fp, ts) ->
+      Format.fprintf ppf "[IFP_{%s,%a} %a](%a)" fp.rel pp_vars fp.vars pp
+        fp.body pp_terms ts
+  | Pfp (fp, ts) ->
+      Format.fprintf ppf "[PFP_{%s,%a} %a](%a)" fp.rel pp_vars fp.vars pp
+        fp.body pp_terms ts
+  | Witness (xs, f) -> Format.fprintf ppf "W%a (%a)" pp_vars xs pp f

@@ -1,0 +1,101 @@
+(** Fixpoint logics: FO + IFP (inflationary fixpoint) and FO + PFP
+    (partial fixpoint), with the nondeterministic witness operator [W]
+    of §5.2 of the paper ([14]).
+
+    These are the logic-side counterparts of the rule languages:
+
+    - FO + IFP = fixpoint queries = inflationary Datalog¬ (Theorem 4.2);
+    - FO + PFP = while queries = Datalog¬¬;
+    - FO + IFP + W ≡ N-Datalog¬∀ ≡ N-Datalog¬⊥ (ndb-ptime, Theorem 5.6);
+    - FO + PFP + W ≡ N-Datalog¬¬ (ndb-pspace, Theorem 5.3).
+
+    Syntax extends {!Relational.Fo}-style formulas with
+    [[IFP_{R, x̄} φ](t̄)] / [[PFP_{R, x̄} φ](t̄)] — the relation variable
+    [R] of arity [|x̄|] may occur in [φ]; the operator denotes the
+    (inflationary / partial) fixpoint of [J ↦ J ∪ φ(J)] (resp.
+    [J ↦ φ(J)]) applied to the tuple [t̄] — and with [W x̄ φ]: for each
+    valuation of [φ]'s remaining free variables, {e one} satisfying
+    valuation of [x̄] is chosen nondeterministically (none if
+    unsatisfiable); [W x̄ φ] holds exactly of the selected
+    valuations, so the witness variables stay free in the formula.
+
+    The partial fixpoint is undefined when the stage sequence cycles
+    without converging (the flip-flop); evaluation reports this as
+    {!Undefined}. Witness choices are resolved by a seeded deterministic
+    policy, and [outcomes] enumerates every choice function (exponential,
+    capped). *)
+
+open Relational
+
+type term = Var of string | Cst of Value.t
+
+type formula =
+  | True
+  | False
+  | Atom of string * term list
+      (** database relation or fixpoint-bound relation variable *)
+  | Eq of term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+  | Ifp of fp * term list  (** [[IFP_{R,x̄} φ](t̄)] *)
+  | Pfp of fp * term list  (** [[PFP_{R,x̄} φ](t̄)] *)
+  | Witness of string list * formula  (** [W x̄ φ] *)
+
+and fp = {
+  rel : string;  (** bound relation variable *)
+  vars : string list;  (** its column variables x̄ *)
+  body : formula;
+}
+
+exception Undefined of string
+(** a PFP subterm cycled without converging *)
+
+exception Type_error of string
+
+(** [free_vars f] — the fixpoint column variables [x̄] are bound inside
+    fixpoint bodies; [W]'s variables stay free (see above). *)
+val free_vars : formula -> string list
+
+(** A choice policy resolves witness selections: given the call-site id,
+    the outer valuation, and the (non-empty, sorted) candidate tuples,
+    pick one. *)
+type policy = int -> Value.t list -> Tuple.t list -> Tuple.t
+
+(** [seeded_policy seed] — deterministic pseudo-random pick. *)
+val seeded_policy : int -> policy
+
+(** [first_policy] — always the smallest candidate (deterministic
+    skolemization). *)
+val first_policy : policy
+
+(** [eval ?policy inst f vars] evaluates [f] with output columns [vars]
+    over the active domain of [inst] (plus [f]'s constants). Without
+    [Witness] subformulas the result is deterministic and [policy] is
+    irrelevant (default {!first_policy}).
+    @raise Undefined on diverging PFP
+    @raise Type_error on arity mismatches
+    @raise Invalid_argument if [vars] misses a free variable *)
+val eval :
+  ?policy:policy -> Instance.t -> formula -> string list -> Relation.t
+
+(** [sentence ?policy inst f] decides a closed formula. *)
+val sentence : ?policy:policy -> Instance.t -> formula -> bool
+
+(** [outcomes ?max_outcomes inst f vars] enumerates the results of [eval]
+    over {e all} choice functions, deduplicated (default cap 10_000
+    policies explored — @raise Failure beyond). Without [W] this is a
+    singleton. *)
+val outcomes :
+  ?max_outcomes:int -> Instance.t -> formula -> string list -> Relation.t list
+
+(** Convenience constructors mirroring the paper's notation. *)
+val ifp : rel:string -> vars:string list -> formula -> term list -> formula
+
+val pfp : rel:string -> vars:string list -> formula -> term list -> formula
+val atom : string -> string list -> formula
+
+val pp : Format.formatter -> formula -> unit

@@ -1,0 +1,1 @@
+lib/nondet/choice.ml: Array Datalog Hashtbl Instance List Printf Random Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+lib/nondet/choice.mli: Datalog Instance Relation Relational

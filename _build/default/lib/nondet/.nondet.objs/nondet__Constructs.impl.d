@@ -1,0 +1,1 @@
+lib/nondet/constructs.ml: Datalog Enumerate Nd_eval

@@ -1,0 +1,1 @@
+lib/nondet/constructs.mli: Datalog Enumerate Instance Nd_eval Relational

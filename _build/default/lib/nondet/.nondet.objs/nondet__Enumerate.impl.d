@@ -1,0 +1,1 @@
+lib/nondet/enumerate.ml: Datalog Instance List Nd_eval Queue Relational Set

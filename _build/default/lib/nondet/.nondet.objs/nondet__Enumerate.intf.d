@@ -1,0 +1,1 @@
+lib/nondet/enumerate.mli: Datalog Instance Relational

@@ -1,0 +1,1 @@
+lib/nondet/nd_eval.ml: Datalog Instance List Random Relational Tuple

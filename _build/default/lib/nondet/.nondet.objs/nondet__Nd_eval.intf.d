@@ -1,0 +1,1 @@
+lib/nondet/nd_eval.mli: Datalog Instance Relational

@@ -1,0 +1,1 @@
+lib/nondet/posscert.ml: Enumerate Instance List Relation Relational

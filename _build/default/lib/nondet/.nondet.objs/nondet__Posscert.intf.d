@@ -1,0 +1,1 @@
+lib/nondet/posscert.mli: Datalog Instance Relation Relational

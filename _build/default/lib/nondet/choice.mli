@@ -1,0 +1,47 @@
+(** The choice operator of Krishnamurthy–Naqvi / LDL (§5.2 of the paper:
+    "another way to introduce nondeterminism in rule-based languages",
+    [90], included in LDL [99]; expressiveness studied in [52], which
+    exhibits a choice language capturing exactly ndb-ptime).
+
+    A rule may carry constraints [choice((X̄), (Ȳ))]: among the rule's
+    firings, the chosen subset must satisfy the functional dependency
+    [X̄ → Ȳ]. Operationally (the "dynamic choice" reading): evaluation is
+    bottom-up; when a firing would violate a previously committed choice,
+    it is discarded; which firing commits first is the nondeterministic
+    choice, resolved here by a seeded shuffle.
+
+    The classic example is the nondeterministic spanning tree:
+
+    {v st(root, root).
+   st(X, Y) :- st(W, X), e(X, Y), choice((Y), (X)). v}
+
+    — every node acquires exactly one parent. *)
+
+open Relational
+
+type crule = {
+  rule : Datalog.Ast.rule;  (** single positive head, positive body *)
+  choices : (string list * string list) list;
+      (** [(x̄, ȳ)] pairs: FD x̄ → ȳ over the rule's variables *)
+}
+
+exception Invalid_choice of string
+
+(** [check p] validates: pure-Datalog rules (the fragment of [90]), and
+    every choice variable occurs in the rule.
+    @raise Invalid_choice / [Datalog.Ast.Check_error] on violations. *)
+val check : crule list -> unit
+
+(** [eval ~seed p inst] computes one choice-model bottom-up. Deterministic
+    for a fixed seed. *)
+val eval : seed:int -> crule list -> Instance.t -> Instance.t
+
+(** [answer ~seed p inst pred]. *)
+val answer : seed:int -> crule list -> Instance.t -> string -> Relation.t
+
+(** [respects_choices p result]: every committed FD holds in the result's
+    head relations — an invariant checkable after the fact (used by
+    tests). The check is per-rule on the head relation restricted to the
+    choice columns, which is sound when each head predicate is defined by
+    a single choice rule. *)
+val respects_choices : crule list -> Instance.t -> bool

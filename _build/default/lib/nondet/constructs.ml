@@ -1,0 +1,16 @@
+type flavor = Neg | Negneg | Bottom | Forall
+
+let check flavor p =
+  match flavor with
+  | Neg -> Datalog.Ast.check_ndatalog_pos_heads p
+  | Negneg -> Datalog.Ast.check_ndatalog p
+  | Bottom -> Datalog.Ast.check_ndatalog_bottom p
+  | Forall -> Datalog.Ast.check_ndatalog_forall p
+
+let run flavor ~seed ?max_steps p inst =
+  check flavor p;
+  Nd_eval.run ~seed ?max_steps p inst
+
+let effect flavor ?max_states p inst =
+  check flavor p;
+  Enumerate.effect ?max_states p inst

@@ -1,0 +1,39 @@
+(** Flavored entry points for the nondeterministic language family of §5.
+
+    Each function validates its fragment's syntax and then delegates to the
+    shared machinery ({!Nd_eval}, {!Enumerate}):
+
+    - {b N-Datalog¬}: positive heads, body negation and (in)equality —
+      strictly weaker than ndb-ptime (Example 5.4: it cannot compute
+      [P − π_A(Q)]);
+    - {b N-Datalog¬¬}: negative heads (deletions) — exactly ndb-pspace
+      (Theorem 5.3);
+    - {b N-Datalog¬⊥}: ⊥ abandons a computation — exactly ndb-ptime
+      (Theorem 5.6);
+    - {b N-Datalog¬∀}: universally quantified bodies — exactly ndb-ptime
+      (Theorem 5.6). *)
+
+open Relational
+
+type flavor = Neg | Negneg | Bottom | Forall
+
+(** [check flavor p] validates [p] against the flavor's syntax.
+    @raise Datalog.Ast.Check_error on violations. *)
+val check : flavor -> Datalog.Ast.program -> unit
+
+(** [run flavor ~seed p inst] — checked random walk. *)
+val run :
+  flavor ->
+  seed:int ->
+  ?max_steps:int ->
+  Datalog.Ast.program ->
+  Instance.t ->
+  Nd_eval.outcome
+
+(** [effect flavor p inst] — checked exhaustive effect. *)
+val effect :
+  flavor ->
+  ?max_states:int ->
+  Datalog.Ast.program ->
+  Instance.t ->
+  Enumerate.stats

@@ -1,0 +1,49 @@
+open Relational
+module Ast = Datalog.Ast
+
+type stats = {
+  terminals : Instance.t list;
+  explored : int;
+  abandoned_branches : int;
+}
+
+exception Too_many_states of int
+
+module ISet = Set.Make (struct
+  type t = Instance.t
+
+  let compare = Instance.compare
+end)
+
+let effect ?(max_states = 100_000) p inst =
+  let seen = ref ISet.empty in
+  let terminals = ref ISet.empty in
+  let abandoned = ref 0 in
+  let queue = Queue.create () in
+  Queue.add inst queue;
+  seen := ISet.add inst !seen;
+  while not (Queue.is_empty queue) do
+    let state = Queue.pop queue in
+    let { Nd_eval.changed; bottom_applicable } =
+      Nd_eval.successors p state
+    in
+    if bottom_applicable then incr abandoned;
+    if changed = [] && not bottom_applicable then
+      terminals := ISet.add state !terminals
+    else
+      List.iter
+        (fun next ->
+          if not (ISet.mem next !seen) then (
+            if ISet.cardinal !seen >= max_states then
+              raise (Too_many_states max_states);
+            seen := ISet.add next !seen;
+            Queue.add next queue))
+        changed
+  done;
+  {
+    terminals = ISet.elements !terminals;
+    explored = ISet.cardinal !seen;
+    abandoned_branches = !abandoned;
+  }
+
+let terminals ?max_states p inst = (effect ?max_states p inst).terminals

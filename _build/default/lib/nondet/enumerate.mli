@@ -1,0 +1,26 @@
+(** Exhaustive computation of the effect relation (Definition 5.2).
+
+    Explores the state graph reachable from the input by single-rule
+    firings and collects the terminal instances — the [J]s with
+    [(I, J) ∈ eff(P)]. Exponential in general (that is the point of
+    nondeterminism: experiment E5 counts [2^k] orientations of [k]
+    two-cycles); a state budget guards runaway programs. Branches that
+    derive ⊥ are abandoned, contributing nothing. *)
+
+open Relational
+
+type stats = {
+  terminals : Instance.t list;  (** the effect's right column, sorted *)
+  explored : int;  (** distinct states visited *)
+  abandoned_branches : int;  (** states with an applicable ⊥ firing *)
+}
+
+exception Too_many_states of int
+
+(** [effect ?max_states p inst] (default budget 100_000 states).
+    @raise Too_many_states when the budget is exceeded. *)
+val effect : ?max_states:int -> Datalog.Ast.program -> Instance.t -> stats
+
+(** [terminals ?max_states p inst] is just the terminal instances. *)
+val terminals :
+  ?max_states:int -> Datalog.Ast.program -> Instance.t -> Instance.t list

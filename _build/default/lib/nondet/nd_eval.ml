@@ -1,0 +1,102 @@
+open Relational
+module Ast = Datalog.Ast
+module Matcher = Datalog.Matcher
+
+type successors = {
+  changed : Instance.t list;
+  bottom_applicable : bool;
+}
+
+(* Apply one grounded head to the instance. The head is consistent
+   (checked by the caller), so insertion/deletion order is irrelevant. *)
+let apply_heads inst facts =
+  List.fold_left
+    (fun acc (pos, pred, tup) ->
+      if pos then Instance.add_fact pred tup acc
+      else Instance.remove_fact pred tup acc)
+    inst facts
+
+let head_consistent facts =
+  not
+    (List.exists
+       (fun (pos, pred, tup) ->
+         pos
+         && List.exists
+              (fun (pos', pred', tup') ->
+                (not pos') && pred = pred' && Tuple.equal tup tup')
+              facts)
+       facts)
+
+(* Enumerate all applicable firings as (bottom, grounded head facts). *)
+let firings p inst =
+  let dom = Datalog.Eval_util.program_dom p inst in
+  let db = Matcher.Db.of_instance inst in
+  List.concat_map
+    (fun rule ->
+      let plan = Matcher.prepare rule in
+      let substs = Matcher.run ~dom plan db in
+      List.filter_map
+        (fun subst ->
+          let bottom, facts = Matcher.instantiate_heads subst rule.Ast.head in
+          if head_consistent facts then Some (bottom, facts) else None)
+        substs)
+    p
+
+let successors p inst =
+  let fs = firings p inst in
+  let bottom_applicable = List.exists (fun (b, _) -> b) fs in
+  let nexts =
+    List.filter_map
+      (fun (bottom, facts) ->
+        if bottom then None
+        else
+          let next = apply_heads inst facts in
+          if Instance.equal next inst then None else Some next)
+      fs
+  in
+  let changed = List.sort_uniq Instance.compare nexts in
+  { changed; bottom_applicable }
+
+let is_terminal p inst =
+  let { changed; bottom_applicable } = successors p inst in
+  changed = [] && not bottom_applicable
+
+type outcome =
+  | Terminal of { instance : Instance.t; steps : int }
+  | Abandoned of { steps : int }
+  | Out_of_fuel of { instance : Instance.t; steps : int }
+
+let run ~seed ?(max_steps = 100_000) p inst =
+  let rng = Random.State.make [| seed |] in
+  let rec go inst steps =
+    if steps >= max_steps then Out_of_fuel { instance = inst; steps }
+    else
+      (* candidate firings: state-changing or ⊥-deriving *)
+      let candidates =
+        List.filter_map
+          (fun (bottom, facts) ->
+            if bottom then Some None
+            else
+              let next = apply_heads inst facts in
+              if Instance.equal next inst then None else Some (Some next))
+          (firings p inst)
+      in
+      match candidates with
+      | [] -> Terminal { instance = inst; steps }
+      | _ -> (
+          match List.nth candidates (Random.State.int rng (List.length candidates)) with
+          | None -> Abandoned { steps = steps + 1 }
+          | Some next -> go next (steps + 1))
+  in
+  go inst 0
+
+let run_until_terminal ~seed ?(attempts = 100) ?max_steps p inst =
+  let rec try_ k =
+    if k >= attempts then None
+    else
+      match run ~seed:(seed + (1_000_003 * k)) ?max_steps p inst with
+      | Terminal { instance; _ } -> Some instance
+      | Abandoned _ -> try_ (k + 1)
+      | Out_of_fuel _ -> None
+  in
+  try_ 0

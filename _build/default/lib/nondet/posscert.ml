@@ -1,0 +1,24 @@
+open Relational
+
+let intersect a b =
+  (* per-relation intersection; relations absent on either side drop out *)
+  Instance.fold
+    (fun name ra acc ->
+      let r = Relation.inter ra (Instance.find name b) in
+      if Relation.is_empty r then acc else Instance.set name r acc)
+    a Instance.empty
+
+let poss ?max_states p inst =
+  let js = Enumerate.terminals ?max_states p inst in
+  List.fold_left Instance.union Instance.empty js
+
+let cert ?max_states p inst =
+  match Enumerate.terminals ?max_states p inst with
+  | [] -> Instance.empty
+  | j :: js -> List.fold_left intersect j js
+
+let poss_answer ?max_states p inst pred =
+  Instance.find pred (poss ?max_states p inst)
+
+let cert_answer ?max_states p inst pred =
+  Instance.find pred (cert ?max_states p inst)

@@ -1,0 +1,31 @@
+(** Possibility and certainty semantics (Definition 5.10, §5.3).
+
+    For a nondeterministic program [P] and input [I]:
+
+    {v poss(I, P) = ∪ { J | (I, J) ∈ eff(P) }
+   cert(I, P) = ∩ { J | (I, J) ∈ eff(P) } v}
+
+    Both are deterministic queries. Theorem 5.11: under poss, N-Datalog¬∀
+    and N-Datalog¬⊥ express db-np; under cert, db-co-np; for N-Datalog¬¬
+    both collapse to db-pspace. Computed here by exhaustive enumeration of
+    the effect (exponential — that is what db-np costs on a deterministic
+    machine). *)
+
+open Relational
+
+(** [poss ?max_states p inst]. The union over an empty effect is the empty
+    instance. @raise Enumerate.Too_many_states as {!Enumerate.effect}. *)
+val poss : ?max_states:int -> Datalog.Ast.program -> Instance.t -> Instance.t
+
+(** [cert ?max_states p inst]. The intersection over an empty effect is
+    taken to be the empty instance (the paper leaves this degenerate case
+    open; empty keeps [cert ⊆ poss]). *)
+val cert : ?max_states:int -> Datalog.Ast.program -> Instance.t -> Instance.t
+
+(** [poss_answer p inst pred] / [cert_answer p inst pred] project one
+    relation out of the respective semantics. *)
+val poss_answer :
+  ?max_states:int -> Datalog.Ast.program -> Instance.t -> string -> Relation.t
+
+val cert_answer :
+  ?max_states:int -> Datalog.Ast.program -> Instance.t -> string -> Relation.t

@@ -1,0 +1,1 @@
+lib/ontology/chase.ml: Datalog Format Hashtbl Instance List Printf Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+lib/ontology/chase.mli: Datalog Instance Relation Relational

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Format Hashtbl Instance List Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Format Instance Relation Schema Tuple Value

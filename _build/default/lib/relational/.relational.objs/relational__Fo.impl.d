@@ -1,0 +1,1 @@
+lib/relational/fo.ml: Format Hashtbl Instance List Printf Relation Set Tuple Value

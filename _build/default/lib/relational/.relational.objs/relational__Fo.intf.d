@@ -1,0 +1,1 @@
+lib/relational/fo.mli: Format Instance Relation Value

@@ -1,0 +1,1 @@
+lib/relational/graph_gen.ml: Array Fun Hashtbl Instance List Printf Random Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/graph_gen.mli: Instance Relation Value

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Buffer Format List Map Printf Relation Schema Set String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Format Relation Schema Tuple Value

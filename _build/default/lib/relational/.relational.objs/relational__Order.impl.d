@@ -1,0 +1,1 @@
+lib/relational/order.ml: Instance List Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/order.mli: Instance

@@ -1,0 +1,1 @@
+lib/relational/tuple.mli: Format Value

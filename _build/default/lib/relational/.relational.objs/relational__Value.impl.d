@@ -1,0 +1,1 @@
+lib/relational/value.ml: Format Fun Hashtbl Int Scanf String

@@ -1,0 +1,1 @@
+lib/relational/value.mli: Format

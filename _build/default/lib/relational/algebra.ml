@@ -1,0 +1,159 @@
+type cond =
+  | True
+  | Col_eq_col of int * int
+  | Col_eq_const of int * Value.t
+  | Col_lt_col of int * int
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type expr =
+  | Rel of string
+  | Const of Relation.t
+  | Project of int list * expr
+  | Select of cond * expr
+  | Product of expr * expr
+  | Join of (int * int) list * expr * expr
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Inter of expr * expr
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec cond_max_col = function
+  | True -> -1
+  | Col_eq_col (i, j) | Col_lt_col (i, j) -> max i j
+  | Col_eq_const (i, _) -> i
+  | Not c -> cond_max_col c
+  | And (a, b) | Or (a, b) -> max (cond_max_col a) (cond_max_col b)
+
+let rec arity schema e =
+  match e with
+  | Rel name -> (
+      match Schema.find name schema with
+      | Some r -> r.Schema.arity
+      | None -> type_error "unknown relation %s" name)
+  | Const r -> ( match Relation.arity r with Some a -> a | None -> 0)
+  | Project (cols, e) ->
+      let a = arity schema e in
+      List.iter
+        (fun c ->
+          if c < 0 || c >= a then
+            type_error "projection column %d out of range (arity %d)" c a)
+        cols;
+      List.length cols
+  | Select (c, e) ->
+      let a = arity schema e in
+      if cond_max_col c >= a then
+        type_error "selection column %d out of range (arity %d)"
+          (cond_max_col c) a;
+      a
+  | Product (l, r) -> arity schema l + arity schema r
+  | Join (pairs, l, r) ->
+      let al = arity schema l and ar = arity schema r in
+      List.iter
+        (fun (i, j) ->
+          if i < 0 || i >= al then
+            type_error "join column %d out of left range (arity %d)" i al;
+          if j < 0 || j >= ar then
+            type_error "join column %d out of right range (arity %d)" j ar)
+        pairs;
+      al + ar
+  | Union (l, r) | Diff (l, r) | Inter (l, r) ->
+      let al = arity schema l and ar = arity schema r in
+      if al <> ar then
+        type_error "set operation on arities %d and %d" al ar;
+      al
+
+let rec holds_cond c t =
+  match c with
+  | True -> true
+  | Col_eq_col (i, j) -> Value.equal (Tuple.get t i) (Tuple.get t j)
+  | Col_eq_const (i, v) -> Value.equal (Tuple.get t i) v
+  | Col_lt_col (i, j) -> Value.compare (Tuple.get t i) (Tuple.get t j) < 0
+  | Not c -> not (holds_cond c t)
+  | And (a, b) -> holds_cond a t && holds_cond b t
+  | Or (a, b) -> holds_cond a t || holds_cond b t
+
+(* Hash join on the given column pairs. *)
+let equijoin pairs left right =
+  let module H = Hashtbl in
+  let key cols t = List.map (fun c -> Tuple.get t c) cols in
+  let lcols = List.map fst pairs and rcols = List.map snd pairs in
+  let index : (Value.t list, Tuple.t list) H.t = H.create 64 in
+  Relation.iter
+    (fun t ->
+      let k = key rcols t in
+      H.replace index k (t :: (try H.find index k with Not_found -> [])))
+    right;
+  Relation.fold
+    (fun lt acc ->
+      let k = key lcols lt in
+      match H.find_opt index k with
+      | None -> acc
+      | Some rts ->
+          List.fold_left
+            (fun acc rt -> Relation.add (Tuple.concat lt rt) acc)
+            acc rts)
+    left Relation.empty
+
+let rec eval inst e =
+  match e with
+  | Rel name -> Instance.find name inst
+  | Const r -> r
+  | Project (cols, e) ->
+      let r = eval inst e in
+      (match Relation.arity r with
+      | Some a ->
+          List.iter
+            (fun c ->
+              if c < 0 || c >= a then
+                type_error "projection column %d out of range (arity %d)" c a)
+            cols
+      | None -> ());
+      Relation.map (fun t -> Tuple.project t cols) r
+  | Select (c, e) -> Relation.filter (holds_cond c) (eval inst e)
+  | Product (l, r) ->
+      let rl = eval inst l and rr = eval inst r in
+      Relation.fold
+        (fun lt acc ->
+          Relation.fold
+            (fun rt acc -> Relation.add (Tuple.concat lt rt) acc)
+            rr acc)
+        rl Relation.empty
+  | Join (pairs, l, r) -> equijoin pairs (eval inst l) (eval inst r)
+  | Union (l, r) -> Relation.union (eval inst l) (eval inst r)
+  | Diff (l, r) -> Relation.diff (eval inst l) (eval inst r)
+  | Inter (l, r) -> Relation.inter (eval inst l) (eval inst r)
+
+let rec pp_cond ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Col_eq_col (i, j) -> Format.fprintf ppf "$%d = $%d" i j
+  | Col_eq_const (i, v) -> Format.fprintf ppf "$%d = %a" i Value.pp v
+  | Col_lt_col (i, j) -> Format.fprintf ppf "$%d < $%d" i j
+  | Not c -> Format.fprintf ppf "\xc2\xac(%a)" pp_cond c
+  | And (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa7 %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa8 %a)" pp_cond a pp_cond b
+
+let rec pp ppf = function
+  | Rel n -> Format.pp_print_string ppf n
+  | Const r -> Format.fprintf ppf "const%a" Relation.pp r
+  | Project (cols, e) ->
+      Format.fprintf ppf "\xcf\x80[%a](%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        cols pp e
+  | Select (c, e) -> Format.fprintf ppf "\xcf\x83[%a](%a)" pp_cond c pp e
+  | Product (l, r) -> Format.fprintf ppf "(%a \xc3\x97 %a)" pp l pp r
+  | Join (pairs, l, r) ->
+      Format.fprintf ppf "(%a \xe2\x8b\x88[%a] %a)" pp l
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           (fun ppf (i, j) -> Format.fprintf ppf "%d=%d" i j))
+        pairs pp r
+  | Union (l, r) -> Format.fprintf ppf "(%a \xe2\x88\xaa %a)" pp l pp r
+  | Diff (l, r) -> Format.fprintf ppf "(%a \xe2\x88\x92 %a)" pp l pp r
+  | Inter (l, r) -> Format.fprintf ppf "(%a \xe2\x88\xa9 %a)" pp l pp r

@@ -1,0 +1,53 @@
+(** Relational algebra over positional columns.
+
+    The paper's Section 2 recalls the algebra: projection, selection,
+    renaming, join, difference, union. We use the positional (unnamed)
+    perspective: columns are 0-based indices; renaming is a column
+    permutation; the natural join is expressed as an equijoin on explicit
+    column pairs followed by projection. These are the standard equivalences
+    between the named and unnamed algebras. *)
+
+(** Selection conditions: conjunctions/disjunctions of (in)equalities
+    between columns and/or constants. *)
+type cond =
+  | True
+  | Col_eq_col of int * int      (** σ_{i = j} *)
+  | Col_eq_const of int * Value.t  (** σ_{i = c} *)
+  | Col_lt_col of int * int      (** σ_{i < j} under {!Value.compare} *)
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+(** Algebra expressions. *)
+type expr =
+  | Rel of string                      (** database relation by name *)
+  | Const of Relation.t                (** literal relation *)
+  | Project of int list * expr         (** π: keep columns, in order *)
+  | Select of cond * expr              (** σ *)
+  | Product of expr * expr             (** × *)
+  | Join of (int * int) list * expr * expr
+      (** equijoin: pairs [(i, j)] equate column [i] of the left operand
+          with column [j] of the right; result is the concatenation of the
+          operand tuples (no columns dropped) *)
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Inter of expr * expr
+
+exception Type_error of string
+
+(** [arity schema e] computes the output arity, checking column references
+    and operand compatibility. @raise Type_error on ill-typed expressions
+    (unknown relation, column out of range, arity mismatch in set
+    operations). *)
+val arity : Schema.t -> expr -> int
+
+(** [eval inst e] evaluates [e] against [inst]. Relations absent from
+    [inst] are empty; in that case column references cannot be checked
+    dynamically, so use {!arity} with a schema for static checking.
+    @raise Type_error on dynamically detected arity violations. *)
+val eval : Instance.t -> expr -> Relation.t
+
+(** [holds_cond c t] evaluates a condition on one tuple. *)
+val holds_cond : cond -> Tuple.t -> bool
+
+val pp : Format.formatter -> expr -> unit

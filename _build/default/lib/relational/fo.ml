@@ -1,0 +1,167 @@
+type term = Var of string | Cst of Value.t
+
+type formula =
+  | True
+  | False
+  | Atom of string * term list
+  | Eq of term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let free_vars f =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let note bound x =
+    if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then (
+      Hashtbl.add seen x ();
+      out := x :: !out)
+  in
+  let term bound = function Var x -> note bound x | Cst _ -> () in
+  let rec go bound = function
+    | True | False -> ()
+    | Atom (_, ts) -> List.iter (term bound) ts
+    | Eq (a, b) ->
+        term bound a;
+        term bound b
+    | Not f -> go bound f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+        go bound a;
+        go bound b
+    | Exists (xs, f) | Forall (xs, f) -> go (xs @ bound) f
+  in
+  go [] f;
+  List.rev !out
+
+let constants f =
+  let module VSet = Set.Make (Value) in
+  let acc = ref VSet.empty in
+  let term = function Cst v -> acc := VSet.add v !acc | Var _ -> () in
+  let rec go = function
+    | True | False -> ()
+    | Atom (_, ts) -> List.iter term ts
+    | Eq (a, b) ->
+        term a;
+        term b
+    | Not f -> go f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+        go a;
+        go b
+    | Exists (_, f) | Forall (_, f) -> go f
+  in
+  go f;
+  VSet.elements !acc
+
+type env = (string * Value.t) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Fo: unbound variable %s" x)
+
+let term_value env = function Var x -> lookup env x | Cst v -> v
+
+let default_dom inst f =
+  let module VSet = Set.Make (Value) in
+  VSet.elements
+    (VSet.union
+       (VSet.of_list (Instance.adom inst))
+       (VSet.of_list (constants f)))
+
+let holds ?dom inst env f =
+  let dom = match dom with Some d -> d | None -> default_dom inst f in
+  let rec go env = function
+    | True -> true
+    | False -> false
+    | Atom (p, ts) ->
+        Instance.mem_fact p
+          (Tuple.of_list (List.map (term_value env) ts))
+          inst
+    | Eq (a, b) -> Value.equal (term_value env a) (term_value env b)
+    | Not f -> not (go env f)
+    | And (a, b) -> go env a && go env b
+    | Or (a, b) -> go env a || go env b
+    | Implies (a, b) -> (not (go env a)) || go env b
+    | Exists (xs, f) -> quant_ex env xs f
+    | Forall (xs, f) -> not (quant_ex env xs (Not f))
+  and quant_ex env xs f =
+    match xs with
+    | [] -> go env f
+    | x :: rest -> List.exists (fun v -> quant_ex ((x, v) :: env) rest f) dom
+  in
+  go env f
+
+let eval ?dom inst f vars =
+  let fv = free_vars f in
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg
+          (Printf.sprintf "Fo.eval: free variable %s not in output list" x))
+    fv;
+  let dom = match dom with Some d -> d | None -> default_dom inst f in
+  let rec enum env = function
+    | [] ->
+        if holds ~dom inst env f then
+          [ Tuple.of_list (List.map (fun x -> lookup env x) vars) ]
+        else []
+    | x :: rest ->
+        List.concat_map (fun v -> enum ((x, v) :: env) rest) dom
+  in
+  Relation.of_list (enum [] vars)
+
+let sentence ?dom inst f =
+  (match free_vars f with
+  | [] -> ()
+  | x :: _ ->
+      invalid_arg (Printf.sprintf "Fo.sentence: free variable %s" x));
+  holds ?dom inst [] f
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Cst v -> Value.pp ppf v
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom (p, ts) ->
+      Format.fprintf ppf "%s(%a)" p
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_term)
+        ts
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_term a pp_term b
+  | Not f -> Format.fprintf ppf "\xc2\xac%a" pp_paren f
+  | And (a, b) ->
+      Format.fprintf ppf "%a \xe2\x88\xa7 %a" pp_paren a pp_paren b
+  | Or (a, b) -> Format.fprintf ppf "%a \xe2\x88\xa8 %a" pp_paren a pp_paren b
+  | Implies (a, b) ->
+      Format.fprintf ppf "%a \xe2\x86\x92 %a" pp_paren a pp_paren b
+  | Exists (xs, f) ->
+      Format.fprintf ppf "\xe2\x88\x83%a %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_string)
+        xs pp_paren f
+  | Forall (xs, f) ->
+      Format.fprintf ppf "\xe2\x88\x80%a %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_string)
+        xs pp_paren f
+
+and pp_paren ppf f =
+  match f with
+  | True | False | Atom _ | Eq _ | Not _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f

@@ -1,0 +1,55 @@
+(** First-order logic over relational instances (relational calculus), with
+    active-domain semantics.
+
+    Quantifiers range over the active domain of the instance (optionally
+    extended with extra constants), which is the standard domain-independent
+    reading used throughout the paper. [eval] computes the set of satisfying
+    valuations of a formula's free variables — i.e. the answer of a calculus
+    query — and [holds] decides a sentence. *)
+
+type term = Var of string | Cst of Value.t
+
+type formula =
+  | True
+  | False
+  | Atom of string * term list  (** [R(t1, ..., tk)] *)
+  | Eq of term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+
+(** Conjunction / disjunction of a list ([True]/[False] when empty). *)
+val conj : formula list -> formula
+
+val disj : formula list -> formula
+
+(** [free_vars f] lists the free variables, each once, in first-occurrence
+    order. *)
+val free_vars : formula -> string list
+
+(** [constants f] lists the constants mentioned by [f]. *)
+val constants : formula -> Value.t list
+
+type env = (string * Value.t) list
+
+(** [holds ?dom inst env f] decides satisfaction of [f] under valuation
+    [env], quantifiers ranging over [dom] (default: active domain of [inst]
+    plus constants of [f]).
+    @raise Failure if a free variable of [f] is unbound by [env]. *)
+val holds : ?dom:Value.t list -> Instance.t -> env -> formula -> bool
+
+(** [eval ?dom inst f vars] computes the relation
+    [{ (v(x))_{x in vars} | v valuates free_vars f into dom, f holds }].
+    [vars] must be a superset of [free_vars f] (extra variables range over
+    the whole domain — the usual calculus convention is disallowed here:
+    @raise Invalid_argument if [vars] misses a free variable). *)
+val eval : ?dom:Value.t list -> Instance.t -> formula -> string list -> Relation.t
+
+(** [sentence ?dom inst f] decides a closed formula.
+    @raise Invalid_argument if [f] has free variables. *)
+val sentence : ?dom:Value.t list -> Instance.t -> formula -> bool
+
+val pp : Format.formatter -> formula -> unit

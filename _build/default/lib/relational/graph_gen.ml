@@ -1,0 +1,144 @@
+let vertex ?(ints = false) i =
+  if ints then Value.Int i else Value.Sym (Printf.sprintf "n%d" i)
+
+let edges_instance name rows = Instance.of_list [ (name, rows) ]
+
+let chain ?(name = "G") ?ints n =
+  let rows =
+    List.init (max 0 (n - 1)) (fun i ->
+        [ vertex ?ints i; vertex ?ints (i + 1) ])
+  in
+  edges_instance name rows
+
+let cycle ?(name = "G") ?ints n =
+  if n <= 0 then Instance.empty
+  else
+    let rows =
+      List.init n (fun i -> [ vertex ?ints i; vertex ?ints ((i + 1) mod n) ])
+    in
+    edges_instance name rows
+
+let complete ?(name = "G") ?ints n =
+  let rows =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if i = j then None else Some [ vertex ?ints i; vertex ?ints j ])
+             (List.init n Fun.id)))
+  in
+  edges_instance name rows
+
+let grid ?(name = "G") ?ints w h =
+  let id x y = (y * w) + x in
+  let rows = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then
+        rows := [ vertex ?ints (id x y); vertex ?ints (id (x + 1) y) ] :: !rows;
+      if y + 1 < h then
+        rows := [ vertex ?ints (id x y); vertex ?ints (id x (y + 1)) ] :: !rows
+    done
+  done;
+  edges_instance name !rows
+
+let random ?(name = "G") ?ints ~seed n m =
+  let rng = Random.State.make [| seed |] in
+  let seen = Hashtbl.create (2 * m) in
+  let rows = ref [] in
+  let attempts = ref 0 in
+  let max_edges = n * (n - 1) in
+  let target = min m max_edges in
+  while Hashtbl.length seen < target && !attempts < 100 * (target + 1) do
+    incr attempts;
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    if i <> j && not (Hashtbl.mem seen (i, j)) then (
+      Hashtbl.add seen (i, j) ();
+      rows := [ vertex ?ints i; vertex ?ints j ] :: !rows)
+  done;
+  edges_instance name !rows
+
+let random_dag ?(name = "G") ?ints ~seed n m =
+  let rng = Random.State.make [| seed |] in
+  let seen = Hashtbl.create (2 * m) in
+  let rows = ref [] in
+  let attempts = ref 0 in
+  let max_edges = n * (n - 1) / 2 in
+  let target = min m max_edges in
+  while Hashtbl.length seen < target && !attempts < 100 * (target + 1) do
+    incr attempts;
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    let i, j = if i < j then (i, j) else (j, i) in
+    if i <> j && not (Hashtbl.mem seen (i, j)) then (
+      Hashtbl.add seen (i, j) ();
+      rows := [ vertex ?ints i; vertex ?ints j ] :: !rows)
+  done;
+  edges_instance name !rows
+
+let binary_tree ?(name = "G") ?ints depth =
+  let rows = ref [] in
+  let n = (1 lsl depth) - 1 in
+  for i = 0 to n - 1 do
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    if l < n then rows := [ vertex ?ints i; vertex ?ints l ] :: !rows;
+    if r < n then rows := [ vertex ?ints i; vertex ?ints r ] :: !rows
+  done;
+  edges_instance name !rows
+
+let two_cycles ?(name = "G") k =
+  let rows =
+    List.concat
+      (List.init k (fun i ->
+           let a = Value.Sym (Printf.sprintf "a%d" i)
+           and b = Value.Sym (Printf.sprintf "b%d" i) in
+           [ [ a; b ]; [ b; a ] ]))
+  in
+  edges_instance name rows
+
+let game_chain ?(name = "moves") n = chain ~name n
+
+let paper_game ?(name = "moves") () =
+  let v s = Value.Sym s in
+  Instance.of_list
+    [
+      ( name,
+        [
+          [ v "b"; v "c" ];
+          [ v "c"; v "a" ];
+          [ v "a"; v "b" ];
+          [ v "a"; v "d" ];
+          [ v "d"; v "e" ];
+          [ v "d"; v "f" ];
+          [ v "f"; v "g" ];
+        ] );
+    ]
+
+let reference_tc edges =
+  let vs = Array.of_list (Relation.values edges) in
+  let n = Array.length vs in
+  let idx = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.add idx v i) vs;
+  let reach = Array.make_matrix n n false in
+  Relation.iter
+    (fun t ->
+      if Tuple.arity t = 2 then
+        let i = Hashtbl.find idx (Tuple.get t 0)
+        and j = Hashtbl.find idx (Tuple.get t 1) in
+        reach.(i).(j) <- true)
+    edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let out = ref Relation.empty in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if reach.(i).(j) then
+        out := Relation.add (Tuple.of_list [ vs.(i); vs.(j) ]) !out
+    done
+  done;
+  !out

@@ -1,0 +1,54 @@
+(** Graph workload generators for benchmarks and tests.
+
+    All generators return a binary edge relation bound to a configurable
+    relation name (default ["G"], matching the paper's examples). Vertices
+    are the symbolic constants [n0, n1, ...] unless [ints] is set, in which
+    case they are integers (handy for ordered-database experiments). A
+    seeded PRNG makes every generator deterministic. *)
+
+(** [vertex ~ints i] is the [i]-th vertex constant. *)
+val vertex : ?ints:bool -> int -> Value.t
+
+(** [chain n] is the path [v0 -> v1 -> ... -> v(n-1)]: [n-1] edges, the
+    worst case for naive evaluation of transitive closure. *)
+val chain : ?name:string -> ?ints:bool -> int -> Instance.t
+
+(** [cycle n] is the directed cycle on [n] vertices. *)
+val cycle : ?name:string -> ?ints:bool -> int -> Instance.t
+
+(** [complete n] has all [n(n-1)] edges (no self-loops). *)
+val complete : ?name:string -> ?ints:bool -> int -> Instance.t
+
+(** [grid w h] is the directed w×h grid (edges right and down). *)
+val grid : ?name:string -> ?ints:bool -> int -> int -> Instance.t
+
+(** [random n m ~seed] draws [m] distinct random directed edges (no
+    self-loops) on [n] vertices. *)
+val random : ?name:string -> ?ints:bool -> seed:int -> int -> int -> Instance.t
+
+(** [random_dag n m ~seed] like [random] but edges only go from lower to
+    higher vertex index, so the result is acyclic. *)
+val random_dag :
+  ?name:string -> ?ints:bool -> seed:int -> int -> int -> Instance.t
+
+(** [binary_tree depth] is the complete binary tree with edges from parent
+    to child; [2^depth - 1] vertices. *)
+val binary_tree : ?name:string -> ?ints:bool -> int -> Instance.t
+
+(** [two_cycles k] is the disjoint union of [k] 2-cycles
+    [a_i <-> b_i] — the workload for the nondeterministic orientation
+    experiment (E5): it has exactly [2^k] orientations. *)
+val two_cycles : ?name:string -> int -> Instance.t
+
+(** [game_chain n] is the move relation of a chain game
+    [v0 -> v1 -> ... -> v(n-1)] used for win-game benchmarks: positions
+    alternate won/lost, no unknowns. *)
+val game_chain : ?name:string -> int -> Instance.t
+
+(** [paper_game ()] is the exact instance K of Example 3.2:
+    moves = {(b,c), (c,a), (a,b), (a,d), (d,e), (d,f), (f,g)}. *)
+val paper_game : ?name:string -> unit -> Instance.t
+
+(** [reference_tc edges] computes the transitive closure of a binary
+    relation by Floyd–Warshall — an engine-independent oracle for tests. *)
+val reference_tc : Relation.t -> Relation.t

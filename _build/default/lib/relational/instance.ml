@@ -1,0 +1,167 @@
+module SMap = Map.Make (String)
+module VSet = Set.Make (Value)
+
+type t = Relation.t SMap.t
+
+let empty = SMap.empty
+
+let find name i =
+  match SMap.find_opt name i with None -> Relation.empty | Some r -> r
+
+let set name r i =
+  if Relation.is_empty r then SMap.remove name i else SMap.add name r i
+
+let add_fact name tup i = set name (Relation.add tup (find name i)) i
+let remove_fact name tup i = set name (Relation.remove tup (find name i)) i
+let mem_fact name tup i = Relation.mem tup (find name i)
+
+let of_list bindings =
+  List.fold_left
+    (fun i (name, rows) ->
+      set name (Relation.union (Relation.of_rows rows) (find name i)) i)
+    empty bindings
+
+let names i = List.map fst (SMap.bindings i)
+
+let restrict keep i =
+  SMap.filter (fun name _ -> List.mem name keep) i
+
+let drop names i = SMap.filter (fun name _ -> not (List.mem name names)) i
+
+let union a b =
+  SMap.union (fun _ ra rb -> Some (Relation.union ra rb)) a b
+
+let diff a b =
+  SMap.filter_map
+    (fun name ra ->
+      let r = Relation.diff ra (find name b) in
+      if Relation.is_empty r then None else Some r)
+    a
+
+let subset a b =
+  SMap.for_all (fun name ra -> Relation.subset ra (find name b)) a
+
+let equal a b = SMap.equal Relation.equal a b
+let compare a b = SMap.compare Relation.compare a b
+let total_facts i = SMap.fold (fun _ r acc -> acc + Relation.cardinal r) i 0
+
+let adom i =
+  let s =
+    SMap.fold
+      (fun _ r acc ->
+        List.fold_left (fun acc v -> VSet.add v acc) acc (Relation.values r))
+      i VSet.empty
+  in
+  VSet.elements s
+
+let fold f i acc = SMap.fold f i acc
+
+let map_values f i =
+  SMap.map
+    (fun r ->
+      Relation.map
+        (fun t -> Tuple.make (Array.map f (Tuple.values t)))
+        r)
+    i
+
+let schema i =
+  SMap.fold
+    (fun name r acc ->
+      match Relation.arity r with
+      | None -> acc
+      | Some a -> Schema.add (Schema.rel name a) acc)
+    i Schema.empty
+
+let pp ppf i =
+  let first = ref true in
+  SMap.iter
+    (fun name r ->
+      Relation.iter
+        (fun t ->
+          if !first then first := false else Format.fprintf ppf "@\n";
+          Format.fprintf ppf "%s(%a)." name
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               Value.pp)
+            (Tuple.to_list t))
+        r)
+    i
+
+let to_string i = Format.asprintf "%a" pp i
+
+(* --- fact parsing ------------------------------------------------------ *)
+
+let strip_comment line =
+  let cut =
+    match (String.index_opt line '%', String.length line) with
+    | Some k, _ -> k
+    | None, _ -> (
+        match
+          (* find "//" *)
+          let rec go i =
+            if i + 1 >= String.length line then None
+            else if line.[i] = '/' && line.[i + 1] = '/' then Some i
+            else go (i + 1)
+          in
+          go 0
+        with
+        | Some k -> k
+        | None -> String.length line)
+  in
+  String.sub line 0 cut
+
+let parse_one_fact lineno stmt i =
+  let stmt = String.trim stmt in
+  if stmt = "" then i
+  else
+    let fail msg = failwith (Printf.sprintf "facts line %d: %s" lineno msg) in
+    match String.index_opt stmt '(' with
+    | None -> fail (Printf.sprintf "expected pred(args), got %S" stmt)
+    | Some lp ->
+        if stmt.[String.length stmt - 1] <> ')' then
+          fail "expected closing parenthesis";
+        let name = String.trim (String.sub stmt 0 lp) in
+        if name = "" then fail "empty predicate name";
+        let inside = String.sub stmt (lp + 1) (String.length stmt - lp - 2) in
+        let args =
+          if String.trim inside = "" then []
+          else
+            String.split_on_char ',' inside
+            |> List.map (fun s ->
+                   let s = String.trim s in
+                   if s = "" then fail "empty argument";
+                   Value.parse s)
+        in
+        add_fact name (Tuple.of_list args) i
+
+(* Split the text into dot-terminated statements, respecting quoted
+   strings (a '.' inside "..." does not terminate a fact) and stripping
+   comments per line. *)
+let parse_facts text =
+  let lines = String.split_on_char '\n' text in
+  let buf = Buffer.create 64 in
+  let inst = ref empty in
+  let in_string = ref false in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = if !in_string then line else strip_comment line in
+      String.iter
+        (fun c ->
+          if !in_string then (
+            Buffer.add_char buf c;
+            if c = '"' then in_string := false)
+          else if c = '"' then (
+            Buffer.add_char buf c;
+            in_string := true)
+          else if c = '.' then (
+            inst := parse_one_fact lineno (Buffer.contents buf) !inst;
+            Buffer.clear buf)
+          else Buffer.add_char buf c)
+        line;
+      Buffer.add_char buf ' ')
+    lines;
+  (if String.trim (Buffer.contents buf) <> "" then
+     let n = List.length lines in
+     inst := parse_one_fact n (Buffer.contents buf) !inst);
+  !inst

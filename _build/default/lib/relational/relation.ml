@@ -1,0 +1,70 @@
+module TSet = Set.Make (Tuple)
+module VSet = Set.Make (Value)
+
+type t = TSet.t
+
+let empty = TSet.empty
+let singleton = TSet.singleton
+
+let check_arity r t =
+  match TSet.choose_opt r with
+  | Some u when Tuple.arity u <> Tuple.arity t ->
+      invalid_arg
+        (Printf.sprintf
+           "Relation: arity mismatch (relation has arity %d, tuple has %d)"
+           (Tuple.arity u) (Tuple.arity t))
+  | _ -> ()
+
+let add t r =
+  check_arity r t;
+  TSet.add t r
+
+let of_list ts = List.fold_left (fun r t -> add t r) empty ts
+let of_rows rows = of_list (List.map Tuple.of_list rows)
+let to_list = TSet.elements
+let remove = TSet.remove
+let mem = TSet.mem
+let cardinal = TSet.cardinal
+let is_empty = TSet.is_empty
+
+let arity r =
+  match TSet.choose_opt r with None -> None | Some t -> Some (Tuple.arity t)
+
+let union a b =
+  (match (TSet.choose_opt a, TSet.choose_opt b) with
+  | Some x, Some y when Tuple.arity x <> Tuple.arity y ->
+      invalid_arg "Relation.union: arity mismatch"
+  | _ -> ());
+  TSet.union a b
+
+let inter = TSet.inter
+let diff = TSet.diff
+let subset = TSet.subset
+let equal = TSet.equal
+let compare = TSet.compare
+let fold = TSet.fold
+let iter = TSet.iter
+let filter = TSet.filter
+let exists = TSet.exists
+let for_all = TSet.for_all
+let map f r = fold (fun t acc -> add (f t) acc) r empty
+let elements = TSet.elements
+let choose_opt = TSet.choose_opt
+
+let values r =
+  let s =
+    fold
+      (fun t acc ->
+        Array.fold_left (fun acc v -> VSet.add v acc) acc (Tuple.values t))
+      r VSet.empty
+  in
+  VSet.elements s
+
+let pp ppf r =
+  Format.fprintf ppf "{@[<hov>%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Tuple.pp)
+    (to_list r)
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,65 @@
+(** Relation instances: finite sets of constant tuples of a fixed arity.
+
+    All operations enforce arity homogeneity: inserting a tuple of a
+    different arity than the existing ones raises
+    [Invalid_argument]. The empty relation is compatible with any arity. *)
+
+type t
+
+(** The empty relation. *)
+val empty : t
+
+(** [singleton t] contains exactly [t]. *)
+val singleton : Tuple.t -> t
+
+(** [of_list ts] builds a relation.
+    @raise Invalid_argument on mixed arities. *)
+val of_list : Tuple.t list -> t
+
+(** [of_rows rows] builds a relation from value-list rows. *)
+val of_rows : Value.t list list -> t
+
+val to_list : t -> Tuple.t list
+
+(** [add t r] inserts a tuple. @raise Invalid_argument on arity mismatch. *)
+val add : Tuple.t -> t -> t
+
+(** [remove t r] deletes a tuple (no-op if absent). *)
+val remove : Tuple.t -> t -> t
+
+val mem : Tuple.t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [arity r] is [Some a] if [r] is non-empty with tuples of arity [a],
+    [None] if empty. *)
+val arity : t -> int option
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+(** [subset a b] tests whether every tuple of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+(** [map f r] applies a tuple transformer; the results must again be
+    homogeneous. *)
+val map : (Tuple.t -> Tuple.t) -> t -> t
+
+val elements : t -> Tuple.t list
+val choose_opt : t -> Tuple.t option
+
+(** [values r] is the set of all values occurring in [r] (its active
+    domain), as a sorted list without duplicates. *)
+val values : t -> Value.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

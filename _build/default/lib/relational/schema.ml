@@ -1,0 +1,51 @@
+module SMap = Map.Make (String)
+
+type rel = { name : string; arity : int; attrs : string array option }
+
+let rel name arity =
+  if arity < 0 then invalid_arg "Schema.rel: negative arity";
+  { name; arity; attrs = None }
+
+let rel_attrs name attrs =
+  let a = Array.of_list attrs in
+  { name; arity = Array.length a; attrs = Some a }
+
+let attr_index r a =
+  match r.attrs with
+  | None -> raise Not_found
+  | Some attrs -> (
+      let found = ref (-1) in
+      Array.iteri (fun i x -> if x = a && !found < 0 then found := i) attrs;
+      match !found with -1 -> raise Not_found | i -> i)
+
+type t = rel SMap.t
+
+let empty = SMap.empty
+
+let add r s =
+  match SMap.find_opt r.name s with
+  | Some prev when prev.arity <> r.arity ->
+      invalid_arg
+        (Printf.sprintf
+           "Schema.add: relation %s redeclared with arity %d (was %d)" r.name
+           r.arity prev.arity)
+  | _ -> SMap.add r.name r s
+
+let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+let find name s = SMap.find_opt name s
+let mem = SMap.mem
+let names s = List.map fst (SMap.bindings s)
+
+let arity_of name s =
+  match SMap.find_opt name s with
+  | None -> raise Not_found
+  | Some r -> r.arity
+
+let fold f s acc = SMap.fold (fun _ r acc -> f r acc) s acc
+let union a b = SMap.fold (fun _ r acc -> add r acc) b a
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf r ->
+         Format.fprintf ppf "%s/%d" r.name r.arity))
+    (List.map snd (SMap.bindings s))

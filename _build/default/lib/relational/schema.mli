@@ -1,0 +1,55 @@
+(** Relation and database schemas.
+
+    The paper works with named attributes; positionally-indexed columns are
+    equivalent and simpler to evaluate, so a relation schema here is a name,
+    an arity, and (optionally) attribute names for display and name-based
+    projection. A database schema is a finite set of relation schemas with
+    distinct names. *)
+
+type rel = {
+  name : string;  (** relation symbol *)
+  arity : int;  (** number of columns *)
+  attrs : string array option;
+      (** optional attribute names; when present, [Array.length = arity] *)
+}
+
+(** [rel name arity] makes an unnamed-attribute relation schema.
+    @raise Invalid_argument if [arity < 0]. *)
+val rel : string -> int -> rel
+
+(** [rel_attrs name attrs] makes a schema with named attributes. *)
+val rel_attrs : string -> string list -> rel
+
+(** [attr_index r a] is the position of attribute [a].
+    @raise Not_found if [r] has no such attribute. *)
+val attr_index : rel -> string -> int
+
+type t
+(** A database schema: a finite map from relation names to their schemas. *)
+
+val empty : t
+
+(** [add r s] extends the schema.
+    @raise Invalid_argument if a relation of the same name but different
+    arity is already present (idempotent on identical re-addition). *)
+val add : rel -> t -> t
+
+val of_list : rel list -> t
+
+(** [find name s] looks up a relation schema. *)
+val find : string -> t -> rel option
+
+val mem : string -> t -> bool
+val names : t -> string list
+
+(** [arity_of name s] is the declared arity.
+    @raise Not_found for unknown relations. *)
+val arity_of : string -> t -> int
+
+val fold : (rel -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [union a b] merges two schemas.
+    @raise Invalid_argument on conflicting arities. *)
+val union : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

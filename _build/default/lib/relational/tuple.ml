@@ -1,0 +1,45 @@
+type t = Value.t array
+
+let make vs = Array.copy vs
+let of_list = Array.of_list
+let to_list = Array.to_list
+let arity = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg
+      (Printf.sprintf "Tuple.get: index %d out of bounds (arity %d)" i
+         (Array.length t))
+  else t.(i)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) (Array.length t) t
+
+let project t cols = Array.of_list (List.map (fun i -> get t i) cols)
+let concat = Array.append
+let values t = t
+let exists = Array.exists
+let rename t perm = Array.map (fun i -> get t i) perm
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

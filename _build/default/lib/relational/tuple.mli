@@ -1,0 +1,50 @@
+(** Constant tuples.
+
+    A tuple is an immutable array of {!Value.t}. Positions play the role of
+    attributes (the paper's named perspective is recovered by {!Schema}
+    which maps attribute names to positions). *)
+
+type t = private Value.t array
+
+(** [make vs] creates a tuple from an array. The array is copied, so later
+    mutation of [vs] does not affect the tuple. *)
+val make : Value.t array -> t
+
+(** [of_list vs] creates a tuple from a list of values. *)
+val of_list : Value.t list -> t
+
+val to_list : t -> Value.t list
+
+(** [arity t] is the number of components. *)
+val arity : t -> int
+
+(** [get t i] is the [i]-th component (0-based).
+    @raise Invalid_argument if [i] is out of bounds. *)
+val get : t -> int -> Value.t
+
+(** Lexicographic order; tuples of different arities are ordered by arity
+    first so that mixed sets behave sanely. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [project t cols] keeps components at positions [cols], in that order
+    (repetition allowed). *)
+val project : t -> int list -> t
+
+(** [concat a b] juxtaposes two tuples. *)
+val concat : t -> t -> t
+
+(** [values t] is the underlying array (not a copy; do not mutate). *)
+val values : t -> Value.t array
+
+(** [exists p t] tests whether some component satisfies [p]. *)
+val exists : (Value.t -> bool) -> t -> bool
+
+(** [rename t perm] reorders: component [i] of the result is component
+    [perm.(i)] of [t]. *)
+val rename : t -> int array -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,56 @@
+type t =
+  | Int of int
+  | Str of string
+  | Sym of string
+  | New of int
+
+let rank = function Int _ -> 0 | Str _ -> 1 | Sym _ -> 2 | New _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y | Sym x, Sym y -> String.compare x y
+  | New x, New y -> Int.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int n -> Hashtbl.hash (0, n)
+  | Str s -> Hashtbl.hash (1, s)
+  | Sym s -> Hashtbl.hash (2, s)
+  | New n -> Hashtbl.hash (3, n)
+
+let is_invented = function New _ -> true | _ -> false
+let int n = Int n
+let str s = Str s
+let sym s = Sym s
+
+let pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Sym s -> Format.pp_print_string ppf s
+  | New n -> Format.fprintf ppf "\xce\xbd%d" n
+
+let to_string v = Format.asprintf "%a" pp v
+
+let parse s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Value.parse: empty string"
+  else if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    Str (Scanf.sscanf s "%S" Fun.id)
+  else
+    match int_of_string_opt s with Some i -> Int i | None -> Sym s
+
+module Gen = struct
+  type t = int ref
+
+  let create () = ref 0
+
+  let fresh g =
+    let v = New !g in
+    incr g;
+    v
+
+  let count g = !g
+end

@@ -1,0 +1,60 @@
+(** Domain values.
+
+    The paper assumes an infinite set [dom] of constants. We realize it as
+    integers, strings and symbols, plus a distinguished countable supply of
+    {e invented} values used by Datalog¬new (Section 4.3 of the paper):
+    invented values are created during evaluation, are distinct from all
+    input constants, and are never allowed in final answers of safe
+    programs. *)
+
+type t =
+  | Int of int        (** integer constant *)
+  | Str of string     (** string constant, e.g. ["alice"] *)
+  | Sym of string     (** symbolic constant, e.g. [a], [b] in the paper *)
+  | New of int        (** invented value #n (Datalog¬new only) *)
+
+(** Total order on values. Invented values sort after all constants so that
+    answers over the input domain are stable under invention. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+(** [is_invented v] is [true] iff [v] was created by value invention. *)
+val is_invented : t -> bool
+
+(** [int n], [str s], [sym s] are construction shorthands. *)
+val int : int -> t
+
+val str : string -> t
+val sym : string -> t
+
+(** Pretty-printer: symbols print bare, strings quoted, invented values as
+    [ν42]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [parse s] reads a value back from its surface syntax: an integer literal,
+    a quoted string, or a bare symbol. Inverse of [to_string] for
+    non-invented values. *)
+val parse : string -> t
+
+(** A fresh-value source for Datalog¬new. Counters are independent; the
+    engine threads one through a computation so invented values never
+    collide with each other. Invented values are guaranteed distinct from
+    all constants by construction (they live in their own branch of [t]). *)
+module Gen : sig
+  type value := t
+  type t
+
+  (** [create ()] is a fresh source starting at [ν0]. *)
+  val create : unit -> t
+
+  (** [fresh g] returns the next invented value. *)
+  val fresh : t -> value
+
+  (** [count g] is the number of values invented so far. *)
+  val count : t -> int
+end

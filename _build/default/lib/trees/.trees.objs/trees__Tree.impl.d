@@ -1,0 +1,1 @@
+lib/trees/tree.ml: Datalog Instance List Printf Random Relation Relational String Tuple Value

@@ -1,0 +1,1 @@
+lib/trees/tree.mli: Datalog Instance Relational

@@ -1,0 +1,57 @@
+(** Ordered labelled trees and their relational encoding — the substrate
+    of the paper's §6 "Datalog for data extraction" story (Lixto): Gottlob
+    and Koch showed that {e monadic} Datalog over trees, under the
+    firstchild/nextsibling encoding, captures exactly MSO — enough for web
+    wrappers, while evaluating in linear time.
+
+    This module provides the trees, the standard relational encoding
+    (evaluated by the ordinary engines of [lib/datalog]), and a check for
+    the monadic fragment. *)
+
+open Relational
+
+type t = { label : string; children : t list }
+
+(** [node label children] / [leaf label]. *)
+val node : string -> t list -> t
+
+val leaf : string -> t
+
+(** [size t] — number of nodes. *)
+val size : t -> int
+
+(** [parse s] reads the compact syntax [label(child, child, ...)], e.g.
+    ["html(body(item(txt), item(txt)))"]. Labels are identifiers.
+    @raise Failure on malformed input. *)
+val parse : string -> t
+
+val to_string : t -> string
+
+(** Relational encoding à la Gottlob–Koch. Node ids are the symbols
+    [n0, n1, ...] in preorder. Relations:
+
+    - [root(x)], [leaf(x)], [firstchild(x, y)], [nextsibling(x, y)],
+      [lastchild(x, y)] ([y] is the last child of [x]),
+      [child(x, y)] (derived convenience),
+      [label_l(x)] for each label [l] occurring in the tree,
+      [lab(x, l)] with the label as a symbol (for label-generic rules). *)
+val to_instance : t -> Instance.t
+
+(** [node_ids t] lists the preorder ids paired with labels — for decoding
+    query answers. *)
+val node_ids : t -> (string * string) list
+
+(** [is_monadic p] — every idb predicate of [p] is unary (the
+    Gottlob–Koch fragment; edb predicates of the encoding are exempt). *)
+val is_monadic : Datalog.Ast.program -> bool
+
+(** [select p inst pred t] — evaluate (semi-naive; the encodings are
+    negation-free... programs may use stratified negation, in which case
+    stratified evaluation is used) and decode the selected unary
+    predicate back to the labels of the selected nodes, in preorder.
+    @raise Datalog.Stratified.Not_stratifiable as the engine does. *)
+val select : Datalog.Ast.program -> t -> string -> (string * string) list
+
+(** Random tree generator for benches: [random ~seed ~depth ~width
+    ~labels]. *)
+val random : seed:int -> depth:int -> width:int -> labels:string list -> t

@@ -1,0 +1,1 @@
+lib/turing/tm.ml: Hashtbl Int List

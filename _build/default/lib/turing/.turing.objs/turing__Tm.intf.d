@@ -1,0 +1,1 @@
+lib/turing/tm.mli:

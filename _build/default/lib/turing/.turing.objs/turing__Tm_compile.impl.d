@@ -1,0 +1,1 @@
+lib/turing/tm_compile.ml: Datalog Instance List Printf Relation Relational String Tm Tuple Value

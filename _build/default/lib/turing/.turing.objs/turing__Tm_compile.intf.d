@@ -1,0 +1,1 @@
+lib/turing/tm_compile.mli: Datalog Relational Tm

@@ -1,0 +1,162 @@
+type direction = Left | Right | Stay
+
+type transition = { write : string; move : direction; next : string }
+
+type t = {
+  name : string;
+  blank : string;
+  start : string;
+  accept : string;
+  reject : string;
+  delta : (string * string) -> transition option;
+  states : string list;
+  symbols : string list;
+}
+
+type config = { state : string; tape : (int * string) list; head : int }
+
+let init m input =
+  let tape =
+    List.mapi (fun i s -> (i, s)) input
+    |> List.filter (fun (_, s) -> s <> m.blank)
+  in
+  { state = m.start; tape; head = 0 }
+
+let cell_read tape blank pos =
+  match List.assoc_opt pos tape with Some s -> s | None -> blank
+
+let cell_write tape blank pos sym =
+  let tape = List.remove_assoc pos tape in
+  if sym = blank then tape
+  else List.sort (fun (a, _) (b, _) -> Int.compare a b) ((pos, sym) :: tape)
+
+let read m cfg = cell_read cfg.tape m.blank cfg.head
+
+let step m cfg =
+  if cfg.state = m.accept || cfg.state = m.reject then None
+  else
+    match m.delta (cfg.state, read m cfg) with
+    | None -> None
+    | Some { write; move; next } ->
+        let tape = cell_write cfg.tape m.blank cfg.head write in
+        let head =
+          match move with
+          | Left -> cfg.head - 1
+          | Right -> cfg.head + 1
+          | Stay -> cfg.head
+        in
+        Some { state = next; tape; head }
+
+type run_result =
+  | Accepted of { steps : int; final : config }
+  | Rejected of { steps : int; final : config }
+  | Ran_out_of_fuel of { steps : int; final : config }
+
+let run ?(fuel = 100_000) m input =
+  let rec go cfg steps =
+    if cfg.state = m.accept then Accepted { steps; final = cfg }
+    else if cfg.state = m.reject then Rejected { steps; final = cfg }
+    else if steps >= fuel then Ran_out_of_fuel { steps; final = cfg }
+    else
+      match step m cfg with
+      | Some cfg' -> go cfg' (steps + 1)
+      | None -> Rejected { steps; final = cfg }
+  in
+  go (init m input) 0
+
+let tape_to_list cfg ~lo ~hi blank =
+  List.init (hi - lo + 1) (fun i -> cell_read cfg.tape blank (lo + i))
+
+(* --- sample machines --------------------------------------------------- *)
+
+let table name ~blank ~start ~accept ~reject ~states ~symbols rows =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (st, sy, write, move, next) ->
+      Hashtbl.replace tbl (st, sy) { write; move; next })
+    rows;
+  {
+    name;
+    blank;
+    start;
+    accept;
+    reject;
+    delta = Hashtbl.find_opt tbl;
+    states;
+    symbols;
+  }
+
+(* Walk right to the first blank, write a 1, accept. *)
+let unary_increment =
+  table "unary-increment" ~blank:"_" ~start:"scan" ~accept:"acc" ~reject:"rej"
+    ~states:[ "scan"; "acc"; "rej" ] ~symbols:[ "1"; "_" ]
+    [
+      ("scan", "1", "1", Right, "scan");
+      ("scan", "_", "1", Stay, "acc");
+    ]
+
+(* Sweep right flipping a parity state; accept iff even number of 1s. *)
+let parity =
+  table "parity" ~blank:"_" ~start:"even" ~accept:"acc" ~reject:"rej"
+    ~states:[ "even"; "odd"; "acc"; "rej" ] ~symbols:[ "1"; "0"; "_" ]
+    [
+      ("even", "1", "1", Right, "odd");
+      ("even", "0", "0", Right, "even");
+      ("even", "_", "_", Stay, "acc");
+      ("odd", "1", "1", Right, "even");
+      ("odd", "0", "0", Right, "odd");
+      ("odd", "_", "_", Stay, "rej");
+    ]
+
+(* Move to the rightmost digit, then propagate the carry leftwards. *)
+let binary_increment =
+  table "binary-increment" ~blank:"_" ~start:"right" ~accept:"acc"
+    ~reject:"rej"
+    ~states:[ "right"; "carry"; "acc"; "rej" ]
+    ~symbols:[ "0"; "1"; "_" ]
+    [
+      ("right", "0", "0", Right, "right");
+      ("right", "1", "1", Right, "right");
+      ("right", "_", "_", Left, "carry");
+      ("carry", "1", "0", Left, "carry");
+      ("carry", "0", "1", Stay, "acc");
+      ("carry", "_", "1", Stay, "acc");
+    ]
+
+(* Classic quadratic palindrome checker over {0,1}: cross off matching
+   outermost symbols. *)
+let palindrome =
+  table "palindrome" ~blank:"_" ~start:"pick" ~accept:"acc" ~reject:"rej"
+    ~states:
+      [ "pick"; "have0"; "have1"; "match0"; "match1"; "back"; "acc"; "rej" ]
+    ~symbols:[ "0"; "1"; "X"; "_" ]
+    [
+      (* pick the leftmost remaining symbol *)
+      ("pick", "X", "X", Right, "pick");
+      ("pick", "0", "X", Right, "have0");
+      ("pick", "1", "X", Right, "have1");
+      ("pick", "_", "_", Stay, "acc");
+      (* run right to the end *)
+      ("have0", "0", "0", Right, "have0");
+      ("have0", "1", "1", Right, "have0");
+      ("have0", "_", "_", Left, "match0");
+      ("have0", "X", "X", Right, "have0");
+      ("have1", "0", "0", Right, "have1");
+      ("have1", "1", "1", Right, "have1");
+      ("have1", "_", "_", Left, "match1");
+      ("have1", "X", "X", Right, "have1");
+      (* the rightmost non-X symbol must match *)
+      ("match0", "X", "X", Left, "match0");
+      ("match0", "0", "X", Left, "back");
+      ("match0", "1", "1", Stay, "rej");
+      ("match0", "_", "_", Stay, "acc");
+      ("match1", "X", "X", Left, "match1");
+      ("match1", "1", "X", Left, "back");
+      ("match1", "0", "0", Stay, "rej");
+      ("match1", "_", "_", Stay, "acc");
+      (* return to the left end *)
+      ("back", "0", "0", Left, "back");
+      ("back", "1", "1", Left, "back");
+      ("back", "X", "X", Left, "back");
+      ("back", "_", "_", Right, "pick");
+    ]

@@ -1,0 +1,78 @@
+(** Deterministic single-tape Turing machines.
+
+    The substrate for the paper's completeness results: Theorem 4.6's proof
+    simulates a Turing machine inside Datalog¬new, with invented values
+    standing in for tape cells. {!Tm_compile} performs that construction
+    executably; this module provides the reference machine semantics the
+    compilation is tested against.
+
+    Conventions: a two-way-infinite tape realized lazily (cells default to
+    [blank]); the head starts on cell 0, which holds the first input
+    symbol. Machines halt by entering [accept] or [reject]. *)
+
+type direction = Left | Right | Stay
+
+type transition = {
+  write : string;  (** symbol to write *)
+  move : direction;
+  next : string;  (** next state *)
+}
+
+type t = {
+  name : string;
+  blank : string;  (** the blank tape symbol *)
+  start : string;  (** initial state *)
+  accept : string;  (** accepting halt state *)
+  reject : string;  (** rejecting halt state *)
+  delta : (string * string) -> transition option;
+      (** [(state, symbol)] to transition; [None] = implicit reject *)
+  states : string list;  (** all states, for the compiler *)
+  symbols : string list;  (** tape alphabet including [blank] *)
+}
+
+type config = {
+  state : string;
+  tape : (int * string) list;  (** non-blank cells, sorted by position *)
+  head : int;
+}
+
+(** [init m input] is the initial configuration with [input] written on
+    cells [0..n-1]. *)
+val init : t -> string list -> config
+
+(** [read m cfg] is the symbol under the head. *)
+val read : t -> config -> string
+
+(** [step m cfg] performs one transition. [None] if the machine is in a
+    halt state or has no applicable transition (implicit reject). *)
+val step : t -> config -> config option
+
+type run_result =
+  | Accepted of { steps : int; final : config }
+  | Rejected of { steps : int; final : config }
+  | Ran_out_of_fuel of { steps : int; final : config }
+
+(** [run ?fuel m input] runs to halt or fuel exhaustion (default 100_000
+    steps). *)
+val run : ?fuel:int -> t -> string list -> run_result
+
+(** [tape_to_list cfg ~lo ~hi blank] renders cells [lo..hi]. *)
+val tape_to_list : config -> lo:int -> hi:int -> string -> string list
+
+(** {1 Sample machines} *)
+
+(** [unary_increment] appends a [1] to a unary string of [1]s: on input
+    [1^n] it accepts with [1^(n+1)] on the tape. *)
+val unary_increment : t
+
+(** [parity] accepts iff the number of [1]s on the tape is even (a
+    decision machine for the evenness query of §4.4, given an encoding). *)
+val parity : t
+
+(** [binary_increment] treats the tape as a binary numeral (most
+    significant bit first) and adds one, accepting when done. *)
+val binary_increment : t
+
+(** [palindrome] accepts iff its [0]/[1] input is a palindrome — a
+    quadratic-time machine useful for scaling benches. *)
+val palindrome : t

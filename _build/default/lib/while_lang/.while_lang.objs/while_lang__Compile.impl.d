@@ -1,0 +1,1 @@
+lib/while_lang/compile.ml: Datalog Fo Fun List Printf Relational Value Wast

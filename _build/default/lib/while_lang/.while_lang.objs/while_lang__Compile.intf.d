@@ -1,0 +1,1 @@
+lib/while_lang/compile.mli: Datalog Instance Relation Relational Wast

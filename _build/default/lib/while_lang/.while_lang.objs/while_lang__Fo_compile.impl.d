@@ -1,0 +1,1 @@
+lib/while_lang/fo_compile.ml: Datalog Fo List Printf Relational Value

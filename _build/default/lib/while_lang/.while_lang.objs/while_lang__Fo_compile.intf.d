@@ -1,0 +1,1 @@
+lib/while_lang/fo_compile.mli: Datalog Fo Instance Relation Relational

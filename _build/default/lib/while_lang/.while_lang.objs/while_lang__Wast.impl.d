@@ -1,0 +1,1 @@
+lib/while_lang/wast.ml: Fo Format List Printf Relational String

@@ -1,0 +1,1 @@
+lib/while_lang/wast.mli: Fo Format Relational

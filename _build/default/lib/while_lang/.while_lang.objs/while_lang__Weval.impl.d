@@ -1,0 +1,1 @@
+lib/while_lang/weval.ml: Fo Instance List Printf Relation Relational Wast

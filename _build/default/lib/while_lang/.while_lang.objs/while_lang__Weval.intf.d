@@ -1,0 +1,1 @@
+lib/while_lang/weval.mli: Instance Relation Relational Wast

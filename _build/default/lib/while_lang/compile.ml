@@ -1,0 +1,299 @@
+open Relational
+module Ast = Datalog.Ast
+
+type mode = Monotone | Stamped
+
+exception Unsupported of string
+
+(* Polarity walk: an occurrence of [rel] is blocked if the path from the
+   root passes a negation, a ∀ (compiled as ¬∃¬), or the antecedent of an
+   implication. *)
+let analyse rel (q : Wast.query) =
+  let blocked = ref false and unblocked = ref false in
+  let rec go under f =
+    match f with
+    | Fo.True | Fo.False | Fo.Eq _ -> ()
+    | Fo.Atom (r, _) ->
+        if r = rel then if under then blocked := true else unblocked := true
+    | Fo.Not g | Fo.Forall (_, g) -> go true g
+    | Fo.Implies (g, h) ->
+        go true g;
+        go under h
+    | Fo.And (g, h) | Fo.Or (g, h) ->
+        go under g;
+        go under h
+    | Fo.Exists (_, g) -> go under g
+  in
+  go false q.Wast.formula;
+  match (!unblocked, !blocked) with
+  | true, true ->
+      raise
+        (Unsupported
+           (Printf.sprintf
+              "relation %s occurs both under and outside negation in the \
+               loop body; the general Theorem 4.2 construction is out of \
+               scope"
+              rel))
+  | true, false -> Monotone
+  | _ -> Stamped
+
+(* ------------------------------------------------------------------ *)
+
+type buf = { prefix : string; mutable counter : int; mutable rules : Ast.rule list }
+
+let fresh buf what =
+  buf.counter <- buf.counter + 1;
+  Printf.sprintf "%s_%s%d" buf.prefix what buf.counter
+
+let emit buf r = buf.rules <- r :: buf.rules
+
+let v = Ast.var
+let vs xs = List.map v xs
+
+(* Stamp variable names (appended columns on R-dependent predicates). *)
+let stamp_vars arity = List.init arity (fun i -> Printf.sprintf "TSTAMP%d" i)
+
+type env = {
+  buf : buf;
+  adom : string;
+  tick : string;  (* tick predicate prefix, 0-ary chain *)
+  delay : string;  (* delay predicate prefix, stamped chain *)
+  stamp : (string * int) option;  (* (rel, arity) when stamping *)
+  mutable max_tick : int;
+  mutable max_delay : int;
+}
+
+let tick_guard env level =
+  if level >= 1 then (
+    env.max_tick <- max env.max_tick level;
+    [ Ast.BPos (Ast.atom (Printf.sprintf "%s%d" env.tick level) []) ])
+  else []
+
+let delay_guard env level tvars =
+  if level >= 1 then (
+    env.max_delay <- max env.max_delay level;
+    [ Ast.BPos (Ast.atom (Printf.sprintf "%s%d" env.delay level) (vs tvars)) ])
+  else
+    match env.stamp with
+    | Some (rel, _) -> [ Ast.BPos (Ast.atom rel (vs tvars)) ]
+    | None -> assert false
+
+let adom_atom env x = Ast.BPos (Ast.atom env.adom [ v x ])
+
+(* Reference a compiled subformula from a rule body, appending the stamp
+   columns when the child is R-dependent. *)
+let child_atom (pred, cvars, _lvl, rdep) tvars =
+  Ast.BPos (Ast.atom pred (vs (cvars @ if rdep then tvars else [])))
+
+(* Compile one node. Returns (pred, vars, level, rdep). In a stamped
+   environment, R-dependent predicates carry the stamp columns and their
+   rules are guarded by the delay chain; static predicates are guarded by
+   the tick chain. In a monotone environment everything uses ticks. *)
+let rec node env (f : Fo.formula) : string * string list * int * bool =
+  let rel_name = match env.stamp with Some (r, _) -> r | None -> "" in
+  let tvars =
+    match env.stamp with Some (_, a) -> stamp_vars a | None -> []
+  in
+  let guard ~level ~rdep =
+    if rdep && env.stamp <> None then delay_guard env (level - 1) tvars
+    else tick_guard env (level - 1)
+  in
+  match f with
+  | Fo.True ->
+      let p = fresh env.buf "true" in
+      emit env.buf (Ast.fact (Ast.atom p []));
+      (p, [], 1, false)
+  | Fo.False ->
+      let p = fresh env.buf "false" in
+      (p, [], 1, false)
+  | Fo.Eq (a, b) -> (
+      let p = fresh env.buf "eq" in
+      match (a, b) with
+      | Fo.Var x, Fo.Var y when x = y ->
+          emit env.buf (Ast.rule (Ast.atom p [ v x ]) [ adom_atom env x ]);
+          (p, [ x ], 1, false)
+      | Fo.Var x, Fo.Var y ->
+          emit env.buf
+            (Ast.rule (Ast.atom p [ v x; v x ]) [ adom_atom env x ]);
+          (p, [ x; y ], 1, false)
+      | Fo.Var x, Fo.Cst c | Fo.Cst c, Fo.Var x ->
+          emit env.buf (Ast.fact (Ast.atom p [ Ast.cst c ]));
+          (p, [ x ], 1, false)
+      | Fo.Cst c, Fo.Cst d ->
+          if Value.equal c d then emit env.buf (Ast.fact (Ast.atom p []));
+          (p, [], 1, false))
+  | Fo.Atom (r, terms) ->
+      let p = fresh env.buf "atom" in
+      let vars = Fo.free_vars f in
+      let rdep = env.stamp <> None && r = rel_name in
+      let body =
+        Ast.BPos
+          (Ast.atom r
+             (List.map
+                (function Fo.Var x -> v x | Fo.Cst c -> Ast.cst c)
+                terms))
+        ::
+        (if rdep then [ Ast.BPos (Ast.atom rel_name (vs tvars)) ] else [])
+      in
+      emit env.buf
+        (Ast.rule (Ast.atom p (vs (vars @ if rdep then tvars else []))) body);
+      (p, vars, 1, rdep)
+  | Fo.Not g ->
+      let ((_, gvars, glvl, grdep) as cg) = node env g in
+      let p = fresh env.buf "not" in
+      let level = glvl + 1 in
+      let rdep = grdep in
+      emit env.buf
+        (Ast.rule
+           (Ast.atom p (vs (gvars @ if rdep then tvars else [])))
+           (guard ~level ~rdep
+           @ List.map (adom_atom env) gvars
+           @ [
+               (match child_atom cg tvars with
+               | Ast.BPos a -> Ast.BNeg a
+               | _ -> assert false);
+             ]));
+      (p, gvars, level, rdep)
+  | Fo.And (g, h) ->
+      let ((_, _, glvl, grdep) as cg) = node env g in
+      let ((_, _, hlvl, hrdep) as ch) = node env h in
+      let p = fresh env.buf "and" in
+      let vars = Fo.free_vars f in
+      let level = 1 + max glvl hlvl in
+      let rdep = grdep || hrdep in
+      emit env.buf
+        (Ast.rule
+           (Ast.atom p (vs (vars @ if rdep then tvars else [])))
+           (guard ~level ~rdep @ [ child_atom cg tvars; child_atom ch tvars ]));
+      (p, vars, level, rdep)
+  | Fo.Or (g, h) ->
+      let ((_, gvars, glvl, grdep) as cg) = node env g in
+      let ((_, hvars, hlvl, hrdep) as ch) = node env h in
+      let p = fresh env.buf "or" in
+      let vars = Fo.free_vars f in
+      let level = 1 + max glvl hlvl in
+      let rdep = grdep || hrdep in
+      let pad sub_vars sub =
+        let missing =
+          List.filter (fun x -> not (List.mem x sub_vars)) vars
+        in
+        Ast.rule
+          (Ast.atom p (vs (vars @ if rdep then tvars else [])))
+          (guard ~level ~rdep
+          @ [ child_atom sub tvars ]
+          @ List.map (adom_atom env) missing
+          @
+          (* a static branch of an R-dependent Or must still bind the
+             stamp columns *)
+          if rdep && not (let _, _, _, d = sub in d) then
+            delay_guard env 0 tvars
+          else [])
+      in
+      emit env.buf (pad gvars cg);
+      emit env.buf (pad hvars ch);
+      (p, vars, level, rdep)
+  | Fo.Implies (g, h) -> node env (Fo.Or (Fo.Not g, h))
+  | Fo.Exists (xs, g) ->
+      let ((_, gvars, glvl, grdep) as cg) = node env g in
+      let p = fresh env.buf "ex" in
+      let vars = List.filter (fun x -> not (List.mem x xs)) gvars in
+      let level = glvl + 1 in
+      let rdep = grdep in
+      emit env.buf
+        (Ast.rule
+           (Ast.atom p (vs (vars @ if rdep then tvars else [])))
+           (guard ~level ~rdep @ [ child_atom cg tvars ]));
+      (p, vars, level, rdep)
+  | Fo.Forall (xs, g) -> node env (Fo.Not (Fo.Exists (xs, Fo.Not g)))
+
+(* Emit the adom, tick and delay support rules. *)
+let emit_support env ~sources ~consts =
+  List.iter
+    (fun (r, arity) ->
+      List.iter
+        (fun i ->
+          let args =
+            List.init arity (fun j ->
+                if i = j then v "X" else v (Printf.sprintf "U%d" j))
+          in
+          emit env.buf
+            (Ast.rule (Ast.atom env.adom [ v "X" ]) [ Ast.BPos (Ast.atom r args) ]))
+        (List.init arity Fun.id))
+    sources;
+  List.iter
+    (fun c -> emit env.buf (Ast.fact (Ast.atom env.adom [ Ast.cst c ])))
+    consts;
+  if env.max_tick >= 1 then (
+    emit env.buf (Ast.fact (Ast.atom (env.tick ^ "1") []));
+    for k = 2 to env.max_tick do
+      emit env.buf
+        (Ast.rule
+           (Ast.atom (Printf.sprintf "%s%d" env.tick k) [])
+           [ Ast.BPos (Ast.atom (Printf.sprintf "%s%d" env.tick (k - 1)) []) ])
+    done);
+  match env.stamp with
+  | Some (rel, arity) when env.max_delay >= 1 ->
+      let tv = stamp_vars arity in
+      emit env.buf
+        (Ast.rule
+           (Ast.atom (env.delay ^ "1") (vs tv))
+           [ Ast.BPos (Ast.atom rel (vs tv)) ]);
+      for k = 2 to env.max_delay do
+        emit env.buf
+          (Ast.rule
+             (Ast.atom (Printf.sprintf "%s%d" env.delay k) (vs tv))
+             [
+               Ast.BPos (Ast.atom (Printf.sprintf "%s%d" env.delay (k - 1)) (vs tv));
+             ])
+      done
+  | _ -> ()
+
+type compiled = { program : Ast.program; mode : mode; rel : string }
+
+let compile_pass ~prefix ~sources ~rel ~arity ~stamped (q : Wast.query) =
+  let buf = { prefix; counter = 0; rules = [] } in
+  let env =
+    {
+      buf;
+      adom = prefix ^ "_adom";
+      tick = prefix ^ "_tick";
+      delay = prefix ^ "_delay";
+      stamp = (if stamped then Some (rel, arity) else None);
+      max_tick = 0;
+      max_delay = 0;
+    }
+  in
+  let ((_, top_vars, top_lvl, top_rdep) as top) = node env q.Wast.formula in
+  let tvars = if stamped then stamp_vars arity else [] in
+  (* the update rule: R(vars) <- guard, top(...), adom pads *)
+  let missing =
+    List.filter (fun x -> not (List.mem x top_vars)) q.Wast.vars
+  in
+  emit buf
+    (Ast.rule
+       (Ast.atom rel (vs q.Wast.vars))
+       ((if top_rdep && stamped then delay_guard env top_lvl tvars
+         else tick_guard env top_lvl)
+       @ [ child_atom top tvars ]
+       @ List.map (adom_atom env) missing));
+  emit_support env ~sources:((rel, arity) :: sources)
+    ~consts:(Fo.constants q.Wast.formula);
+  List.rev buf.rules
+
+let fixpoint_loop ~sources ~rel (q : Wast.query) =
+  Wast.check [ Wast.Cumulate (rel, q) ];
+  let arity = List.length q.Wast.vars in
+  let mode = analyse rel q in
+  let program =
+    match mode with
+    | Monotone -> compile_pass ~prefix:"fx" ~sources ~rel ~arity ~stamped:false q
+    | Stamped ->
+        (* iteration 1 (unstamped) + iterations 2.. (stamped by R tuples) *)
+        compile_pass ~prefix:"fxu" ~sources ~rel ~arity ~stamped:false q
+        @ compile_pass ~prefix:"fxs" ~sources ~rel ~arity ~stamped:true q
+  in
+  { program; mode; rel }
+
+let run_loop ~sources ~rel q inst =
+  let { program; _ } = fixpoint_loop ~sources ~rel q in
+  Datalog.Inflationary.answer program inst rel

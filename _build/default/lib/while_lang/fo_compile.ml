@@ -1,0 +1,160 @@
+open Relational
+module Ast = Datalog.Ast
+
+type compiled = {
+  rules : Datalog.Ast.program;
+  pred : string;
+  adom_pred : string;
+  depth : int;
+}
+
+(* A compilation buffer: fresh names + emitted rules. *)
+type buf = {
+  prefix : string;
+  mutable counter : int;
+  mutable rules : Ast.rule list;
+}
+
+let fresh buf what =
+  buf.counter <- buf.counter + 1;
+  Printf.sprintf "%s_%s%d" buf.prefix what buf.counter
+
+let emit buf r = buf.rules <- r :: buf.rules
+
+let v x = Ast.var x
+let adom_atom adom x = Ast.BPos (Ast.atom adom [ v x ])
+
+(* Compile one subformula; returns (pred, vars, level) where [vars] is the
+   canonical free-variable list (first-occurrence order) and pred(vars)
+   holds iff the subformula does, over the active domain. *)
+let rec node buf adom (f : Fo.formula) : string * string list * int =
+  match f with
+  | Fo.True ->
+      let p = fresh buf "true" in
+      emit buf (Ast.fact (Ast.atom p []));
+      (p, [], 1)
+  | Fo.False ->
+      (* a predicate with no defining rules is empty in every model *)
+      let p = fresh buf "false" in
+      (p, [], 1)
+  | Fo.Atom (r, terms) ->
+      let p = fresh buf "atom" in
+      let vars = Fo.free_vars f in
+      emit buf
+        (Ast.rule
+           (Ast.atom p (List.map v vars))
+           [
+             Ast.BPos
+               (Ast.atom r
+                  (List.map
+                     (function
+                       | Fo.Var x -> v x
+                       | Fo.Cst c -> Ast.cst c)
+                     terms));
+           ]);
+      (p, vars, 1)
+  | Fo.Eq (a, b) -> (
+      let p = fresh buf "eq" in
+      match (a, b) with
+      | Fo.Var x, Fo.Var y when x = y ->
+          emit buf (Ast.rule (Ast.atom p [ v x ]) [ adom_atom adom x ]);
+          (p, [ x ], 2)
+      | Fo.Var x, Fo.Var y ->
+          (* p(x, y) with x = y: bind both columns to one variable *)
+          emit buf
+            (Ast.rule (Ast.atom p [ v x; v x ]) [ adom_atom adom x ]);
+          (p, [ x; y ], 2)
+      | Fo.Var x, Fo.Cst c | Fo.Cst c, Fo.Var x ->
+          (* x = c: a one-column relation holding exactly c *)
+          emit buf (Ast.fact (Ast.atom p [ Ast.cst c ]));
+          (p, [ x ], 1)
+      | Fo.Cst c, Fo.Cst d ->
+          if Value.equal c d then emit buf (Ast.fact (Ast.atom p []));
+          (p, [], 1))
+  | Fo.Not g ->
+      let pg, vars, lvl = node buf adom g in
+      let p = fresh buf "not" in
+      emit buf
+        (Ast.rule
+           (Ast.atom p (List.map v vars))
+           (List.map (adom_atom adom) vars
+           @ [ Ast.BNeg (Ast.atom pg (List.map v vars)) ]));
+      (p, vars, lvl + 1)
+  | Fo.And (g, h) ->
+      let pg, vg, lg = node buf adom g in
+      let ph, vh, lh = node buf adom h in
+      let p = fresh buf "and" in
+      let vars = Fo.free_vars f in
+      emit buf
+        (Ast.rule
+           (Ast.atom p (List.map v vars))
+           [
+             Ast.BPos (Ast.atom pg (List.map v vg));
+             Ast.BPos (Ast.atom ph (List.map v vh));
+           ]);
+      (p, vars, 1 + max lg lh)
+  | Fo.Or (g, h) ->
+      let pg, vg, lg = node buf adom g in
+      let ph, vh, lh = node buf adom h in
+      let p = fresh buf "or" in
+      let vars = Fo.free_vars f in
+      let pad sub_vars sub_pred =
+        let missing = List.filter (fun x -> not (List.mem x sub_vars)) vars in
+        Ast.rule
+          (Ast.atom p (List.map v vars))
+          (Ast.BPos (Ast.atom sub_pred (List.map v sub_vars))
+           :: List.map (adom_atom adom) missing)
+      in
+      emit buf (pad vg pg);
+      emit buf (pad vh ph);
+      (p, vars, 1 + max lg lh)
+  | Fo.Implies (g, h) -> node buf adom (Fo.Or (Fo.Not g, h))
+  | Fo.Exists (xs, g) ->
+      let pg, vg, lg = node buf adom g in
+      let p = fresh buf "ex" in
+      let vars = List.filter (fun x -> not (List.mem x xs)) vg in
+      emit buf
+        (Ast.rule
+           (Ast.atom p (List.map v vars))
+           [ Ast.BPos (Ast.atom pg (List.map v vg)) ]);
+      (p, vars, lg + 1)
+  | Fo.Forall (xs, g) -> node buf adom (Fo.Not (Fo.Exists (xs, Fo.Not g)))
+
+let compile ~sources ?(prefix = "q") f vars =
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg
+          (Printf.sprintf "Fo_compile: free variable %s not in output list" x))
+    (Fo.free_vars f);
+  let buf = { prefix; counter = 0; rules = [] } in
+  let adom = prefix ^ "_adom" in
+  (* adom rules from every source column *)
+  List.iter
+    (fun (r, arity) ->
+      List.iteri
+        (fun i () ->
+          let args =
+            List.init arity (fun j ->
+                if i = j then v "X" else v (Printf.sprintf "U%d" j))
+          in
+          emit buf (Ast.rule (Ast.atom adom [ v "X" ]) [ Ast.BPos (Ast.atom r args) ]))
+        (List.init arity (fun _ -> ())))
+    sources;
+  (* the formula's constants are part of the domain *)
+  List.iter
+    (fun c -> emit buf (Ast.fact (Ast.atom adom [ Ast.cst c ])))
+    (Fo.constants f);
+  let top, top_vars, depth = node buf adom f in
+  let ans = prefix ^ "_ans" in
+  let missing = List.filter (fun x -> not (List.mem x top_vars)) vars in
+  emit buf
+    (Ast.rule
+       (Ast.atom ans (List.map v vars))
+       (Ast.BPos (Ast.atom top (List.map v top_vars))
+        :: List.map (adom_atom adom) missing));
+  { rules = List.rev buf.rules; pred = ans; adom_pred = adom; depth = depth + 1 }
+
+let answer ~sources f vars inst =
+  let { rules; pred; _ } = compile ~sources f vars in
+  Datalog.Stratified.answer rules inst pred

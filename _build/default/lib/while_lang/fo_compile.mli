@@ -1,0 +1,42 @@
+(** Compilation of FO (relational calculus) queries into nonrecursive
+    stratified Datalog¬ — the classic equivalence FO ⊆ nonrecursive
+    stratified Datalog¬ used throughout §2–4 of the paper.
+
+    Each subformula becomes a fresh predicate; quantifier-free connectives
+    become joins/unions, negation becomes a guarded negative literal, and
+    active-domain quantification is realized by an explicit [adom]
+    predicate derived from the given source relations (plus the formula's
+    constants). The result evaluates under {!Datalog.Stratified} to exactly
+    {!Relational.Fo.eval}'s answer (property-tested). *)
+
+open Relational
+
+type compiled = {
+  rules : Datalog.Ast.program;
+      (** nonrecursive, stratifiable; fresh predicates are prefixed *)
+  pred : string;  (** answer predicate, columns = requested [vars] *)
+  adom_pred : string;  (** the generated active-domain predicate *)
+  depth : int;  (** height of the subformula DAG (tick-chain length) *)
+}
+
+(** [compile ~sources ?prefix f vars] compiles [f] with output columns
+    [vars] (must cover [f]'s free variables; extra columns range over the
+    active domain). [sources] lists the (relation, arity) pairs whose
+    values constitute the active domain — normally the full edb schema.
+    [prefix] (default ["q"]) namespaces the generated predicates.
+    @raise Invalid_argument if [vars] misses a free variable. *)
+val compile :
+  sources:(string * int) list ->
+  ?prefix:string ->
+  Fo.formula ->
+  string list ->
+  compiled
+
+(** [answer ~sources f vars inst] — compile, run stratified, return the
+    answer relation. *)
+val answer :
+  sources:(string * int) list ->
+  Fo.formula ->
+  string list ->
+  Instance.t ->
+  Relation.t

@@ -1,0 +1,51 @@
+open Relational
+
+type outcome =
+  | Completed of { instance : Instance.t; iterations : int }
+  | Out_of_fuel of { instance : Instance.t; iterations : int }
+
+exception Fuel
+
+let run ?(fuel = 100_000) p inst =
+  Wast.check p;
+  let iterations = ref 0 in
+  let tick () =
+    incr iterations;
+    if !iterations > fuel then raise Fuel
+  in
+  let eval_query inst { Wast.formula; vars } =
+    Fo.eval inst formula vars
+  in
+  let rec exec_stmt inst = function
+    | Wast.Assign (r, q) -> Instance.set r (eval_query inst q) inst
+    | Wast.Cumulate (r, q) ->
+        Instance.set r (Relation.union (Instance.find r inst) (eval_query inst q)) inst
+    | Wast.While_change body ->
+        let rec loop inst =
+          tick ();
+          let next = exec_body inst body in
+          if Instance.equal next inst then inst else loop next
+        in
+        loop inst
+    | Wast.While (cond, body) ->
+        let rec loop inst =
+          if Fo.sentence inst cond then (
+            tick ();
+            loop (exec_body inst body))
+          else inst
+        in
+        loop inst
+  and exec_body inst body = List.fold_left exec_stmt inst body in
+  match exec_body inst p with
+  | result -> Completed { instance = result; iterations = !iterations }
+  | exception Fuel -> Out_of_fuel { instance = inst; iterations = !iterations }
+
+let eval ?fuel p inst =
+  match run ?fuel p inst with
+  | Completed { instance; _ } -> instance
+  | Out_of_fuel { iterations; _ } ->
+      failwith
+        (Printf.sprintf "While program did not terminate within %d iterations"
+           iterations)
+
+let answer ?fuel p inst pred = Instance.find pred (eval ?fuel p inst)

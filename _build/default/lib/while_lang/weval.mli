@@ -1,0 +1,22 @@
+(** Evaluator for the while / fixpoint languages.
+
+    FO queries are evaluated with active-domain semantics over the current
+    instance (extended with the formula's constants). [While] loops may
+    diverge — evaluation takes fuel, counted in executed loop iterations. *)
+
+open Relational
+
+type outcome =
+  | Completed of { instance : Instance.t; iterations : int }
+  | Out_of_fuel of { instance : Instance.t; iterations : int }
+
+(** [run ?fuel p inst] (default fuel 100_000 loop iterations).
+    @raise Invalid_argument via {!Wast.check} on ill-formed programs. *)
+val run : ?fuel:int -> Wast.program -> Instance.t -> outcome
+
+(** [eval p inst] expects completion. @raise Failure on fuel
+    exhaustion. *)
+val eval : ?fuel:int -> Wast.program -> Instance.t -> Instance.t
+
+(** [answer p inst pred] projects one relation from the final instance. *)
+val answer : ?fuel:int -> Wast.program -> Instance.t -> string -> Relation.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Datalog Format Instance List Relation Relational Tuple Value

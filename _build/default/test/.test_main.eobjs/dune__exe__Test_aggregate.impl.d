@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Datalog Graph_gen Helpers Relation Relational

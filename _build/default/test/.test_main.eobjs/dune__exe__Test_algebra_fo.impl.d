@@ -1,0 +1,1 @@
+test/test_algebra_fo.ml: Alcotest Algebra Fo Helpers Instance Relation Relational Schema Tuple

@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Datalog Helpers List

@@ -1,0 +1,1 @@
+test/test_choice_active.ml: Alcotest Datalog Graph_gen Hashtbl Helpers Instance List Nondet Printf Relation Relational Tuple Value

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Datalog Distributed Graph_gen Helpers Instance List Relation Relational

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Datalog Graph_gen Helpers Instance List Nondet Order Relation Relational String Value

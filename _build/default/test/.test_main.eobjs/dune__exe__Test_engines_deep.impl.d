@@ -1,0 +1,1 @@
+test/test_engines_deep.ml: Alcotest Datalog Graph_gen Helpers Instance List Order Printf Relation Relational Tuple Value

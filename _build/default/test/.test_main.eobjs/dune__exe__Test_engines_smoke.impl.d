@@ -1,0 +1,1 @@
+test/test_engines_smoke.ml: Alcotest Datalog Graph_gen Helpers Instance List Relation Relational Tuple Value

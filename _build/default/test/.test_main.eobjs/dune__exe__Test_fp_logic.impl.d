@@ -1,0 +1,1 @@
+test/test_fp_logic.ml: Alcotest Datalog Fixpoint_logic Graph_gen Helpers Instance List Printf Relation Relational Value

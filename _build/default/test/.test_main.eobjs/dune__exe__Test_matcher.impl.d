@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Datalog Helpers Instance List Relation Relational

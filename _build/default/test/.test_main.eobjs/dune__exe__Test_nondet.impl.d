@@ -1,0 +1,1 @@
+test/test_nondet.ml: Alcotest Datalog Graph_gen Helpers Instance List Nondet Printf Relation Relational

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Datalog Helpers List Printexc Relational Value

@@ -1,0 +1,1 @@
+test/test_production.ml: Alcotest Datalog Helpers Instance List Relation Relational

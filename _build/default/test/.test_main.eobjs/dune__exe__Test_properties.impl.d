@@ -1,0 +1,1 @@
+test/test_properties.ml: Datalog Fo Format Graph_gen Helpers Instance List Nondet Printf QCheck QCheck_alcotest Relation Relational String Tuple Value While_lang

@@ -1,0 +1,1 @@
+test/test_properties2.ml: Array Datalog Distributed Graph_gen Helpers Instance List Ontology Printf QCheck QCheck_alcotest Random Relation Relational Trees Tuple Value

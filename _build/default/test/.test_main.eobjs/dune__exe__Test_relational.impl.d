@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Graph_gen Helpers Instance List Order Relation Relational Schema String Tuple Value

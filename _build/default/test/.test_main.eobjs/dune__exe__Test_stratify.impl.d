@@ -1,0 +1,1 @@
+test/test_stratify.ml: Alcotest Datalog Format Helpers List String

@@ -1,0 +1,1 @@
+test/test_trees_ontology.ml: Alcotest Datalog Helpers Instance List Ontology Relation Relational Trees Tuple Value

@@ -1,0 +1,1 @@
+test/test_turing.ml: Alcotest Datalog List Printf String Turing

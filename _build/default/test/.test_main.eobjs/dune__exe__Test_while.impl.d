@@ -1,0 +1,1 @@
+test/test_while.ml: Alcotest Compile Datalog Fo Fo_compile Graph_gen Helpers Instance List Printf Relation Relational Value Wast Weval While_lang

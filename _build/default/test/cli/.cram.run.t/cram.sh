@@ -1,0 +1,66 @@
+  $ cat > tc.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- G(X, Z), T(Z, Y).
+  > EOF
+  $ cat > g.facts <<'EOF'
+  > G(a, b). G(b, c).
+  > EOF
+  $ datalog-unchained run -s seminaive tc.dl -f g.facts -a T
+  $ datalog-unchained run -s naive tc.dl -f g.facts -a T
+  $ cat > win.dl <<'EOF'
+  > win(X) :- moves(X, Y), !win(Y).
+  > EOF
+  $ cat > moves.facts <<'EOF'
+  > moves(b,c). moves(c,a). moves(a,b). moves(a,d).
+  > moves(d,e). moves(d,f). moves(f,g).
+  > EOF
+  $ datalog-unchained run -s wellfounded win.dl -f moves.facts -a win
+  $ cat > comp.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- G(X, Z), T(Z, Y).
+  > CT(X, Y) :- !T(X, Y).
+  > EOF
+  $ datalog-unchained stratify comp.dl
+  $ datalog-unchained stratify win.dl
+  $ datalog-unchained check -l datalog tc.dl
+  $ datalog-unchained check -l datalog comp.dl
+  $ datalog-unchained check -l datalog-neg comp.dl
+  $ cat > flip.dl <<'EOF'
+  > T(0) :- T(1).
+  > !T(1) :- T(1).
+  > T(1) :- T(0).
+  > !T(0) :- T(0).
+  > EOF
+  $ cat > t0.facts <<'EOF'
+  > T(0).
+  > EOF
+  $ datalog-unchained run -s noninflationary flip.dl -f t0.facts
+  $ cat > orient.dl <<'EOF'
+  > !G(X, Y) :- G(X, Y), G(Y, X).
+  > EOF
+  $ cat > cyc.facts <<'EOF'
+  > G(a, b). G(b, a).
+  > EOF
+  $ datalog-unchained nondet -m enumerate orient.dl -f cyc.facts
+  $ datalog-unchained nondet -m cert orient.dl -f cyc.facts
+  $ cat > query.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- T(X, Z), G(Z, Y).
+  > ?- T(a, Y).
+  > EOF
+  $ datalog-unchained query query.dl -f g.facts
+  $ datalog-unchained deps comp.dl
+  $ cat > parity.dl <<'EOF'
+  > odd(X) :- first(X).
+  > even(X) :- odd(Y), succ(Y, X).
+  > odd(X) :- even(Y), succ(Y, X).
+  > is_even() :- last(X), even(X).
+  > EOF
+  $ cat > four.facts <<'EOF'
+  > P(e1). P(e2). P(e3). P(e4).
+  > EOF
+  $ datalog-unchained run --ordered parity.dl -f four.facts -a is_even
+  $ cat > broken.dl <<'EOF'
+  > p(X :- q(X).
+  > EOF
+  $ datalog-unchained run broken.dl

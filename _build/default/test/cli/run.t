@@ -1,0 +1,145 @@
+The CLI end to end: programs from the paper through every subcommand.
+
+  $ cat > tc.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- G(X, Z), T(Z, Y).
+  > EOF
+  $ cat > g.facts <<'EOF'
+  > G(a, b). G(b, c).
+  > EOF
+
+Semi-naive evaluation, answer restricted to one predicate:
+
+  $ datalog-unchained run -s seminaive tc.dl -f g.facts -a T
+  T(a, b).
+  T(a, c).
+  T(b, c).
+
+Naive agrees:
+
+  $ datalog-unchained run -s naive tc.dl -f g.facts -a T
+  T(a, b).
+  T(a, c).
+  T(b, c).
+
+The win game (Example 3.2) under well-founded semantics:
+
+  $ cat > win.dl <<'EOF'
+  > win(X) :- moves(X, Y), !win(Y).
+  > EOF
+  $ cat > moves.facts <<'EOF'
+  > moves(b,c). moves(c,a). moves(a,b). moves(a,d).
+  > moves(d,e). moves(d,f). moves(f,g).
+  > EOF
+  $ datalog-unchained run -s wellfounded win.dl -f moves.facts -a win
+  % true facts:
+  win(d).
+  win(f).
+  % unknown facts:
+  win(a).
+  win(b).
+  win(c).
+
+Stratification printing, and the rejection of the win program:
+
+  $ cat > comp.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- G(X, Z), T(Z, Y).
+  > CT(X, Y) :- !T(X, Y).
+  > EOF
+  $ datalog-unchained stratify comp.dl
+  % stratum 0:
+  T(X, Y) :- G(X, Y).
+  T(X, Y) :- G(X, Z), T(Z, Y).
+  % stratum 1:
+  CT(X, Y) :- !T(X, Y).
+  $ datalog-unchained stratify win.dl
+  not stratifiable: not stratifiable: win depends negatively on win inside a recursive component
+  [1]
+
+Fragment checking:
+
+  $ datalog-unchained check -l datalog tc.dl
+  ok
+  $ datalog-unchained check -l datalog comp.dl
+  invalid: rule with head CT: pure Datalog forbids body negation
+  [1]
+  $ datalog-unchained check -l datalog-neg comp.dl
+  ok
+
+The flip-flop program diverges under Datalog with retractions:
+
+  $ cat > flip.dl <<'EOF'
+  > T(0) :- T(1).
+  > !T(1) :- T(1).
+  > T(1) :- T(0).
+  > !T(0) :- T(0).
+  > EOF
+  $ cat > t0.facts <<'EOF'
+  > T(0).
+  > EOF
+  $ datalog-unchained run -s noninflationary flip.dl -f t0.facts
+  % diverges: cycle of period 2 entered at stage 0
+
+Nondeterministic orientation: the whole effect relation of one 2-cycle:
+
+  $ cat > orient.dl <<'EOF'
+  > !G(X, Y) :- G(X, Y), G(Y, X).
+  > EOF
+  $ cat > cyc.facts <<'EOF'
+  > G(a, b). G(b, a).
+  > EOF
+  $ datalog-unchained nondet -m enumerate orient.dl -f cyc.facts
+  % 2 terminal instance(s), 3 states explored
+  % outcome 1:
+  G(a, b).
+  % outcome 2:
+  G(b, a).
+  $ datalog-unchained nondet -m cert orient.dl -f cyc.facts
+  
+
+Magic-set query answering via the ?- directive:
+
+  $ cat > query.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- T(X, Z), G(Z, Y).
+  > ?- T(a, Y).
+  > EOF
+  $ datalog-unchained query query.dl -f g.facts
+  T(a, b).
+  T(a, c).
+
+Dependency graph in dot format:
+
+  $ datalog-unchained deps comp.dl
+  digraph deps {
+    "CT";
+    "G";
+    "T";
+    "G" -> "T";
+    "T" -> "CT" [style=dashed,label="¬"];
+    "T" -> "T";
+  }
+
+Evaluation on an ordered database (Theorem 4.7 experiments):
+
+  $ cat > parity.dl <<'EOF'
+  > odd(X) :- first(X).
+  > even(X) :- odd(Y), succ(Y, X).
+  > odd(X) :- even(Y), succ(Y, X).
+  > is_even() :- last(X), even(X).
+  > EOF
+  $ cat > four.facts <<'EOF'
+  > P(e1). P(e2). P(e3). P(e4).
+  > EOF
+  $ datalog-unchained run --ordered parity.dl -f four.facts -a is_even
+  is_even().
+
+Parse errors carry positions:
+
+  $ cat > broken.dl <<'EOF'
+  > p(X :- q(X).
+  > EOF
+  $ datalog-unchained run broken.dl
+  broken.dl:1: parse error: expected ), found :-
+  [2]

@@ -1,0 +1,202 @@
+(* Stratified aggregation (§6's LogiQL/BigDatalog line). *)
+open Relational
+open Helpers
+module Agg = Datalog.Aggregate
+
+let orders =
+  facts
+    {|
+      order(alice, widget, 3).
+      order(alice, gizmo, 2).
+      order(bob, widget, 5).
+      order(carol, gizmo, 1).
+      price(widget, 10).
+      price(gizmo, 7).
+    |}
+
+let blits src =
+  (Datalog.Parser.parse_rule ("agg__probe :- " ^ src)).Datalog.Ast.body
+
+let test_count () =
+  let layers =
+    [
+      {
+        Agg.rules = [];
+        aggregates =
+          [
+            {
+              Agg.pred = "orders_per_cust";
+              group_by = [ "C" ];
+              func = Agg.Count;
+              body = blits "order(C, I, N)";
+            };
+          ];
+      };
+    ]
+  in
+  let r = Agg.answer layers orders "orders_per_cust" in
+  check_rel "counts"
+    (Relation.of_rows
+       [ [ v "alice"; i 2 ]; [ v "bob"; i 1 ]; [ v "carol"; i 1 ] ])
+    r
+
+let test_sum_min_max () =
+  let mk func pred col =
+    {
+      Agg.rules = [];
+      aggregates =
+        [ { Agg.pred; group_by = [ "I" ]; func; body = blits col } ];
+    }
+  in
+  let sums =
+    Agg.answer [ mk (Agg.Sum "N") "total" "order(C, I, N)" ] orders "total"
+  in
+  check_rel "sums"
+    (Relation.of_rows [ [ v "widget"; i 8 ]; [ v "gizmo"; i 3 ] ])
+    sums;
+  let mins =
+    Agg.answer [ mk (Agg.Min "N") "least" "order(C, I, N)" ] orders "least"
+  in
+  check_rel "mins"
+    (Relation.of_rows [ [ v "widget"; i 3 ]; [ v "gizmo"; i 1 ] ])
+    mins;
+  let maxs =
+    Agg.answer [ mk (Agg.Max "N") "most" "order(C, I, N)" ] orders "most"
+  in
+  check_rel "maxs"
+    (Relation.of_rows [ [ v "widget"; i 5 ]; [ v "gizmo"; i 2 ] ])
+    maxs
+
+let test_layered_recursion_then_aggregate () =
+  (* layer 1: compute reachability; layer 2: count reachable nodes per
+     source — aggregation over a recursive result *)
+  let layers =
+    [
+      {
+        Agg.rules =
+          prog "T(X,Y) :- G(X,Y). T(X,Y) :- G(X,Z), T(Z,Y).";
+        aggregates =
+          [
+            {
+              Agg.pred = "reach_count";
+              group_by = [ "X" ];
+              func = Agg.Count;
+              body = blits "T(X, Y)";
+            };
+          ];
+      };
+    ]
+  in
+  let inst = Graph_gen.chain 5 in
+  let r = Agg.answer layers inst "reach_count" in
+  (* n0 reaches 4, n1 3, n2 2, n3 1 *)
+  check_rel "reach counts"
+    (Relation.of_rows
+       [
+         [ v "n0"; i 4 ]; [ v "n1"; i 3 ]; [ v "n2"; i 2 ]; [ v "n3"; i 1 ];
+       ])
+    r
+
+let test_aggregate_feeds_next_layer () =
+  (* layer 1 computes counts; layer 2's rules read them *)
+  let layers =
+    [
+      {
+        Agg.rules = [];
+        aggregates =
+          [
+            {
+              Agg.pred = "cnt";
+              group_by = [ "C" ];
+              func = Agg.Count;
+              body = blits "order(C, I, N)";
+            };
+          ];
+      };
+      {
+        Agg.rules = prog "multi(C) :- cnt(C, 2).";
+        aggregates = [];
+      };
+    ]
+  in
+  check_rel "multi-item customers" (unary [ "alice" ])
+    (Agg.answer layers orders "multi")
+
+let test_agg_with_negation_body () =
+  (* count orders for items with no price listing *)
+  let layers =
+    [
+      {
+        Agg.rules = prog "priced(I) :- price(I, P).";
+        aggregates =
+          [
+            {
+              Agg.pred = "unpriced_orders";
+              group_by = [];
+              func = Agg.Count;
+              body = blits "order(C, I, N), !priced(I)";
+            };
+          ];
+      };
+    ]
+  in
+  (* all items are priced: empty group -> no fact (SQL GROUP BY shape) *)
+  check_rel "no unpriced" Relation.empty
+    (Agg.answer layers orders "unpriced_orders")
+
+let test_sum_requires_ints () =
+  let layers =
+    [
+      {
+        Agg.rules = [];
+        aggregates =
+          [
+            {
+              Agg.pred = "bad";
+              group_by = [];
+              func = Agg.Sum "I";
+              body = blits "order(C, I, N)";
+            };
+          ];
+      };
+    ]
+  in
+  match Agg.eval layers orders with
+  | exception Agg.Agg_error _ -> ()
+  | _ -> Alcotest.fail "expected Agg_error"
+
+let test_unbound_agg_var () =
+  let layers =
+    [
+      {
+        Agg.rules = [];
+        aggregates =
+          [
+            {
+              Agg.pred = "bad";
+              group_by = [ "Z" ];
+              func = Agg.Count;
+              body = blits "order(C, I, N)";
+            };
+          ];
+      };
+    ]
+  in
+  match Agg.eval layers orders with
+  | exception Datalog.Ast.Check_error _ -> ()
+  | _ -> Alcotest.fail "expected Check_error for unbound group-by"
+
+let suite =
+  [
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "sum/min/max" `Quick test_sum_min_max;
+    Alcotest.test_case "recursion then aggregation" `Quick
+      test_layered_recursion_then_aggregate;
+    Alcotest.test_case "aggregates feed later layers" `Quick
+      test_aggregate_feeds_next_layer;
+    Alcotest.test_case "negation in aggregate bodies" `Quick
+      test_agg_with_negation_body;
+    Alcotest.test_case "sum type error" `Quick test_sum_requires_ints;
+    Alcotest.test_case "unbound group-by rejected" `Quick
+      test_unbound_agg_var;
+  ]

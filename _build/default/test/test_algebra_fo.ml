@@ -1,0 +1,180 @@
+(* Relational algebra and the FO evaluator. *)
+open Relational
+open Helpers
+
+let inst = facts "G(a,b). G(b,c). G(c,c). P(a). P(c)."
+
+let schema = Schema.of_list [ Schema.rel "G" 2; Schema.rel "P" 1 ]
+
+(* --- algebra ------------------------------------------------------------ *)
+
+let test_project () =
+  check_rel "project col 0" (unary [ "a"; "b"; "c" ])
+    (Algebra.eval inst (Algebra.Project ([ 0 ], Algebra.Rel "G")))
+
+let test_select () =
+  check_rel "select self-loop"
+    (pairs [ ("c", "c") ])
+    (Algebra.eval inst
+       (Algebra.Select (Algebra.Col_eq_col (0, 1), Algebra.Rel "G")));
+  check_rel "select by constant"
+    (pairs [ ("a", "b") ])
+    (Algebra.eval inst
+       (Algebra.Select (Algebra.Col_eq_const (0, v "a"), Algebra.Rel "G")))
+
+let test_join () =
+  (* G ⋈ G on col1 = col0: paths of length two *)
+  let joined =
+    Algebra.eval inst (Algebra.Join ([ (1, 0) ], Algebra.Rel "G", Algebra.Rel "G"))
+  in
+  let paths = Relation.map (fun t -> Tuple.project t [ 0; 3 ]) joined in
+  check_rel "two-step paths"
+    (pairs [ ("a", "c"); ("b", "c"); ("c", "c") ])
+    paths
+
+let test_product_union_diff_inter () =
+  let p = Instance.find "P" inst in
+  let prod = Algebra.eval inst (Algebra.Product (Algebra.Rel "P", Algebra.Rel "P")) in
+  Alcotest.(check int) "product size" (Relation.cardinal p * Relation.cardinal p)
+    (Relation.cardinal prod);
+  check_rel "union"
+    (unary [ "a"; "c" ])
+    (Algebra.eval inst (Algebra.Union (Algebra.Rel "P", Algebra.Rel "P")));
+  check_rel "diff empty" Relation.empty
+    (Algebra.eval inst (Algebra.Diff (Algebra.Rel "P", Algebra.Rel "P")));
+  check_rel "inter"
+    (unary [ "a"; "c" ])
+    (Algebra.eval inst (Algebra.Inter (Algebra.Rel "P", Algebra.Rel "P")))
+
+let test_algebra_type_errors () =
+  (match Algebra.arity schema (Algebra.Project ([ 5 ], Algebra.Rel "G")) with
+  | exception Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error");
+  (match Algebra.arity schema (Algebra.Union (Algebra.Rel "G", Algebra.Rel "P")) with
+  | exception Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected arity error");
+  (match Algebra.arity schema (Algebra.Rel "missing") with
+  | exception Algebra.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown relation");
+  Alcotest.(check int) "join arity" 4
+    (Algebra.arity schema (Algebra.Join ([ (1, 0) ], Algebra.Rel "G", Algebra.Rel "G")))
+
+let test_algebra_conditions () =
+  let t1 = t [ v "a"; v "b" ] in
+  Alcotest.(check bool) "not" true
+    (Algebra.holds_cond (Algebra.Not (Algebra.Col_eq_col (0, 1))) t1);
+  Alcotest.(check bool) "and/or" true
+    (Algebra.holds_cond
+       (Algebra.Or
+          ( Algebra.And (Algebra.Col_eq_col (0, 1), Algebra.True),
+            Algebra.Col_eq_const (1, v "b") ))
+       t1);
+  Alcotest.(check bool) "lt under value order" true
+    (Algebra.holds_cond (Algebra.Col_lt_col (0, 1)) t1)
+
+(* --- FO ------------------------------------------------------------------ *)
+
+let test_fo_atoms_and_bool () =
+  Alcotest.(check bool) "sentence: some self loop" true
+    (Fo.sentence inst
+       (Fo.Exists ([ "x" ], Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "x" ]))));
+  Alcotest.(check bool) "sentence: all P have G-successor" true
+    (Fo.sentence inst
+       (Fo.Forall
+          ( [ "x" ],
+            Fo.Implies
+              ( Fo.Atom ("P", [ Fo.Var "x" ]),
+                Fo.Exists ([ "y" ], Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "y" ]))
+              ) )))
+
+let test_fo_eval_difference () =
+  (* P(x) ∧ ¬∃y G(y, x): elements of P with no predecessor *)
+  let f =
+    Fo.And
+      ( Fo.Atom ("P", [ Fo.Var "x" ]),
+        Fo.Not (Fo.Exists ([ "y" ], Fo.Atom ("G", [ Fo.Var "y"; Fo.Var "x" ])))
+      )
+  in
+  check_rel "no-predecessor P" (unary [ "a" ]) (Fo.eval inst f [ "x" ])
+
+let test_fo_eval_extra_columns () =
+  (* extra output columns range over the active domain *)
+  let f = Fo.Atom ("P", [ Fo.Var "x" ]) in
+  let r = Fo.eval inst f [ "x"; "z" ] in
+  Alcotest.(check int) "P x adom" (2 * 3) (Relation.cardinal r)
+
+let test_fo_eval_requires_free_vars () =
+  match Fo.eval inst (Fo.Atom ("P", [ Fo.Var "x" ])) [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_fo_sentence_rejects_free () =
+  match Fo.sentence inst (Fo.Atom ("P", [ Fo.Var "x" ])) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_fo_constants_extend_domain () =
+  (* z = d for a constant d outside the instance: satisfiable because the
+     formula's constants join the domain *)
+  let f = Fo.Eq (Fo.Var "z", Fo.Cst (v "d")) in
+  check_rel "constant joins domain" (unary [ "d" ]) (Fo.eval inst f [ "z" ])
+
+let test_fo_free_vars_order () =
+  let f =
+    Fo.And
+      ( Fo.Atom ("G", [ Fo.Var "b"; Fo.Var "a" ]),
+        Fo.Exists ([ "c" ], Fo.Atom ("G", [ Fo.Var "c"; Fo.Var "a" ])) )
+  in
+  Alcotest.(check (list string)) "first occurrence order" [ "b"; "a" ]
+    (Fo.free_vars f)
+
+let test_fo_de_morgan () =
+  (* ¬(φ ∨ ψ) ≡ ¬φ ∧ ¬ψ over all valuations *)
+  let phi = Fo.Atom ("P", [ Fo.Var "x" ]) in
+  let psi = Fo.Exists ([ "y" ], Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "y" ])) in
+  let lhs = Fo.Not (Fo.Or (phi, psi)) in
+  let rhs = Fo.And (Fo.Not phi, Fo.Not psi) in
+  check_rel "de morgan" (Fo.eval inst lhs [ "x" ]) (Fo.eval inst rhs [ "x" ])
+
+(* algebra and FO agree on a joint query: π0(σ(G ⋈ G)) vs ∃-formula *)
+let test_algebra_fo_agree () =
+  let via_algebra =
+    Algebra.eval inst
+      (Algebra.Project
+         ([ 0 ], Algebra.Join ([ (1, 0) ], Algebra.Rel "G", Algebra.Rel "G")))
+  in
+  let via_fo =
+    Fo.eval inst
+      (Fo.Exists
+         ( [ "y"; "z" ],
+           Fo.And
+             ( Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "y" ]),
+               Fo.Atom ("G", [ Fo.Var "y"; Fo.Var "z" ]) ) ))
+      [ "x" ]
+  in
+  check_rel "algebra = calculus" via_algebra via_fo
+
+let suite =
+  [
+    Alcotest.test_case "projection" `Quick test_project;
+    Alcotest.test_case "selection" `Quick test_select;
+    Alcotest.test_case "equijoin" `Quick test_join;
+    Alcotest.test_case "product/union/diff/inter" `Quick
+      test_product_union_diff_inter;
+    Alcotest.test_case "algebra type errors" `Quick test_algebra_type_errors;
+    Alcotest.test_case "selection conditions" `Quick test_algebra_conditions;
+    Alcotest.test_case "FO sentences" `Quick test_fo_atoms_and_bool;
+    Alcotest.test_case "FO difference query" `Quick test_fo_eval_difference;
+    Alcotest.test_case "FO extra output columns" `Quick
+      test_fo_eval_extra_columns;
+    Alcotest.test_case "FO eval var coverage" `Quick
+      test_fo_eval_requires_free_vars;
+    Alcotest.test_case "FO sentence closedness" `Quick
+      test_fo_sentence_rejects_free;
+    Alcotest.test_case "FO constants extend domain" `Quick
+      test_fo_constants_extend_domain;
+    Alcotest.test_case "FO free-variable order" `Quick test_fo_free_vars_order;
+    Alcotest.test_case "FO De Morgan" `Quick test_fo_de_morgan;
+    Alcotest.test_case "algebra = calculus on a join query" `Quick
+      test_algebra_fo_agree;
+  ]

@@ -1,0 +1,140 @@
+(* AST structural queries and fragment validation. *)
+open Helpers
+module Ast = Datalog.Ast
+
+let tc = tc_program
+
+let comp_tc =
+  prog
+    {|
+    T(X, Y) :- G(X, Y).
+    T(X, Y) :- G(X, Z), T(Z, Y).
+    CT(X, Y) :- !T(X, Y).
+  |}
+
+let test_idb_edb () =
+  Alcotest.(check (list string)) "idb" [ "CT"; "T" ] (Ast.idb comp_tc);
+  Alcotest.(check (list string)) "edb" [ "G" ] (Ast.edb comp_tc);
+  Alcotest.(check (list string)) "preds" [ "CT"; "G"; "T" ] (Ast.preds comp_tc)
+
+let test_adom () =
+  let p = prog "p(a, X) :- q(X, 3), r(\"s\")." in
+  Alcotest.(check int) "three constants" 3 (List.length (Ast.adom p))
+
+let test_rule_vars () =
+  let r = Datalog.Parser.parse_rule "p(X, Y) :- q(X, Z), !r(Z, W)." in
+  Alcotest.(check (list string)) "rule vars" [ "X"; "Y"; "Z"; "W" ]
+    (Ast.rule_vars r);
+  Alcotest.(check (list string)) "body vars" [ "X"; "Z"; "W" ]
+    (Ast.body_vars r);
+  Alcotest.(check (list string)) "positively bound" [ "X"; "Z" ]
+    (List.sort compare (Ast.positive_body_vars r))
+
+let test_head_only_vars () =
+  let r = Datalog.Parser.parse_rule "tag(X, N) :- item(X)." in
+  Alcotest.(check (list string)) "invented" [ "N" ] (Ast.head_only_vars r)
+
+let test_eq_binding_propagates () =
+  let r = Datalog.Parser.parse_rule "p(Y) :- q(X), Y = X." in
+  Alcotest.(check (list string)) "Y bound through equality" [ "X"; "Y" ]
+    (List.sort compare (Ast.positive_body_vars r))
+
+let test_infer_schema_conflict () =
+  let p = prog "p(X) :- q(X). p(X, Y) :- q(X), q(Y)." in
+  Alcotest.check_raises "arity conflict"
+    (Ast.Check_error "predicate p used with arities 1 and 2") (fun () ->
+      ignore (Ast.infer_schema p))
+
+let expect_check_error f =
+  match f () with
+  | () -> Alcotest.fail "expected Check_error"
+  | exception Ast.Check_error _ -> ()
+
+let test_check_datalog () =
+  Ast.check_datalog tc;
+  expect_check_error (fun () -> Ast.check_datalog comp_tc);
+  (* unsafe head variable *)
+  expect_check_error (fun () ->
+      Ast.check_datalog (prog "p(X, Y) :- q(X)."));
+  (* equality literals are nondeterministic-only *)
+  expect_check_error (fun () ->
+      Ast.check_datalog (prog "p(X) :- q(X), X = X."))
+
+let test_check_datalog_neg () =
+  Ast.check_datalog_neg comp_tc;
+  (* the paper's Example 4.4 rule: variable bound only negatively is fine *)
+  Ast.check_datalog_neg (prog "good(X) :- delay, !bad(X).");
+  (* head negation is Datalog¬¬ *)
+  expect_check_error (fun () ->
+      Ast.check_datalog_neg (prog "!p(X) :- q(X)."));
+  (* multi-head is nondeterministic *)
+  expect_check_error (fun () ->
+      Ast.check_datalog_neg (prog "p(X), r(X) :- q(X)."))
+
+let test_check_negneg () =
+  Ast.check_datalog_negneg (prog "!p(X) :- q(X).");
+  expect_check_error (fun () ->
+      Ast.check_datalog_negneg (prog "bottom :- q(X)."))
+
+let test_check_invent () =
+  Ast.check_invent (prog "tag(X, N) :- item(X).");
+  expect_check_error (fun () -> Ast.check_invent (prog "!p(X) :- q(X)."))
+
+let test_check_ndatalog () =
+  Ast.check_ndatalog (prog "p(X), !q(X) :- r(X), X != X.");
+  (* Definition 5.1: head variables must be positively bound *)
+  expect_check_error (fun () ->
+      Ast.check_ndatalog (prog "p(X) :- !q(X)."));
+  expect_check_error (fun () ->
+      Ast.check_ndatalog (prog "bottom :- q(X)."));
+  Ast.check_ndatalog_bottom (prog "bottom :- q(X).");
+  expect_check_error (fun () ->
+      Ast.check_ndatalog_pos_heads (prog "!p(X) :- p(X)."))
+
+let test_check_forall () =
+  Ast.check_ndatalog_forall
+    (prog "ans(X) :- forall Y : p(X), !q(X, Y).");
+  (* forall vars may not occur in heads *)
+  expect_check_error (fun () ->
+      Ast.check_ndatalog_forall
+        (prog "ans(X, Y) :- forall Y : p(X), !q(X, Y)."));
+  (* forall is exclusive to N-Datalog¬∀ *)
+  expect_check_error (fun () ->
+      Ast.check_datalog_neg (prog "ans(X) :- forall Y : p(X), !q(X, Y)."))
+
+let test_is_datalog_neg_syntax () =
+  Alcotest.(check bool) "comp_tc yes" true (Ast.is_datalog_neg_syntax comp_tc);
+  Alcotest.(check bool) "head negation no" false
+    (Ast.is_datalog_neg_syntax (prog "!p(X) :- q(X)."));
+  Alcotest.(check bool) "equality no" false
+    (Ast.is_datalog_neg_syntax (prog "p(X) :- q(X), X = X."))
+
+let test_ground_atom () =
+  let a = Ast.atom "p" [ Ast.var "X"; Ast.sym "c" ] in
+  let pred, tup = Ast.ground_atom [ ("X", v "a") ] a in
+  Alcotest.(check string) "pred" "p" pred;
+  Alcotest.check tuple "grounded" (t [ v "a"; v "c" ]) tup;
+  expect_check_error (fun () -> ignore (Ast.ground_atom [] a))
+
+let suite =
+  [
+    Alcotest.test_case "idb/edb split" `Quick test_idb_edb;
+    Alcotest.test_case "program constants" `Quick test_adom;
+    Alcotest.test_case "rule variable classification" `Quick test_rule_vars;
+    Alcotest.test_case "head-only (invented) variables" `Quick
+      test_head_only_vars;
+    Alcotest.test_case "equality binding propagation" `Quick
+      test_eq_binding_propagates;
+    Alcotest.test_case "schema inference conflicts" `Quick
+      test_infer_schema_conflict;
+    Alcotest.test_case "check: pure Datalog" `Quick test_check_datalog;
+    Alcotest.test_case "check: Datalog¬ (paper safety)" `Quick
+      test_check_datalog_neg;
+    Alcotest.test_case "check: Datalog¬¬" `Quick test_check_negneg;
+    Alcotest.test_case "check: Datalog¬new" `Quick test_check_invent;
+    Alcotest.test_case "check: N-Datalog variants" `Quick test_check_ndatalog;
+    Alcotest.test_case "check: ∀ rules" `Quick test_check_forall;
+    Alcotest.test_case "syntax classification" `Quick
+      test_is_datalog_neg_syntax;
+    Alcotest.test_case "atom grounding" `Quick test_ground_atom;
+  ]

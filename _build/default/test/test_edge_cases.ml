@@ -1,0 +1,166 @@
+(* Edge cases and failure injection across the stack. *)
+open Relational
+open Helpers
+
+(* --- empty inputs ---------------------------------------------------------- *)
+
+let test_engines_on_empty_instance () =
+  let p = tc_program in
+  check_rel "naive" Relation.empty (Datalog.Naive.answer p Instance.empty "T");
+  check_rel "seminaive" Relation.empty
+    (Datalog.Seminaive.answer p Instance.empty "T");
+  check_rel "inflationary" Relation.empty
+    (Datalog.Inflationary.answer p Instance.empty "T");
+  let wf = Datalog.Wellfounded.eval p Instance.empty in
+  Alcotest.(check bool) "wf total on empty" true
+    (Datalog.Wellfounded.is_total wf)
+
+let test_empty_program () =
+  let inst = facts "G(a,b)." in
+  (* an empty program maps the input to itself *)
+  Alcotest.check instance "identity"
+    inst
+    (Datalog.Inflationary.eval [] inst).Datalog.Inflationary.instance
+
+let test_fact_only_program () =
+  let p = prog "G(x, y). P(z)." in
+  let res = Datalog.Seminaive.eval p Instance.empty in
+  Alcotest.(check int) "two facts materialized" 2
+    (Instance.total_facts res.Datalog.Seminaive.instance)
+
+(* --- constants in programs --------------------------------------------------- *)
+
+let test_program_constants_join_domain () =
+  (* the rule's constant is in adom(P, K) even if absent from the input *)
+  let p = prog "special(X) :- !blocked(X), X = marker." in
+  (* X bound only via equality with a constant — nondeterministic syntax,
+     so run under the ND evaluator deterministically *)
+  Datalog.Ast.check_ndatalog p;
+  let out = Nondet.Enumerate.terminals p (facts "seed(s).") in
+  Alcotest.(check int) "one outcome" 1 (List.length out);
+  Alcotest.(check bool) "marker derived" true
+    (Instance.mem_fact "special" (t [ v "marker" ]) (List.hd out))
+
+let test_wellfounded_with_constants () =
+  let p = prog "p(a) :- !q(a). q(a) :- !p(a)." in
+  let res = Datalog.Wellfounded.eval p Instance.empty in
+  Alcotest.(check int) "both unknown" 2
+    (Instance.total_facts (Datalog.Wellfounded.unknown res))
+
+(* --- zero-ary relations --------------------------------------------------------- *)
+
+let test_zero_ary_relations () =
+  let p = prog "go() :- trigger(). done2() :- go()." in
+  let inst = facts "trigger()." in
+  let res = Datalog.Seminaive.eval p inst in
+  Alcotest.(check bool) "done2 derived" true
+    (Instance.mem_fact "done2" (t []) res.Datalog.Seminaive.instance)
+
+(* --- pretty printer on odd values ---------------------------------------------- *)
+
+let test_pretty_quoted_symbols () =
+  (* constants that are not lowercase identifiers must round-trip *)
+  let r =
+    Datalog.Ast.fact
+      (Datalog.Ast.atom "p"
+         [
+           Datalog.Ast.cst (Value.Sym "Upper");
+           Datalog.Ast.cst (Value.Sym "has space");
+           Datalog.Ast.cst (Value.Str "a\"b");
+           Datalog.Ast.int (-5);
+         ])
+  in
+  let printed = Datalog.Pretty.rule_to_string r in
+  let reparsed = Datalog.Parser.parse_rule printed in
+  Alcotest.(check bool) "quoted roundtrip" true (r = reparsed)
+
+let test_pretty_lowercase_variable () =
+  (* programmatic ASTs may use lowercase variables; they print as ?x *)
+  let r =
+    Datalog.Ast.rule
+      (Datalog.Ast.atom "p" [ Datalog.Ast.var "x" ])
+      [ Datalog.Ast.BPos (Datalog.Ast.atom "q" [ Datalog.Ast.var "x" ]) ]
+  in
+  let printed = Datalog.Pretty.rule_to_string r in
+  Alcotest.(check string) "uses ?x" "p(?x) :- q(?x)." printed;
+  Alcotest.(check bool) "roundtrip" true
+    (Datalog.Parser.parse_rule printed = r)
+
+(* --- divergence fuel ------------------------------------------------------------- *)
+
+let test_invent_fuel_message () =
+  let p = prog "next(X, N) :- start(X). next(N, M) :- next(X, N)." in
+  match Datalog.Invent.eval ~max_stages:5 p (facts "start(a).") with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions fuel" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected failure"
+
+let test_noninflationary_max_stages () =
+  (* a program that keeps growing (no cycle, no fixpoint within fuel):
+     impossible without invention — instead check the cycle detector's
+     fuel guard with a tiny budget on a long-running program *)
+  let p = prog "T(X,Y) :- G(X,Y). T(X,Y) :- G(X,Z), T(Z,Y)." in
+  let inst = Graph_gen.chain 30 in
+  match Datalog.Noninflationary.run ~max_stages:3 p inst with
+  | exception Failure _ -> ()
+  | Datalog.Noninflationary.Fixpoint _ ->
+      Alcotest.fail "3 stages cannot close a 30-chain"
+  | _ -> Alcotest.fail "unexpected outcome"
+
+(* --- stage counting -------------------------------------------------------------- *)
+
+let test_stage_counts_agree () =
+  List.iter
+    (fun (name, inst) ->
+      let n = (Datalog.Naive.eval tc_program inst).Datalog.Naive.stages in
+      let s = (Datalog.Seminaive.eval tc_program inst).Datalog.Seminaive.stages in
+      Alcotest.(check int) (name ^ " stages") n s)
+    [ ("chain", Graph_gen.chain 7); ("cycle", Graph_gen.cycle 5) ]
+
+let test_trace_length_matches_stages () =
+  let inst = Graph_gen.chain 6 in
+  let res = Datalog.Inflationary.eval tc_program inst in
+  let trace = Datalog.Inflationary.trace tc_program inst in
+  (* trace includes stage 0 (the input) and the final fixpoint stage *)
+  Alcotest.(check int) "trace length"
+    (res.Datalog.Inflationary.stages + 1)
+    (List.length trace)
+
+(* --- order on mixed-type domains --------------------------------------------------- *)
+
+let test_order_mixed_types () =
+  let inst = facts "P(3). P(\"str\"). P(zed). P(1)." in
+  let o = Order.adjoin inst in
+  Alcotest.(check bool) "valid" true (Order.is_ordered o);
+  (* ints sort before strings before symbols *)
+  Alcotest.(check bool) "first is 1" true
+    (Instance.mem_fact "first" (t [ i 1 ]) o);
+  Alcotest.(check bool) "last is zed" true
+    (Instance.mem_fact "last" (t [ v "zed" ]) o)
+
+let suite =
+  [
+    Alcotest.test_case "engines on empty instance" `Quick
+      test_engines_on_empty_instance;
+    Alcotest.test_case "empty program is identity" `Quick test_empty_program;
+    Alcotest.test_case "fact-only programs" `Quick test_fact_only_program;
+    Alcotest.test_case "program constants join adom" `Quick
+      test_program_constants_join_domain;
+    Alcotest.test_case "well-founded with constants" `Quick
+      test_wellfounded_with_constants;
+    Alcotest.test_case "zero-ary relations" `Quick test_zero_ary_relations;
+    Alcotest.test_case "pretty: quoted symbols roundtrip" `Quick
+      test_pretty_quoted_symbols;
+    Alcotest.test_case "pretty: lowercase variables as ?x" `Quick
+      test_pretty_lowercase_variable;
+    Alcotest.test_case "invent fuel failure" `Quick test_invent_fuel_message;
+    Alcotest.test_case "noninflationary fuel guard" `Quick
+      test_noninflationary_max_stages;
+    Alcotest.test_case "naive/semi-naive stage counts" `Quick
+      test_stage_counts_agree;
+    Alcotest.test_case "trace length = stages + 1" `Quick
+      test_trace_length_matches_stages;
+    Alcotest.test_case "order over mixed value types" `Quick
+      test_order_mixed_types;
+  ]

@@ -1,0 +1,324 @@
+(* Property-based tests (qcheck): cross-engine agreement, semantic
+   invariants, genericity, round-trips — on randomly generated programs
+   and instances. *)
+open Relational
+open Helpers
+module Q = QCheck
+
+(* ------------------------------------------------------------------ *)
+(* generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_graph_gen =
+  Q.Gen.(
+    let* n = 2 -- 8 in
+    let* m = 0 -- (n * 2) in
+    let* seed = 0 -- 10_000 in
+    return (Graph_gen.random ~seed n m, n, m, seed))
+
+let graph_arb =
+  Q.make
+    ~print:(fun (i, n, m, seed) ->
+      Printf.sprintf "graph(n=%d, m=%d, seed=%d):\n%s" n m seed
+        (Instance.to_string i))
+    small_graph_gen
+
+(* random positive Datalog programs over a fixed schema:
+   edb e/1, g/2; idb p/1, q/2. Rules are built from a safe template pool,
+   sampled; this generates recursion, mutual recursion, projections. *)
+let rule_pool =
+  [
+    "p(X) :- e(X).";
+    "p(X) :- g(X, Y).";
+    "p(Y) :- g(X, Y), p(X).";
+    "q(X, Y) :- g(X, Y).";
+    "q(X, Y) :- g(X, Z), q(Z, Y).";
+    "q(X, Y) :- q(X, Z), q(Z, Y).";
+    "p(X) :- q(X, X).";
+    "q(X, X) :- e(X).";
+    "q(X, Y) :- g(Y, X).";
+    "p(X) :- q(X, Y), e(Y).";
+  ]
+
+(* rules with safe negation for stratified-program generation; negation
+   only on earlier-defined predicates *)
+let neg_rule_pool =
+  [
+    "r(X) :- e(X), !p(X).";
+    "r(X) :- g(X, Y), !q(X, Y).";
+    "s(X) :- e(X), !r(X).";
+    "s(X) :- p(X), !r(X).";
+    "r(X) :- p(X), e(X).";
+  ]
+
+let program_gen pool =
+  Q.Gen.(
+    let* k = 1 -- List.length pool in
+    let* idx = list_size (return k) (0 -- (List.length pool - 1)) in
+    let rules =
+      List.sort_uniq compare idx
+      |> List.map (fun i -> List.nth pool i)
+    in
+    return (prog (String.concat "\n" rules)))
+
+let inst_gen =
+  Q.Gen.(
+    let* n = 1 -- 6 in
+    let* edges = 0 -- 10 in
+    let* seed = 0 -- 10_000 in
+    let g = Graph_gen.random ~name:"g" ~seed n edges in
+    let* ne = 0 -- n in
+    let es = List.init ne (fun i -> [ Graph_gen.vertex i ]) in
+    return (Instance.set "e" (Relation.of_rows es) g))
+
+let prog_inst_arb pool =
+  Q.make
+    ~print:(fun (p, i) ->
+      Printf.sprintf "program:\n%s\ninstance:\n%s"
+        (Datalog.Pretty.program_to_string p)
+        (Instance.to_string i))
+    Q.Gen.(
+      let* p = program_gen pool in
+      let* i = inst_gen in
+      return (p, i))
+
+let count = 100
+
+let prop name arb f = QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name arb f)
+
+(* ------------------------------------------------------------------ *)
+(* properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* naive = semi-naive = inflationary on positive programs (minimum model
+   and inflationary fixpoint coincide for Datalog, §4.1) *)
+let prop_engines_agree_positive =
+  prop "naive = semi-naive = inflationary (positive programs)"
+    (prog_inst_arb rule_pool) (fun (p, i) ->
+      let n = (Datalog.Naive.eval p i).Datalog.Naive.instance in
+      let s = (Datalog.Seminaive.eval p i).Datalog.Seminaive.instance in
+      let f = (Datalog.Inflationary.eval p i).Datalog.Inflationary.instance in
+      Instance.equal n s && Instance.equal n f)
+
+(* TC engines agree with the Floyd–Warshall oracle *)
+let prop_tc_oracle =
+  prop "TC = Floyd–Warshall oracle" graph_arb (fun (i, _, _, _) ->
+      let tc =
+        prog "T(X,Y) :- G(X,Y). T(X,Y) :- G(X,Z), T(Z,Y)."
+      in
+      Relation.equal
+        (Datalog.Seminaive.answer tc i "T")
+        (Graph_gen.reference_tc (Instance.find "G" i)))
+
+(* minimum model is a fixpoint: re-running adds nothing *)
+let prop_fixpoint_idempotent =
+  prop "evaluation is idempotent" (prog_inst_arb rule_pool) (fun (p, i) ->
+      let once = (Datalog.Seminaive.eval p i).Datalog.Seminaive.instance in
+      let twice = (Datalog.Seminaive.eval p once).Datalog.Seminaive.instance in
+      Instance.equal once twice)
+
+(* monotonicity of positive programs: more input facts, more output *)
+let prop_positive_monotone =
+  prop "positive programs are monotone" (prog_inst_arb rule_pool)
+    (fun (p, i) ->
+      let bigger =
+        Instance.add_fact "g"
+          (t [ v "extra1"; v "extra2" ])
+          i
+      in
+      Instance.subset
+        ((Datalog.Seminaive.eval p i).Datalog.Seminaive.instance)
+        ((Datalog.Seminaive.eval p bigger).Datalog.Seminaive.instance))
+
+(* stratified programs: stratified = well-founded 2-valued = total *)
+let strat_pool = rule_pool @ neg_rule_pool
+
+let prop_stratified_equals_wellfounded =
+  prop "stratified = well-founded on stratifiable programs"
+    (prog_inst_arb strat_pool) (fun (p, i) ->
+      Q.assume (Datalog.Stratify.is_stratifiable p);
+      let s = (Datalog.Stratified.eval p i).Datalog.Stratified.instance in
+      let w = Datalog.Wellfounded.eval p i in
+      Datalog.Wellfounded.is_total w
+      && Instance.equal s w.Datalog.Wellfounded.true_facts)
+
+(* stratified programs have exactly one stable model, equal to the
+   stratified semantics *)
+let prop_stratified_unique_stable =
+  prop "stratifiable => unique stable model" (prog_inst_arb strat_pool)
+    (fun (p, i) ->
+      Q.assume (Datalog.Stratify.is_stratifiable p);
+      match Datalog.Stable.models p i with
+      | [ m ] ->
+          Instance.equal m
+            (Datalog.Stratified.eval p i).Datalog.Stratified.instance
+      | _ -> false)
+
+(* well-founded invariants: true ⊆ possible; every stable model is
+   sandwiched between them *)
+let prop_wf_sandwich =
+  prop "wf true ⊆ stable ⊆ wf possible" (prog_inst_arb strat_pool)
+    (fun (p, i) ->
+      let w = Datalog.Wellfounded.eval p i in
+      Instance.subset w.Datalog.Wellfounded.true_facts
+        w.Datalog.Wellfounded.possible
+      && List.for_all
+           (fun m ->
+             Instance.subset w.Datalog.Wellfounded.true_facts m
+             && Instance.subset m w.Datalog.Wellfounded.possible)
+           (Datalog.Stable.models p i))
+
+(* genericity: engines commute with renamings of the domain (the paper's
+   §2 genericity condition; constants of the program fixed — our pools are
+   constant-free) *)
+let prop_genericity =
+  prop "genericity: evaluation commutes with renaming"
+    (prog_inst_arb strat_pool) (fun (p, i) ->
+      Q.assume (Datalog.Stratify.is_stratifiable p);
+      let rename = function
+        | Value.Sym s -> Value.Sym ("zz_" ^ s)
+        | other -> other
+      in
+      let lhs =
+        Instance.map_values rename
+          (Datalog.Stratified.eval p i).Datalog.Stratified.instance
+      in
+      let rhs =
+        (Datalog.Stratified.eval p (Instance.map_values rename i))
+          .Datalog.Stratified.instance
+      in
+      Instance.equal lhs rhs)
+
+(* inflationary strategies agree (delta optimization is exact) *)
+let prop_inflationary_strategies =
+  prop "inflationary: naive loop = delta loop" (prog_inst_arb strat_pool)
+    (fun (p, i) ->
+      let a =
+        (Datalog.Inflationary.eval ~strategy:Datalog.Inflationary.Naive_loop p i)
+          .Datalog.Inflationary.instance
+      in
+      let b =
+        (Datalog.Inflationary.eval ~strategy:Datalog.Inflationary.Delta_loop p i)
+          .Datalog.Inflationary.instance
+      in
+      Instance.equal a b)
+
+(* inflationary trace is an increasing chain ending in the fixpoint *)
+let prop_inflationary_trace_monotone =
+  prop "inflationary trace is an inflationary chain"
+    (prog_inst_arb strat_pool) (fun (p, i) ->
+      let trace = Datalog.Inflationary.trace p i in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> Instance.subset a b && mono rest
+        | _ -> true
+      in
+      mono trace
+      &&
+      let last = List.nth trace (List.length trace - 1) in
+      Instance.equal last
+        (Datalog.Inflationary.eval p i).Datalog.Inflationary.instance)
+
+(* magic sets = full evaluation on the query predicate *)
+let prop_magic_sound_complete =
+  prop "magic = full evaluation on point queries" graph_arb
+    (fun (i, n, _, _) ->
+      Q.assume (n > 0);
+      let tcp = prog "T(X,Y) :- G(X,Y). T(X,Y) :- T(X,Z), G(Z,Y)." in
+      let src = Graph_gen.vertex 0 in
+      let query =
+        Datalog.Ast.atom "T" [ Datalog.Ast.cst src; Datalog.Ast.var "Y" ]
+      in
+      let full =
+        Relation.filter
+          (fun t -> Value.equal (Tuple.get t 0) src)
+          (Datalog.Seminaive.answer tcp i "T")
+      in
+      Relation.equal full (Datalog.Magic.answer tcp i query))
+
+(* FO compilation = direct FO evaluation *)
+let fo_formula_pool =
+  [
+    (Fo.Atom ("g", [ Fo.Var "x"; Fo.Var "y" ]), [ "x"; "y" ]);
+    ( Fo.And
+        ( Fo.Atom ("e", [ Fo.Var "x" ]),
+          Fo.Not (Fo.Exists ([ "y" ], Fo.Atom ("g", [ Fo.Var "x"; Fo.Var "y" ])))
+        ),
+      [ "x" ] );
+    ( Fo.Forall
+        ( [ "y" ],
+          Fo.Implies
+            ( Fo.Atom ("g", [ Fo.Var "y"; Fo.Var "x" ]),
+              Fo.Atom ("e", [ Fo.Var "y" ]) ) ),
+      [ "x" ] );
+    ( Fo.Or
+        ( Fo.Atom ("e", [ Fo.Var "x" ]),
+          Fo.Exists ([ "y" ], Fo.Atom ("g", [ Fo.Var "y"; Fo.Var "x" ])) ),
+      [ "x" ] );
+    (Fo.Eq (Fo.Var "x", Fo.Var "y"), [ "x"; "y" ]);
+  ]
+
+let fo_arb =
+  Q.make
+    ~print:(fun ((f, vars), i) ->
+      Format.asprintf "%a over %s (vars %s)" Fo.pp f (Instance.to_string i)
+        (String.concat "," vars))
+    Q.Gen.(
+      let* fi = 0 -- (List.length fo_formula_pool - 1) in
+      let* i = inst_gen in
+      return (List.nth fo_formula_pool fi, i))
+
+let prop_fo_compile =
+  prop "FO compilation = direct evaluation" fo_arb (fun ((f, vars), i) ->
+      let sources = [ ("g", 2); ("e", 1) ] in
+      (* align domains: direct eval must use the same active domain the
+         compiled adom predicate computes (source columns + constants) *)
+      let direct = Fo.eval i f vars in
+      let compiled = While_lang.Fo_compile.answer ~sources f vars i in
+      Relation.equal direct compiled)
+
+(* pretty-print / parse round-trip on generated programs *)
+let prop_pretty_roundtrip =
+  prop "pretty/parse roundtrip" (prog_inst_arb strat_pool) (fun (p, _) ->
+      Datalog.Parser.parse_program (Datalog.Pretty.program_to_string p) = p)
+
+(* nondeterministic random walks always land in the enumerated effect *)
+let prop_nd_walks_in_effect =
+  prop "random walks land in the effect"
+    (Q.make
+       ~print:(fun (i, seed) ->
+         Printf.sprintf "seed %d on %s" seed (Instance.to_string i))
+       Q.Gen.(
+         let* k = 1 -- 3 in
+         let* seed = 0 -- 1000 in
+         return (Graph_gen.two_cycles k, seed)))
+    (fun (i, seed) ->
+      let p = prog "!G(X, Y) :- G(X, Y), G(Y, X)." in
+      match Nondet.Nd_eval.run ~seed p i with
+      | Nondet.Nd_eval.Terminal { instance; _ } ->
+          List.exists (Instance.equal instance)
+            (Nondet.Enumerate.terminals p i)
+      | _ -> false)
+
+(* instance parse/pp roundtrip *)
+let prop_instance_roundtrip =
+  prop "instance pp/parse roundtrip" graph_arb (fun (i, _, _, _) ->
+      Instance.equal i (Instance.parse_facts (Instance.to_string i)))
+
+let suite =
+  [
+    prop_engines_agree_positive;
+    prop_tc_oracle;
+    prop_fixpoint_idempotent;
+    prop_positive_monotone;
+    prop_stratified_equals_wellfounded;
+    prop_stratified_unique_stable;
+    prop_wf_sandwich;
+    prop_genericity;
+    prop_inflationary_strategies;
+    prop_inflationary_trace_monotone;
+    prop_magic_sound_complete;
+    prop_fo_compile;
+    prop_pretty_roundtrip;
+    prop_nd_walks_in_effect;
+    prop_instance_roundtrip;
+  ]

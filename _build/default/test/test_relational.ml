@@ -1,0 +1,269 @@
+(* Relational substrate: values, tuples, relations, schemas, instances,
+   order adjunction, graph generators. *)
+open Relational
+open Helpers
+
+(* --- values ------------------------------------------------------------ *)
+
+let test_value_order () =
+  Alcotest.(check bool) "ints before strings" true
+    (Value.compare (Value.Int 99) (Value.Str "a") < 0);
+  Alcotest.(check bool) "strings before syms" true
+    (Value.compare (Value.Str "z") (Value.Sym "a") < 0);
+  Alcotest.(check bool) "syms before invented" true
+    (Value.compare (Value.Sym "zzz") (Value.New 0) < 0);
+  Alcotest.(check int) "same int equal" 0
+    (Value.compare (Value.Int 5) (Value.Int 5))
+
+let test_value_parse_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.check value "roundtrip" v (Value.parse (Value.to_string v)))
+    [ Value.Int 42; Value.Int (-7); Value.Str "hello world"; Value.Sym "abc" ]
+
+let test_value_gen_distinct () =
+  let g = Value.Gen.create () in
+  let a = Value.Gen.fresh g and b = Value.Gen.fresh g in
+  Alcotest.(check bool) "distinct" false (Value.equal a b);
+  Alcotest.(check bool) "invented" true
+    (Value.is_invented a && Value.is_invented b);
+  Alcotest.(check int) "count" 2 (Value.Gen.count g);
+  (* independent generators may collide with each other but not internally *)
+  let g2 = Value.Gen.create () in
+  Alcotest.(check bool) "fresh from fresh gen is invented" true
+    (Value.is_invented (Value.Gen.fresh g2))
+
+(* --- tuples ------------------------------------------------------------ *)
+
+let test_tuple_ops () =
+  let t1 = t [ v "a"; v "b"; v "c" ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t1);
+  Alcotest.check value "get" (v "b") (Tuple.get t1 1);
+  Alcotest.check tuple "project" (t [ v "c"; v "a" ]) (Tuple.project t1 [ 2; 0 ]);
+  Alcotest.check tuple "concat"
+    (t [ v "a"; v "b"; v "c"; v "a" ])
+    (Tuple.concat t1 (t [ v "a" ]));
+  Alcotest.check tuple "rename"
+    (t [ v "c"; v "b"; v "a" ])
+    (Tuple.rename t1 [| 2; 1; 0 |])
+
+let test_tuple_out_of_bounds () =
+  let t1 = t [ v "a" ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Tuple.get: index 3 out of bounds (arity 1)") (fun () ->
+      ignore (Tuple.get t1 3))
+
+let test_tuple_immutable () =
+  let arr = [| v "a" |] in
+  let t1 = Tuple.make arr in
+  arr.(0) <- v "b";
+  Alcotest.check value "copy on make" (v "a") (Tuple.get t1 0)
+
+let test_tuple_compare_arities () =
+  Alcotest.(check bool) "shorter first" true
+    (Tuple.compare (t [ v "z" ]) (t [ v "a"; v "a" ]) < 0)
+
+(* --- relations ---------------------------------------------------------- *)
+
+let test_relation_set_ops () =
+  let r1 = pairs [ ("a", "b"); ("b", "c") ] in
+  let r2 = pairs [ ("b", "c"); ("c", "d") ] in
+  check_rel "union" (pairs [ ("a", "b"); ("b", "c"); ("c", "d") ])
+    (Relation.union r1 r2);
+  check_rel "inter" (pairs [ ("b", "c") ]) (Relation.inter r1 r2);
+  check_rel "diff" (pairs [ ("a", "b") ]) (Relation.diff r1 r2);
+  Alcotest.(check bool) "subset" true
+    (Relation.subset (pairs [ ("a", "b") ]) r1);
+  Alcotest.(check bool) "not subset" false (Relation.subset r2 r1)
+
+let test_relation_arity_enforced () =
+  let r = unary [ "a" ] in
+  Alcotest.check_raises "mixed arity"
+    (Invalid_argument
+       "Relation: arity mismatch (relation has arity 1, tuple has 2)")
+    (fun () -> ignore (Relation.add (t [ v "x"; v "y" ]) r))
+
+let test_relation_values () =
+  let r = pairs [ ("b", "a"); ("c", "a") ] in
+  Alcotest.(check (list string))
+    "active domain sorted"
+    [ "a"; "b"; "c" ]
+    (List.map Value.to_string (Relation.values r))
+
+(* --- schema ------------------------------------------------------------- *)
+
+let test_schema_basics () =
+  let s = Schema.of_list [ Schema.rel "G" 2; Schema.rel "P" 1 ] in
+  Alcotest.(check int) "arity_of" 2 (Schema.arity_of "G" s);
+  Alcotest.(check bool) "mem" true (Schema.mem "P" s);
+  Alcotest.(check (list string)) "names" [ "G"; "P" ] (Schema.names s)
+
+let test_schema_conflict () =
+  let s = Schema.of_list [ Schema.rel "G" 2 ] in
+  Alcotest.check_raises "redeclare"
+    (Invalid_argument "Schema.add: relation G redeclared with arity 3 (was 2)")
+    (fun () -> ignore (Schema.add (Schema.rel "G" 3) s))
+
+let test_schema_attrs () =
+  let r = Schema.rel_attrs "emp" [ "name"; "dept" ] in
+  Alcotest.(check int) "attr index" 1 (Schema.attr_index r "dept");
+  Alcotest.check_raises "unknown attr" Not_found (fun () ->
+      ignore (Schema.attr_index r "salary"))
+
+(* --- instances ----------------------------------------------------------- *)
+
+let test_instance_ops () =
+  let i = facts "G(a,b). G(b,c). P(a)." in
+  Alcotest.(check int) "total" 3 (Instance.total_facts i);
+  Alcotest.(check (list string)) "names" [ "G"; "P" ] (Instance.names i);
+  let dropped = Instance.drop [ "P" ] i in
+  Alcotest.(check int) "after drop" 2 (Instance.total_facts dropped);
+  let restricted = Instance.restrict [ "P" ] i in
+  Alcotest.(check int) "after restrict" 1 (Instance.total_facts restricted);
+  Alcotest.(check bool) "subset" true (Instance.subset restricted i);
+  Alcotest.(check (list string))
+    "adom" [ "a"; "b"; "c" ]
+    (List.map Value.to_string (Instance.adom i))
+
+let test_instance_diff_union () =
+  let a = facts "G(a,b). P(a)." and b = facts "G(a,b). Q(z)." in
+  Alcotest.check instance "union"
+    (facts "G(a,b). P(a). Q(z).")
+    (Instance.union a b);
+  Alcotest.check instance "diff" (facts "P(a).") (Instance.diff a b)
+
+let test_instance_parse_errors () =
+  List.iter
+    (fun (src, frag) ->
+      match Instance.parse_facts src with
+      | exception Failure msg ->
+          if
+            not
+              (String.length msg >= String.length frag
+              && String.sub msg 0 (String.length frag) = frag)
+          then Alcotest.failf "wrong error %S for %S" msg src
+      | _ -> Alcotest.failf "expected failure for %S" src)
+    [
+      ("justtext.", "facts line 1: expected pred(args)");
+      ("p(a.", "facts line 1");
+      ("p(a,).", "facts line 1");
+    ]
+
+let test_instance_parse_comments_and_strings () =
+  let i =
+    facts
+      {|
+        % comment
+        p("dotted. string"). // another
+        q(1). q(-3).
+      |}
+  in
+  Alcotest.(check int) "three facts" 3 (Instance.total_facts i);
+  Alcotest.(check bool) "string fact" true
+    (Instance.mem_fact "p" (t [ Value.Str "dotted. string" ]) i)
+
+let test_instance_pp_roundtrip () =
+  let i = facts "G(a, b). P(\"x y\"). Q(3)." in
+  Alcotest.check instance "pp/parse roundtrip" i
+    (Instance.parse_facts (Instance.to_string i))
+
+let test_instance_map_values () =
+  let i = facts "G(a,b)." in
+  let f = function Value.Sym s -> Value.Sym (s ^ s) | v -> v in
+  Alcotest.check instance "renamed" (facts "G(aa,bb).")
+    (Instance.map_values f i)
+
+(* --- order --------------------------------------------------------------- *)
+
+let test_order_adjoin () =
+  let i = facts "P(b). P(a). P(c)." in
+  let o = Order.adjoin i in
+  Alcotest.(check bool) "valid order" true (Order.is_ordered o);
+  Alcotest.(check int) "succ size" 2
+    (Relation.cardinal (Instance.find "succ" o));
+  Alcotest.(check int) "lt size" 3 (Relation.cardinal (Instance.find "lt" o));
+  Alcotest.(check bool) "first is a" true
+    (Instance.mem_fact "first" (t [ v "a" ]) o);
+  Alcotest.(check bool) "last is c" true
+    (Instance.mem_fact "last" (t [ v "c" ]) o)
+
+let test_order_empty () =
+  let o = Order.adjoin Instance.empty in
+  Alcotest.(check bool) "empty ordered" true (Order.is_ordered o);
+  Alcotest.(check int) "no facts" 0 (Instance.total_facts o)
+
+let test_order_invalid_detected () =
+  (* a broken successor relation: two successors for one element *)
+  let bad =
+    facts "succ(a,b). succ(a,c). first(a). last(c). P(a). P(b). P(c)."
+  in
+  Alcotest.(check bool) "broken succ rejected" false (Order.is_ordered bad)
+
+(* --- generators ------------------------------------------------------------ *)
+
+let test_graph_gen_shapes () =
+  let count name i = Relation.cardinal (Instance.find name i) in
+  Alcotest.(check int) "chain edges" 9 (count "G" (Graph_gen.chain 10));
+  Alcotest.(check int) "cycle edges" 10 (count "G" (Graph_gen.cycle 10));
+  Alcotest.(check int) "complete edges" 20 (count "G" (Graph_gen.complete 5));
+  Alcotest.(check int) "grid edges" 24 (count "G" (Graph_gen.grid 4 4));
+  Alcotest.(check int) "two-cycles edges" 8 (count "G" (Graph_gen.two_cycles 4));
+  Alcotest.(check int) "tree edges" 6 (count "G" (Graph_gen.binary_tree 3));
+  Alcotest.(check int) "random edge count" 30
+    (count "G" (Graph_gen.random ~seed:1 20 30))
+
+let test_graph_gen_deterministic () =
+  Alcotest.check instance "same seed, same graph"
+    (Graph_gen.random ~seed:9 12 20)
+    (Graph_gen.random ~seed:9 12 20)
+
+let test_random_dag_acyclic () =
+  let i = Graph_gen.random_dag ~seed:4 15 30 in
+  let tc = Graph_gen.reference_tc (Instance.find "G" i) in
+  Alcotest.(check bool) "no self-loop in TC" false
+    (Relation.exists
+       (fun tp -> Value.equal (Tuple.get tp 0) (Tuple.get tp 1))
+       tc)
+
+let test_reference_tc () =
+  let edges = pairs [ ("a", "b"); ("b", "c") ] in
+  check_rel "floyd-warshall"
+    (pairs [ ("a", "b"); ("b", "c"); ("a", "c") ])
+    (Graph_gen.reference_tc edges)
+
+let suite =
+  [
+    Alcotest.test_case "value order" `Quick test_value_order;
+    Alcotest.test_case "value parse roundtrip" `Quick
+      test_value_parse_roundtrip;
+    Alcotest.test_case "invented values distinct" `Quick
+      test_value_gen_distinct;
+    Alcotest.test_case "tuple operations" `Quick test_tuple_ops;
+    Alcotest.test_case "tuple bounds check" `Quick test_tuple_out_of_bounds;
+    Alcotest.test_case "tuple immutability" `Quick test_tuple_immutable;
+    Alcotest.test_case "tuple arity order" `Quick test_tuple_compare_arities;
+    Alcotest.test_case "relation set ops" `Quick test_relation_set_ops;
+    Alcotest.test_case "relation arity enforced" `Quick
+      test_relation_arity_enforced;
+    Alcotest.test_case "relation active domain" `Quick test_relation_values;
+    Alcotest.test_case "schema basics" `Quick test_schema_basics;
+    Alcotest.test_case "schema conflicts rejected" `Quick test_schema_conflict;
+    Alcotest.test_case "schema named attributes" `Quick test_schema_attrs;
+    Alcotest.test_case "instance operations" `Quick test_instance_ops;
+    Alcotest.test_case "instance diff/union" `Quick test_instance_diff_union;
+    Alcotest.test_case "fact parse errors" `Quick test_instance_parse_errors;
+    Alcotest.test_case "fact parse: comments/strings" `Quick
+      test_instance_parse_comments_and_strings;
+    Alcotest.test_case "instance pp roundtrip" `Quick
+      test_instance_pp_roundtrip;
+    Alcotest.test_case "instance map_values" `Quick test_instance_map_values;
+    Alcotest.test_case "order adjunction" `Quick test_order_adjoin;
+    Alcotest.test_case "order on empty instance" `Quick test_order_empty;
+    Alcotest.test_case "broken order detected" `Quick
+      test_order_invalid_detected;
+    Alcotest.test_case "generator shapes" `Quick test_graph_gen_shapes;
+    Alcotest.test_case "generator determinism" `Quick
+      test_graph_gen_deterministic;
+    Alcotest.test_case "random DAG is acyclic" `Quick test_random_dag_acyclic;
+    Alcotest.test_case "reference TC oracle" `Quick test_reference_tc;
+  ]

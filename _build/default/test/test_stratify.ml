@@ -1,0 +1,141 @@
+(* Dependency graphs and stratification. *)
+open Helpers
+module Depgraph = Datalog.Depgraph
+module Stratify = Datalog.Stratify
+
+let comp_tc =
+  prog
+    {|
+    T(X, Y) :- G(X, Y).
+    T(X, Y) :- G(X, Z), T(Z, Y).
+    CT(X, Y) :- !T(X, Y).
+  |}
+
+let test_edges () =
+  let es = Depgraph.edges comp_tc in
+  let has src dst negative =
+    List.exists
+      (fun e ->
+        e.Depgraph.src = src && e.Depgraph.dst = dst
+        && e.Depgraph.negative = negative)
+      es
+  in
+  Alcotest.(check bool) "G->T" true (has "G" "T" false);
+  Alcotest.(check bool) "T->T" true (has "T" "T" false);
+  Alcotest.(check bool) "T-¬->CT" true (has "T" "CT" true);
+  Alcotest.(check int) "edge count" 3 (List.length es)
+
+let test_sccs_topological () =
+  let comps = Depgraph.sccs comp_tc in
+  (* dependencies first: G before T before CT *)
+  let pos name =
+    let rec go i = function
+      | [] -> -1
+      | c :: rest -> if List.mem name c then i else go (i + 1) rest
+    in
+    go 0 comps
+  in
+  Alcotest.(check bool) "G before T" true (pos "G" < pos "T");
+  Alcotest.(check bool) "T before CT" true (pos "T" < pos "CT")
+
+let test_mutual_recursion_one_component () =
+  let p = prog "p(X) :- q(X). q(X) :- p(X). r(X) :- p(X)." in
+  Alcotest.(check bool) "p,q together" true (Depgraph.recursive_with p "p" "q");
+  Alcotest.(check bool) "r separate" false (Depgraph.recursive_with p "p" "r")
+
+let test_stratification_levels () =
+  match Stratify.stratify comp_tc with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "two strata" 2 (Stratify.num_strata s);
+      Alcotest.(check (list int))
+        "levels: CT=1, G=0, T=0"
+        [ 1; 0; 0 ]
+        (List.map snd s.Stratify.stratum_of)
+
+let test_deep_stratification () =
+  (* a chain of alternating negations: each negation bumps the stratum *)
+  let p =
+    prog
+      {|
+      p1(X) :- e(X).
+      p2(X) :- e(X), !p1(X).
+      p3(X) :- e(X), !p2(X).
+      p4(X) :- e(X), !p3(X).
+    |}
+  in
+  match Stratify.stratify p with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "four strata" 4 (Stratify.num_strata s);
+      Alcotest.(check int) "p4 at level 3" 3
+        (List.assoc "p4" s.Stratify.stratum_of)
+
+let test_positive_recursion_same_stratum () =
+  let p =
+    prog
+      {|
+      odd(X) :- e(X), !even_base(X).
+      even_base(X) :- z(X).
+      p(X) :- q(X), odd(X).
+      q(X) :- p(X).
+    |}
+  in
+  match Stratify.stratify p with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "p and q same stratum" 0
+        (compare
+           (List.assoc "p" s.Stratify.stratum_of)
+           (List.assoc "q" s.Stratify.stratum_of))
+
+let test_unstratifiable_witness () =
+  let win = prog "win(X) :- moves(X, Y), !win(Y)." in
+  (match Depgraph.negative_in_cycle win with
+  | Some e ->
+      Alcotest.(check string) "witness src" "win" e.Depgraph.src;
+      Alcotest.(check string) "witness dst" "win" e.Depgraph.dst
+  | None -> Alcotest.fail "expected a witness");
+  Alcotest.(check bool) "not stratifiable" false
+    (Stratify.is_stratifiable win);
+  (* mutual negative recursion through an intermediary *)
+  let p = prog "p(X) :- e(X), !q(X). q(X) :- r(X). r(X) :- p(X)." in
+  Alcotest.(check bool) "negative cycle via chain" false
+    (Stratify.is_stratifiable p)
+
+let test_semipositive () =
+  Alcotest.(check bool) "negation on edb only" true
+    (Stratify.is_semipositive
+       (prog "T(X,Y) :- G(X,Y), !blocked(X). T(X,Y) :- T(X,Z), G(Z,Y)."));
+  Alcotest.(check bool) "negation on idb" false
+    (Stratify.is_semipositive comp_tc)
+
+let test_dot_output () =
+  let dot = Format.asprintf "%a" Depgraph.pp_dot comp_tc in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "dashed negative edge" true
+    (contains "style=dashed" dot)
+
+let suite =
+  [
+    Alcotest.test_case "dependency edges" `Quick test_edges;
+    Alcotest.test_case "SCCs in topological order" `Quick
+      test_sccs_topological;
+    Alcotest.test_case "mutual recursion in one SCC" `Quick
+      test_mutual_recursion_one_component;
+    Alcotest.test_case "stratification levels" `Quick
+      test_stratification_levels;
+    Alcotest.test_case "deep stratification" `Quick test_deep_stratification;
+    Alcotest.test_case "positive recursion shares a stratum" `Quick
+      test_positive_recursion_same_stratum;
+    Alcotest.test_case "unstratifiable witnesses" `Quick
+      test_unstratifiable_witness;
+    Alcotest.test_case "semi-positive classification" `Quick test_semipositive;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+  ]

@@ -1,0 +1,101 @@
+(* Turing machine substrate and the Theorem 4.6 compilation. *)
+
+let test_unary_increment_direct () =
+  match Turing.Tm.run Turing.Tm.unary_increment [ "1"; "1"; "1" ] with
+  | Turing.Tm.Accepted { final; _ } ->
+      let tape = List.map snd final.Turing.Tm.tape in
+      Alcotest.(check (list string)) "tape" [ "1"; "1"; "1"; "1" ] tape
+  | _ -> Alcotest.fail "expected acceptance"
+
+let test_parity_direct () =
+  let run input =
+    match Turing.Tm.run Turing.Tm.parity input with
+    | Turing.Tm.Accepted _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "even # of 1s accepted" true (run [ "1"; "0"; "1" ]);
+  Alcotest.(check bool) "odd # of 1s rejected" false (run [ "1"; "0"; "0" ]);
+  Alcotest.(check bool) "empty accepted" true (run [])
+
+let test_binary_increment_direct () =
+  match Turing.Tm.run Turing.Tm.binary_increment [ "1"; "0"; "1" ] with
+  | Turing.Tm.Accepted { final; _ } ->
+      let tape =
+        Turing.Tm.tape_to_list final ~lo:0 ~hi:2 "_"
+      in
+      Alcotest.(check (list string)) "101 + 1 = 110" [ "1"; "1"; "0" ] tape
+  | _ -> Alcotest.fail "expected acceptance"
+
+let test_palindrome_direct () =
+  let accepts input =
+    match Turing.Tm.run Turing.Tm.palindrome input with
+    | Turing.Tm.Accepted _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "0110" true (accepts [ "0"; "1"; "1"; "0" ]);
+  Alcotest.(check bool) "010" true (accepts [ "0"; "1"; "0" ]);
+  Alcotest.(check bool) "011" false (accepts [ "0"; "1"; "1" ]);
+  Alcotest.(check bool) "empty" true (accepts [])
+
+(* The Theorem 4.6 construction: the compiled Datalog¬new program agrees
+   with the reference interpreter. *)
+let test_compiled_unary_increment () =
+  Alcotest.(check bool) "simulation agrees" true
+    (Turing.Tm_compile.agrees_with_reference Turing.Tm.unary_increment
+       [ "1"; "1" ])
+
+let test_compiled_parity () =
+  List.iter
+    (fun input ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parity on [%s]" (String.concat "" input))
+        true
+        (Turing.Tm_compile.agrees_with_reference Turing.Tm.parity input))
+    [ [ "1"; "1" ]; [ "1"; "0" ]; [ "0" ]; [ "1"; "1"; "1"; "1" ] ]
+
+let test_compiled_binary_increment () =
+  Alcotest.(check bool) "binary increment agrees" true
+    (Turing.Tm_compile.agrees_with_reference Turing.Tm.binary_increment
+       [ "1"; "1" ])
+
+let test_compiled_steps_match () =
+  (* steps recorded by the simulation equal the interpreter's count *)
+  let input = [ "1"; "1"; "1" ] in
+  let sim = Turing.Tm_compile.simulate Turing.Tm.unary_increment input in
+  match Turing.Tm.run Turing.Tm.unary_increment input with
+  | Turing.Tm.Accepted { steps; _ } ->
+      Alcotest.(check int) "step count" steps sim.Turing.Tm_compile.steps;
+      Alcotest.(check bool) "invents at least one value per step" true
+        (sim.Turing.Tm_compile.invented >= steps)
+  | _ -> Alcotest.fail "expected acceptance"
+
+let test_compiled_program_is_invent_fragment () =
+  (* the compiled program passes the Datalog¬new checks and would be
+     rejected as plain Datalog¬ (head-only variables) *)
+  let p = Turing.Tm_compile.compile Turing.Tm.parity in
+  Datalog.Ast.check_invent p;
+  Alcotest.check_raises "not plain Datalog¬"
+    (Datalog.Ast.Check_error
+       "rule with head trans1: head variable T2 does not occur in the body")
+    (fun () -> Datalog.Ast.check_datalog_neg p)
+
+let suite =
+  [
+    Alcotest.test_case "unary increment (interpreter)" `Quick
+      test_unary_increment_direct;
+    Alcotest.test_case "parity (interpreter)" `Quick test_parity_direct;
+    Alcotest.test_case "binary increment (interpreter)" `Quick
+      test_binary_increment_direct;
+    Alcotest.test_case "palindrome (interpreter)" `Quick
+      test_palindrome_direct;
+    Alcotest.test_case "compiled unary increment (Thm 4.6)" `Quick
+      test_compiled_unary_increment;
+    Alcotest.test_case "compiled parity (Thm 4.6)" `Quick
+      test_compiled_parity;
+    Alcotest.test_case "compiled binary increment (Thm 4.6)" `Quick
+      test_compiled_binary_increment;
+    Alcotest.test_case "compiled step count matches" `Quick
+      test_compiled_steps_match;
+    Alcotest.test_case "compiled program is Datalog¬new" `Quick
+      test_compiled_program_is_invent_fragment;
+  ]
