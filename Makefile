@@ -1,0 +1,23 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# full benchmark sweep with machine-readable timings
+bench:
+	dune exec bench/main.exe -- --json BENCH_engines.json
+
+# what a CI job runs: build, full test suite, and a bench smoke run
+# (e2 = naive vs semi-naive transitive closure) to catch perf-path breakage
+ci:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- e2 --json /dev/null
+
+clean:
+	dune clean

@@ -28,6 +28,28 @@ let time f =
 
 let ms t = Printf.sprintf "%8.2f" (1000.0 *. t)
 
+(* --- machine-readable timings (--json <file>) ----------------------- *)
+
+(* Rows are appended by the experiments that feed the perf trajectory
+   (e2, e8, e11) and dumped as a JSON array so future PRs can diff
+   engine timings mechanically. *)
+let json_rows : string list ref = ref []
+
+let record ~experiment ~case ~n ~engine ~wall_ms ~stages ~facts =
+  json_rows :=
+    Printf.sprintf
+      "{\"experiment\": %S, \"case\": %S, \"n\": %d, \"engine\": %S, \
+       \"wall_ms\": %.3f, \"stages\": %d, \"facts\": %d}"
+      experiment case n engine wall_ms stages facts
+    :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n  ";
+  output_string oc (String.concat ",\n  " (List.rev !json_rows));
+  output_string oc "\n]\n";
+  close_out oc
+
 let header title =
   Printf.printf "\n=== %s ===\n" title
 
@@ -141,7 +163,7 @@ let e2 () =
   row "  %-16s %6s | %9s %9s %7s | %6s %6s\n" "graph" "|G|" "naive ms"
     "semi ms" "speedup" "stages" "|T|";
   List.iter
-    (fun (name, inst) ->
+    (fun (name, n, inst) ->
       let g = Relation.cardinal (Instance.find "G" inst) in
       let rn, tn = time (fun () -> Datalog.Naive.eval tc_program inst) in
       let rs, ts = time (fun () -> Datalog.Seminaive.eval tc_program inst) in
@@ -149,16 +171,22 @@ let e2 () =
         Relation.cardinal (Instance.find "T" rs.Datalog.Seminaive.instance)
       in
       assert (Instance.equal rn.Datalog.Naive.instance rs.Datalog.Seminaive.instance);
+      record ~experiment:"e2" ~case:name ~n ~engine:"naive"
+        ~wall_ms:(1000. *. tn) ~stages:rn.Datalog.Naive.stages ~facts:tfacts;
+      record ~experiment:"e2" ~case:name ~n ~engine:"seminaive"
+        ~wall_ms:(1000. *. ts) ~stages:rs.Datalog.Seminaive.stages
+        ~facts:tfacts;
       row "  %-16s %6d | %s %s %6.1fx | %6d %6d\n" name g (ms tn) (ms ts)
         (tn /. ts) rs.Datalog.Seminaive.stages tfacts)
     [
-      ("chain-40", Graph_gen.chain 40);
-      ("chain-80", Graph_gen.chain 80);
-      ("chain-160", Graph_gen.chain 160);
-      ("cycle-60", Graph_gen.cycle 60);
-      ("grid-10x10", Graph_gen.grid 10 10);
-      ("random-100x300", Graph_gen.random ~seed:11 100 300);
-      ("tree-d8", Graph_gen.binary_tree 8);
+      ("chain-40", 40, Graph_gen.chain 40);
+      ("chain-80", 80, Graph_gen.chain 80);
+      ("chain-160", 160, Graph_gen.chain 160);
+      ("cycle-60", 60, Graph_gen.cycle 60);
+      ("grid-10x10", 100, Graph_gen.grid 10 10);
+      ("random-100x300", 100, Graph_gen.random ~seed:11 100 300);
+      ("random-300x900", 300, Graph_gen.random ~seed:12 300 900);
+      ("tree-d8", 255, Graph_gen.binary_tree 8);
     ];
   row "  shape: semi-naive wins by a growing factor on long chains\n"
 
@@ -402,6 +430,10 @@ let e8 () =
              (Datalog.Ast.idb rewritten.Datalog.Magic.program)
              magic_inst.Datalog.Seminaive.instance)
       in
+      record ~experiment:"e8" ~case:name ~n:full_all ~engine:"seminaive-full"
+        ~wall_ms:(1000. *. tf) ~stages:0 ~facts:full_all;
+      record ~experiment:"e8" ~case:name ~n:full_all ~engine:"magic"
+        ~wall_ms:(1000. *. tm) ~stages:0 ~facts:magic_facts;
       row "  %-16s | %s %s %6.1fx | %8d %8d | %b\n" name (ms tf) (ms tm)
         (tf /. tm) full_all magic_facts (Relation.equal full magic))
     [
@@ -498,6 +530,16 @@ let e11 () =
             Datalog.Inflationary.eval ~strategy:Datalog.Inflationary.Delta_loop
               p inst)
       in
+      record ~experiment:"e11" ~case:name
+        ~n:(Instance.total_facts b.Datalog.Inflationary.instance)
+        ~engine:"inflationary-naive" ~wall_ms:(1000. *. ta)
+        ~stages:a.Datalog.Inflationary.stages
+        ~facts:(Instance.total_facts a.Datalog.Inflationary.instance);
+      record ~experiment:"e11" ~case:name
+        ~n:(Instance.total_facts b.Datalog.Inflationary.instance)
+        ~engine:"inflationary-delta" ~wall_ms:(1000. *. tb)
+        ~stages:b.Datalog.Inflationary.stages
+        ~facts:(Instance.total_facts b.Datalog.Inflationary.instance);
       row "  %-18s | %s %s %6.1fx | %b\n" name (ms ta) (ms tb) (ta /. tb)
         (Instance.equal a.Datalog.Inflationary.instance
            b.Datalog.Inflationary.instance))
@@ -791,7 +833,18 @@ let all =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (* --json <file>: after the selected experiments run, dump the recorded
+     timing rows (experiment, case, n, engine, wall ms, stages, facts). *)
+  let rec split_json acc = function
+    | [] -> (List.rev acc, None)
+    | "--json" :: file :: rest -> (List.rev acc @ rest, Some file)
+    | [ "--json" ] ->
+        Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | a :: rest -> split_json (a :: acc) rest
+  in
+  let args, json_file = split_json [] args in
+  (match args with
   | [] ->
       List.iter (fun (_, f) -> f ()) all;
       bechamel_kernels ()
@@ -804,4 +857,5 @@ let () =
           | None ->
               Printf.eprintf "unknown experiment %s (e1..e15, bechamel)\n" id;
               exit 2)
-        ids
+        ids);
+  match json_file with None -> () | Some file -> write_json file

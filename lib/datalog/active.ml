@@ -59,18 +59,20 @@ let subst_blit subst = function
   | Ast.BNeq (s, t) -> Ast.BNeq (subst_term subst s, subst_term subst t)
 
 (* evaluate a condition (with the event substitution already applied)
-   against the current instance, returning all extensions *)
-let condition_matches inst dom blits =
+   against the current database, returning all extensions *)
+let condition_matches db dom blits =
   let rule =
     { Ast.head = [ Ast.HPos (Ast.atom "trig__" []) ]; body = blits; forall = [] }
   in
   let plan = Matcher.prepare rule in
-  Matcher.run ~dom plan (Matcher.Db.of_instance inst)
+  Matcher.run ~dom plan db
 
 let run ?(max_steps = 10_000) rules inst transaction =
   let log = ref [] in
   let steps = ref 0 in
-  let state = ref inst in
+  (* one persistent database for the whole transaction: inserts and
+     deletes maintain the memoized indexes in place *)
+  let state = Matcher.Db.of_instance inst in
   (* deferred queue of (rule, grounded actions) *)
   let deferred : (string * update list) Queue.t = Queue.create () in
   let dom () =
@@ -96,7 +98,9 @@ let run ?(max_steps = 10_000) rules inst transaction =
         rules
     in
     VSet.elements
-      (VSet.union (VSet.of_list (Instance.adom !state)) (VSet.of_list consts))
+      (VSet.union
+         (VSet.of_list (Instance.adom (Matcher.Db.instance state)))
+         (VSet.of_list consts))
   in
   let ground_actions rule_name subst actions =
     List.map
@@ -115,16 +119,8 @@ let run ?(max_steps = 10_000) rules inst transaction =
   let rec apply_update rule_name u =
     let changed =
       match u with
-      | Ins (p, t) ->
-          if Instance.mem_fact p t !state then false
-          else (
-            state := Instance.add_fact p t !state;
-            true)
-      | Del (p, t) ->
-          if Instance.mem_fact p t !state then (
-            state := Instance.remove_fact p t !state;
-            true)
-          else false
+      | Ins (p, t) -> Matcher.Db.insert state p t
+      | Del (p, t) -> Matcher.Db.remove state p t
     in
     log := { rule_name; update = u; applied = changed } :: !log;
     if changed then (
@@ -144,7 +140,7 @@ let run ?(max_steps = 10_000) rules inst transaction =
         | None -> ()
         | Some ev_subst ->
             let cond = List.map (subst_blit ev_subst) r.condition in
-            let extensions = condition_matches !state (dom ()) cond in
+            let extensions = condition_matches state (dom ()) cond in
             List.iter
               (fun ext ->
                 let full = ext @ ev_subst in
@@ -166,4 +162,4 @@ let run ?(max_steps = 10_000) rules inst transaction =
     let name, updates = Queue.pop deferred in
     List.iter (fun u -> apply_update (Some name) u) updates
   done;
-  { instance = !state; log = List.rev !log; steps = !steps }
+  { instance = Matcher.Db.instance state; log = List.rev !log; steps = !steps }

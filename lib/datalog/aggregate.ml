@@ -15,7 +15,7 @@ exception Agg_error of string
 
 let agg_error fmt = Format.kasprintf (fun s -> raise (Agg_error s)) fmt
 
-let eval_agg inst dom (a : agg_rule) =
+let eval_agg db dom (a : agg_rule) =
   (* collect satisfying substitutions of the body *)
   let probe_vars =
     a.group_by
@@ -32,7 +32,6 @@ let eval_agg inst dom (a : agg_rule) =
     }
   in
   Ast.check_safe probe;
-  let db = Matcher.Db.of_instance inst in
   let substs = Matcher.run ~dom (Matcher.prepare probe) db in
   let groups : (Value.t list, Value.t list list) Hashtbl.t =
     Hashtbl.create 16
@@ -112,10 +111,12 @@ let eval layers inst =
               aggregates)
           current
       in
+      (* one indexed view shared by every aggregate of the layer *)
+      let db = Matcher.Db.of_instance current in
       List.fold_left
         (fun acc (pred, tup) -> Instance.add_fact pred tup acc)
         current
-        (List.concat_map (eval_agg current dom) aggregates))
+        (List.concat_map (eval_agg db dom) aggregates))
     inst layers
 
 let answer layers inst pred = Instance.find pred (eval layers inst)

@@ -12,20 +12,19 @@ type prepared = (Ast.rule * Matcher.prepared) list
 let prepare p = List.map (fun r -> (r, Matcher.prepare r)) p
 let rules p = p
 
-let fire_rule ?delta db dom (rule, plan) k =
-  let substs = Matcher.run ?delta ~dom plan db in
+let fire_rule ?delta ?neg_db db dom (rule, plan) k =
+  let substs = Matcher.run ?delta ~dom ?neg_db plan db in
   List.iter
     (fun subst ->
       let _bottom, facts = Matcher.instantiate_heads subst rule.Ast.head in
       List.iter (fun f -> k f) facts)
     substs
 
-let consequences prepared inst ~dom =
-  let db = Matcher.Db.of_instance inst in
+let consequences_db ?neg_db prepared db ~dom =
   let out = ref Instance.empty in
   List.iter
     (fun rp ->
-      fire_rule db dom rp (fun (pos, pred, tup) ->
+      fire_rule ?neg_db db dom rp (fun (pos, pred, tup) ->
           if pos then out := Instance.add_fact pred tup !out
           else
             invalid_arg
@@ -33,8 +32,10 @@ let consequences prepared inst ~dom =
     prepared;
   !out
 
-let consequences_signed prepared inst ~dom =
-  let db = Matcher.Db.of_instance inst in
+let consequences prepared inst ~dom =
+  consequences_db prepared (Matcher.Db.of_instance inst) ~dom
+
+let consequences_signed_db prepared db ~dom =
   let pos = ref Instance.empty and neg = ref Instance.empty in
   List.iter
     (fun rp ->
@@ -44,53 +45,72 @@ let consequences_signed prepared inst ~dom =
     prepared;
   (!pos, !neg)
 
-let delta_round prepared delta_preds current delta ~dom =
-  let db = Matcher.Db.of_instance current in
-  let out = ref Instance.empty in
-  List.iter
-    (fun (rule, plan) ->
-      let body_delta_preds =
-        List.sort_uniq String.compare
-          (List.filter_map
-             (function
-               | Ast.BPos a when List.mem a.Ast.pred delta_preds ->
-                   Some a.Ast.pred
-               | _ -> None)
-             rule.Ast.body)
-      in
-      List.iter
-        (fun pred ->
-          let drel = Instance.find pred delta in
-          if not (Relation.is_empty drel) then
-            let substs = Matcher.run ~delta:(pred, drel) ~dom plan db in
-            List.iter
-              (fun subst ->
-                let _, facts =
-                  Matcher.instantiate_heads subst rule.Ast.head
-                in
-                List.iter
-                  (fun (pos, p, t) ->
-                    if pos && not (Instance.mem_fact p t current) then
-                      out := Instance.add_fact p t !out)
-                  facts)
-              substs)
-        body_delta_preds)
-    prepared;
-  !out
+let consequences_signed prepared inst ~dom =
+  consequences_signed_db prepared (Matcher.Db.of_instance inst) ~dom
 
-let seminaive_fixpoint prepared ~delta_preds ~dom inst =
-  let first = consequences prepared inst ~dom in
-  let delta0 = Instance.diff first inst in
+let seminaive_fixpoint ?neg_db prepared ~delta_preds ~dom inst =
+  (* One Db for the whole fixpoint: each stage feeds its delta back with
+     [Db.absorb], so join indexes are built once and extended
+     incrementally instead of being rebuilt from the full instance. *)
+  let db = Matcher.Db.of_instance inst in
+  (* per-rule delta predicates, computed once *)
+  let with_dps =
+    List.map
+      (fun (rule, plan) ->
+        let dps =
+          List.sort_uniq String.compare
+            (List.filter_map
+               (function
+                 | Ast.BPos a when List.mem a.Ast.pred delta_preds ->
+                     Some a.Ast.pred
+                 | _ -> None)
+               rule.Ast.body)
+        in
+        (rule, plan, dps))
+      prepared
+  in
+  let collect_fresh rule substs acc =
+    List.fold_left
+      (fun acc subst ->
+        let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
+        List.fold_left
+          (fun acc (pos, p, t) ->
+            if pos && not (Matcher.Db.mem db p t) then
+              Instance.add_fact p t acc
+            else acc)
+          acc facts)
+      acc substs
+  in
+  (* stage 1: full evaluation; the facts not already present form Δ⁰ *)
+  let delta0 =
+    List.fold_left
+      (fun acc (rule, plan, _) ->
+        collect_fresh rule (Matcher.run ?neg_db ~dom plan db) acc)
+      Instance.empty with_dps
+  in
   (* [stages] counts the applications of Γ that inferred new facts, to
      agree with the naive engine's count. *)
-  let rec loop current delta stages =
-    if Instance.total_facts delta = 0 then (current, stages)
-    else
-      let current = Instance.union current delta in
-      let fresh = delta_round prepared delta_preds current delta ~dom in
-      loop current fresh (stages + 1)
+  let rec loop delta stages =
+    if Instance.total_facts delta = 0 then (Matcher.Db.instance db, stages)
+    else (
+      Matcher.Db.absorb db delta;
+      let fresh =
+        List.fold_left
+          (fun acc (rule, plan, dps) ->
+            List.fold_left
+              (fun acc pred ->
+                let drel = Instance.find pred delta in
+                if Relation.is_empty drel then acc
+                else
+                  collect_fresh rule
+                    (Matcher.run ~delta:(pred, drel) ?neg_db ~dom plan db)
+                    acc)
+              acc dps)
+          Instance.empty with_dps
+      in
+      loop fresh (stages + 1))
   in
-  loop inst delta0 0
+  loop delta0 0
 
 let naive_fixpoint prepared ~dom inst =
   let rec loop current stages =
@@ -102,13 +122,16 @@ let naive_fixpoint prepared ~dom inst =
   loop inst 0
 
 let stage_trace prepared ~dom inst =
-  let rec loop current acc =
-    let derived = consequences prepared current ~dom in
-    let next = Instance.union current derived in
-    if Instance.equal next current then List.rev (current :: acc)
-    else loop next (current :: acc)
+  let db = Matcher.Db.of_instance inst in
+  let rec loop acc =
+    let current = Matcher.Db.instance db in
+    let derived = consequences_db prepared db ~dom in
+    if Instance.subset derived current then List.rev (current :: acc)
+    else (
+      Matcher.Db.absorb db derived;
+      loop (current :: acc))
   in
-  loop inst []
+  loop []
 
 type stats = { stages : int; facts_inferred : int }
 

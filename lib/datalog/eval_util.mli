@@ -23,6 +23,21 @@ val rules : prepared -> (Ast.rule * Matcher.prepared) list
 val consequences :
   prepared -> Instance.t -> dom:Value.t list -> Instance.t
 
+(** [consequences_db prepared db ~dom] is {!consequences} against an
+    existing (persistent, index-carrying) database view. [neg_db]
+    redirects negative-literal checks, as in {!Matcher.run}. *)
+val consequences_db :
+  ?neg_db:Matcher.Db.t ->
+  prepared ->
+  Matcher.Db.t ->
+  dom:Value.t list ->
+  Instance.t
+
+(** [consequences_signed_db] is {!consequences_signed} against an
+    existing database view. *)
+val consequences_signed_db :
+  prepared -> Matcher.Db.t -> dom:Value.t list -> Instance.t * Instance.t
+
 (** [consequences_signed prepared inst ~dom] returns
     [(asserted, retracted)] instances: facts from positive and negative
     head literals respectively. A ⊥ head raises [Invalid_argument] (the
@@ -41,8 +56,16 @@ val consequences_signed :
     predicates are fixed) and (b) inflationary Datalog¬ (facts never
     retract, so a body satisfied now but not before must use a delta
     fact). Returns the fixpoint and the number of stages (applications of
-    the immediate-consequence operator, i.e. the paper's "stages"). *)
+    the immediate-consequence operator, i.e. the paper's "stages").
+
+    One {!Matcher.Db} is created for the whole run and fed each stage's
+    delta via {!Matcher.Db.absorb} — indexes persist across rounds.
+
+    [neg_db]: check negative literals against this fixed database instead
+    of the growing one — makes the fixpoint the Gelfond–Lifschitz
+    operator A(J) used by the well-founded and stable-model engines. *)
 val seminaive_fixpoint :
+  ?neg_db:Matcher.Db.t ->
   prepared ->
   delta_preds:string list ->
   dom:Value.t list ->

@@ -16,22 +16,29 @@ let run ?(max_stages = 10_000) p inst =
     List.mapi (fun i r -> (i, r, Matcher.prepare r, Ast.head_only_vars r)) p
   in
   let fired = Hashtbl.create 256 in
-  let program_consts = Ast.adom p in
-  let rec loop current stages =
+  let module VSet = Set.Make (Value) in
+  (* one persistent database for the whole run; the active domain grows
+     incrementally as facts (and invented values) are added *)
+  let db = Matcher.Db.of_instance inst in
+  let domset =
+    ref
+      (VSet.union
+         (VSet.of_list (Ast.adom p))
+         (VSet.of_list (Instance.adom inst)))
+  in
+  let rec loop stages =
     if stages >= max_stages then
       Out_of_fuel
-        { instance = current; stages; invented = Value.Gen.count gen }
+        {
+          instance = Matcher.Db.instance db;
+          stages;
+          invented = Value.Gen.count gen;
+        }
     else
-      (* the active domain grows as values are invented *)
-      let dom =
-        let module VSet = Set.Make (Value) in
-        VSet.elements
-          (VSet.union
-             (VSet.of_list program_consts)
-             (VSet.of_list (Instance.adom current)))
-      in
-      let db = Matcher.Db.of_instance current in
+      let dom = VSet.elements !domset in
       let additions = ref [] in
+      (* collect firings for every rule against the stage-start state
+         before applying any of them: parallel-stage semantics *)
       List.iter
         (fun (i, rule, plan, new_vars) ->
           let substs = Matcher.run ~dom plan db in
@@ -51,17 +58,25 @@ let run ?(max_stages = 10_000) p inst =
                 additions := facts @ !additions))
             substs)
         prepared;
-      let next =
-        List.fold_left
-          (fun acc (pos, pr, t) ->
-            if pos then Instance.add_fact pr t acc else acc)
-          current !additions
-      in
-      if Instance.equal next current then
-        Fixpoint { instance = current; stages; invented = Value.Gen.count gen }
-      else loop next (stages + 1)
+      let changed = ref false in
+      List.iter
+        (fun (pos, pr, t) ->
+          if pos && Matcher.Db.insert db pr t then (
+            changed := true;
+            Array.iter
+              (fun v -> domset := VSet.add v !domset)
+              (Tuple.values t)))
+        !additions;
+      if not !changed then
+        Fixpoint
+          {
+            instance = Matcher.Db.instance db;
+            stages;
+            invented = Value.Gen.count gen;
+          }
+      else loop (stages + 1)
   in
-  loop inst 0
+  loop 0
 
 let eval ?max_stages p inst =
   match run ?max_stages p inst with

@@ -1,57 +1,165 @@
 open Relational
 
 module Db = struct
-  (* Secondary indexes are memoized per (predicate, constrained positions):
-     a hash table from the value vector at those positions to the matching
-     tuples. *)
+  (* A mutable database view whose secondary indexes survive updates.
+     Indexes are memoized per (predicate, constrained positions): a hash
+     table from the value vector at those positions to the matching
+     tuples. [insert]/[absorb]/[remove] keep every memoized index in sync
+     with the instance, so fixpoint engines create one Db per evaluation
+     and feed it deltas instead of re-indexing the full instance at every
+     stage. The all-tuples scan is the [positions = []] index, so it too
+     is maintained incrementally. *)
   type t = {
-    inst : Instance.t;
-    indexes : (string * int list, (Value.t list, Tuple.t list) Hashtbl.t) Hashtbl.t;
+    mutable inst : Instance.t;
+    indexes :
+      (string, (int list, (Value.t list, Tuple.t list) Hashtbl.t) Hashtbl.t)
+      Hashtbl.t;
   }
 
   let of_instance inst = { inst; indexes = Hashtbl.create 32 }
+  let instance db = db.inst
   let relation db p = Instance.find p db.inst
   let mem db p tup = Instance.mem_fact p tup db.inst
 
+  let pred_indexes db p =
+    match Hashtbl.find_opt db.indexes p with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.add db.indexes p t;
+        t
+
+  let key_of positions t = List.map (fun i -> Tuple.get t i) positions
+
   let index db p positions =
-    let key = (p, positions) in
-    match Hashtbl.find_opt db.indexes key with
+    let per_pred = pred_indexes db p in
+    match Hashtbl.find_opt per_pred positions with
     | Some ix -> ix
     | None ->
         let ix = Hashtbl.create 64 in
         Relation.iter
           (fun t ->
-            let k = List.map (fun i -> Tuple.get t i) positions in
+            let k = key_of positions t in
             Hashtbl.replace ix k
               (t :: (try Hashtbl.find ix k with Not_found -> [])))
           (relation db p);
-        Hashtbl.add db.indexes key ix;
+        Hashtbl.add per_pred positions ix;
         ix
 
+  let lookup_key db p positions key =
+    match Hashtbl.find_opt (index db p positions) key with
+    | Some ts -> ts
+    | None -> []
+
   let lookup db p bindings =
-    match bindings with
-    | [] -> Relation.to_list (relation db p)
-    | _ ->
-        let bindings =
-          List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
-        in
-        let positions = List.map fst bindings in
-        let key = List.map snd bindings in
-        let ix = index db p positions in
-        Option.value (Hashtbl.find_opt ix key) ~default:[]
+    let bindings =
+      match bindings with
+      | [] | [ _ ] -> bindings
+      | _ -> List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
+    in
+    lookup_key db p (List.map fst bindings) (List.map snd bindings)
+
+  let insert db p t =
+    if Instance.mem_fact p t db.inst then false
+    else (
+      db.inst <- Instance.add_fact p t db.inst;
+      (match Hashtbl.find_opt db.indexes p with
+      | None -> ()
+      | Some per_pred ->
+          Hashtbl.iter
+            (fun positions ix ->
+              let k = key_of positions t in
+              Hashtbl.replace ix k
+                (t :: (try Hashtbl.find ix k with Not_found -> [])))
+            per_pred);
+      true)
+
+  let remove db p t =
+    if not (Instance.mem_fact p t db.inst) then false
+    else (
+      db.inst <- Instance.remove_fact p t db.inst;
+      (match Hashtbl.find_opt db.indexes p with
+      | None -> ()
+      | Some per_pred ->
+          Hashtbl.iter
+            (fun positions ix ->
+              let k = key_of positions t in
+              match Hashtbl.find_opt ix k with
+              | None -> ()
+              | Some bucket ->
+                  Hashtbl.replace ix k
+                    (List.filter (fun u -> not (Tuple.equal u t)) bucket))
+            per_pred);
+      true)
+
+  let absorb db delta =
+    Instance.fold
+      (fun p rel () ->
+        match Hashtbl.find_opt db.indexes p with
+        | None ->
+            (* no memoized index: bulk-union the new tuples *)
+            let news =
+              Relation.fold
+                (fun t acc -> if mem db p t then acc else t :: acc)
+                rel []
+            in
+            if news <> [] then
+              db.inst <-
+                Instance.set p (Relation.add_all news (relation db p)) db.inst
+        | Some _ -> Relation.iter (fun t -> ignore (insert db p t)) rel)
+      delta ()
 end
 
 (* ------------------------------------------------------------------ *)
 
-type step =
-  | SAtom of Ast.atom  (** join with a stored relation *)
-  | SDomain of string  (** enumerate a variable over the active domain *)
+(* Compiled plans: variables are mapped to integer slots at [prepare]
+   time, so the join loop unifies into one mutable [Value.t option array]
+   instead of consing association lists. For every step the set of
+   already-bound argument positions is known statically (the step order is
+   fixed), so each atom carries a precomputed index key and the remaining
+   positions carry their unification ops. *)
+
+type cterm = CCst of Value.t | CVar of int
+
+type catom = { cpred : string; cargs : cterm array }
+
+type unify_op =
+  | UKey  (** position is part of the lookup key: already matched *)
+  | UBind of int  (** first occurrence of an unbound variable: bind slot *)
+  | UCheckSlot of int  (** repeated unbound variable within the atom *)
+
+type cstep =
+  | CAtom of {
+      apred : string;
+      arity : int;
+      key_positions : int list;  (** statically-bound positions, ascending *)
+      key_terms : cterm list;  (** aligned with [key_positions] *)
+      unify : unify_op array;  (** one op per argument position *)
+      binds : int array;  (** slots first bound by this step *)
+    }
+  | CDomain of int  (** enumerate the slot over the active domain *)
+
+type cfilter =
+  | FPos of catom
+  | FNeg of catom
+  | FEq of cterm * cterm
+  | FNeq of cterm * cterm
 
 type prepared = {
   rule : Ast.rule;
-  steps : step list;  (** join plan: atoms then leftover domain vars *)
-  filters : Ast.blit list;  (** negatives and (in)equalities *)
-  forall : string list;
+  nslots : int;
+  csteps : cstep array;
+  filters_after : cfilter list array;
+      (** [filters_after.(i)] become fully bound once steps [0..i-1] ran;
+          index 0 holds the ground filters checked before any step *)
+  body_filters : cfilter list;
+      (** the whole body, for re-evaluation under ∀-valuations *)
+  forall_slots : int array;
+  undecidable : bool;
+      (** some non-∀ filter can never be fully bound (unsafe rule):
+          no substitution is ever produced, matching the legacy matcher *)
+  need_dom : bool;
+  keep : (string * int) array;  (** output projection, name-sorted *)
 }
 
 let atom_vars (a : Ast.atom) =
@@ -63,7 +171,7 @@ let prepare (rule : Ast.rule) =
   let pos_atoms =
     List.filter_map (function Ast.BPos a -> Some a | _ -> None) rule.Ast.body
   in
-  let filters =
+  let ast_filters =
     List.filter (function Ast.BPos _ -> false | _ -> true) rule.Ast.body
   in
   (* greedy ordering: repeatedly pick the atom sharing the most variables
@@ -98,12 +206,10 @@ let prepare (rule : Ast.rule) =
         let bound =
           List.fold_left (fun s v -> SSet.add v s) bound (atom_vars a)
         in
-        order bound remaining (SAtom a :: acc)
+        order bound remaining (a :: acc)
   in
-  let atom_steps = order SSet.empty pos_atoms [] in
-  let bound_by_atoms =
-    List.concat_map (function SAtom a -> atom_vars a | _ -> []) atom_steps
-  in
+  let ordered_atoms = order SSet.empty pos_atoms [] in
+  let bound_by_atoms = List.concat_map atom_vars ordered_atoms in
   (* body variables not bound by any positive atom range over the domain
      (paper: instantiations valuate into adom(P, K)); ∀-variables are
      handled separately, and head-only variables are never enumerated —
@@ -115,12 +221,145 @@ let prepare (rule : Ast.rule) =
            (not (List.mem v bound_by_atoms))
            && not (List.mem v rule.Ast.forall))
   in
-  { rule;
-    steps = atom_steps @ List.map (fun v -> SDomain v) needed;
-    filters;
-    forall = rule.Ast.forall }
+  (* slot assignment: every variable of the rule gets a slot *)
+  let all_vars =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun x ->
+        if Hashtbl.mem seen x then false
+        else (
+          Hashtbl.add seen x ();
+          true))
+      (Ast.rule_vars rule @ Ast.body_vars rule @ rule.Ast.forall)
+  in
+  let nslots = List.length all_vars in
+  let slot_tbl = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace slot_tbl x i) all_vars;
+  let slot x = Hashtbl.find slot_tbl x in
+  (* compile steps, tracking static boundness; [first_bound.(s)] is the
+     1-based step index after which slot [s] is bound (0 = never) *)
+  let bound = Array.make (max nslots 1) false in
+  let first_bound = Array.make (max nslots 1) 0 in
+  let step_no = ref 0 in
+  let compile_atom (a : Ast.atom) =
+    incr step_no;
+    let args = Array.of_list a.Ast.args in
+    let n = Array.length args in
+    let keyspec = ref [] in
+    let unify = Array.make n UKey in
+    let binds = ref [] in
+    Array.iteri
+      (fun i t ->
+        match t with
+        | Ast.Cst v -> keyspec := (i, CCst v) :: !keyspec
+        | Ast.Var x ->
+            let s = slot x in
+            if bound.(s) then keyspec := (i, CVar s) :: !keyspec
+            else if List.mem s !binds then unify.(i) <- UCheckSlot s
+            else (
+              binds := s :: !binds;
+              unify.(i) <- UBind s))
+      args;
+    List.iter
+      (fun s ->
+        bound.(s) <- true;
+        first_bound.(s) <- !step_no)
+      !binds;
+    let spec = List.rev !keyspec in
+    CAtom
+      {
+        apred = a.Ast.pred;
+        arity = n;
+        key_positions = List.map fst spec;
+        key_terms = List.map snd spec;
+        unify;
+        binds = Array.of_list (List.rev !binds);
+      }
+  in
+  let atom_steps = List.map compile_atom ordered_atoms in
+  let domain_steps =
+    List.map
+      (fun x ->
+        incr step_no;
+        let s = slot x in
+        bound.(s) <- true;
+        first_bound.(s) <- !step_no;
+        CDomain s)
+      needed
+  in
+  let csteps = Array.of_list (atom_steps @ domain_steps) in
+  let nsteps = Array.length csteps in
+  (* compile filters and schedule each at the earliest step after which
+     all its variables are bound *)
+  let cterm_of = function
+    | Ast.Cst v -> CCst v
+    | Ast.Var x -> CVar (slot x)
+  in
+  let catom_of (a : Ast.atom) =
+    { cpred = a.Ast.pred; cargs = Array.of_list (List.map cterm_of a.Ast.args) }
+  in
+  let cfilter_of = function
+    | Ast.BPos a -> FPos (catom_of a)
+    | Ast.BNeg a -> FNeg (catom_of a)
+    | Ast.BEq (s, t) -> FEq (cterm_of s, cterm_of t)
+    | Ast.BNeq (s, t) -> FNeq (cterm_of s, cterm_of t)
+  in
+  let blit_var_slots l =
+    let terms =
+      match l with
+      | Ast.BPos a | Ast.BNeg a -> a.Ast.args
+      | Ast.BEq (s, t) | Ast.BNeq (s, t) -> [ s; t ]
+    in
+    List.filter_map
+      (function Ast.Var x -> Some (slot x) | Ast.Cst _ -> None)
+      terms
+  in
+  let filters_after = Array.make (nsteps + 1) [] in
+  let undecidable = ref false in
+  List.iter
+    (fun f ->
+      let slots = blit_var_slots f in
+      if List.for_all (fun s -> first_bound.(s) > 0) slots then
+        let at = List.fold_left (fun m s -> max m first_bound.(s)) 0 slots in
+        filters_after.(at) <- filters_after.(at) @ [ cfilter_of f ]
+      else if
+        (* a filter over never-bound variables is decidable only under the
+           ∀-valuations; otherwise it can never pass *)
+        not
+          (List.for_all
+             (fun s ->
+               first_bound.(s) > 0
+               || List.exists (fun y -> slot y = s) rule.Ast.forall)
+             slots)
+      then undecidable := true)
+    ast_filters;
+  let keep =
+    all_vars
+    |> List.filter (fun x ->
+           first_bound.(slot x) > 0 && not (List.mem x rule.Ast.forall))
+    |> List.sort String.compare
+    |> List.map (fun x -> (x, slot x))
+    |> Array.of_list
+  in
+  let forall_slots = Array.of_list (List.map slot rule.Ast.forall) in
+  {
+    rule;
+    nslots;
+    csteps;
+    filters_after;
+    body_filters = List.map cfilter_of rule.Ast.body;
+    forall_slots;
+    undecidable = !undecidable;
+    need_dom =
+      Array.length forall_slots > 0
+      || Array.exists (function CDomain _ -> true | _ -> false) csteps;
+    keep;
+  }
 
 (* ------------------------------------------------------------------ *)
+
+(* Association-list helpers retained for [satisfies] (the nondeterministic
+   engines re-check applicability of a grounded rule). *)
 
 let term_value subst = function
   | Ast.Cst v -> Some v
@@ -149,137 +388,188 @@ let check_filter ?neg_db db subst = function
         Some (Db.mem db a.Ast.pred tup)
       else None
 
-(* Apply all filters decidable under [subst]; returns [None] when some
-   filter fails, otherwise the list of still-pending filters. *)
-let apply_filters ?neg_db db subst filters =
-  let rec go pending = function
-    | [] -> Some (List.rev pending)
-    | f :: rest -> (
-        match check_filter ?neg_db db subst f with
-        | Some true -> go pending rest
-        | Some false -> None
-        | None -> go (f :: pending) rest)
-  in
-  go [] filters
-
-let unify_atom subst (a : Ast.atom) (tup : Tuple.t) =
-  let rec go subst i = function
-    | [] -> Some subst
-    | Ast.Cst v :: rest ->
-        if Value.equal v (Tuple.get tup i) then go subst (i + 1) rest else None
-    | Ast.Var x :: rest -> (
-        let v = Tuple.get tup i in
-        match List.assoc_opt x subst with
-        | Some w -> if Value.equal v w then go subst (i + 1) rest else None
-        | None -> go ((x, v) :: subst) (i + 1) rest)
-  in
-  go subst 0 a.Ast.args
-
-let bound_positions subst (a : Ast.atom) =
-  List.filteri (fun _ o -> o <> None)
-    (List.mapi
-       (fun i t ->
-         match term_value subst t with Some v -> Some (i, v) | None -> None)
-       a.Ast.args)
-  |> List.filter_map Fun.id
-
 let run ?delta ?dom ?neg_db prepared db =
-  let need_dom =
-    List.exists (function SDomain _ -> true | _ -> false) prepared.steps
-    || prepared.forall <> []
-  in
-  (if need_dom && dom = None then
+  (if prepared.need_dom && dom = None then
      invalid_arg
        "Matcher.run: rule has domain-bound or \xe2\x88\x80 variables; supply ~dom");
-  let dom = Option.value dom ~default:[] in
-  let results = ref [] in
-  (* [delta_slot]: index (into atom steps) of the occurrence currently
-     restricted to the delta relation; -1 means none. *)
-  let rec go delta_slot step_idx steps subst filters =
-    match steps with
-    | [] ->
-        if prepared.forall <> [] then (
-          (* ∀-rules: pending filters may mention ∀-variables;
-             check_forall re-evaluates the whole body over the domain *)
-          if check_forall subst filters then results := subst :: !results)
-        else (
-          (* all join/domain steps done: any still-pending filters are
-             fully ground (e.g. a rule with no positive atoms and constant
-             arguments) and must be checked now *)
-          match apply_filters ?neg_db db subst filters with
-          | Some [] -> results := subst :: !results
-          | Some _ | None -> ())
-    | SAtom a :: rest ->
-        let candidates =
-          if step_idx = delta_slot then
-            let drel = match delta with Some (_, r) -> r | None -> Relation.empty in
-            List.filter
-              (fun t -> Tuple.arity t = List.length a.Ast.args)
-              (Relation.to_list drel)
-          else Db.lookup db a.Ast.pred (bound_positions subst a)
-        in
-        List.iter
-          (fun tup ->
-            match unify_atom subst a tup with
-            | None -> ()
-            | Some subst -> (
-                match apply_filters ?neg_db db subst filters with
-                | None -> ()
-                | Some pending ->
-                    go delta_slot (step_idx + 1) rest subst pending))
-          candidates
-    | SDomain x :: rest ->
-        List.iter
-          (fun v ->
-            let subst = (x, v) :: subst in
-            match apply_filters ?neg_db db subst filters with
-            | None -> ()
-            | Some pending -> go delta_slot (step_idx + 1) rest subst pending)
-          dom
-  and check_forall subst pending =
-    (* All body literals must hold for every valuation of the ∀-variables
-       over the domain. Literals not mentioning ∀-variables were already
-       enforced (they are fully bound by now, [pending] only retains ∀
-       ones), but re-checking the whole body keeps this obviously
-       correct. *)
-    ignore pending;
-    let rec enum subst = function
-      | [] ->
-          List.for_all
-            (fun l ->
-              match check_filter ?neg_db db subst l with
-              | Some b -> b
-              | None -> false)
-            prepared.rule.Ast.body
-      | x :: rest ->
-          List.for_all (fun v -> enum ((x, v) :: subst) rest) dom
+  if prepared.undecidable then []
+  else
+    let dom = Option.value dom ~default:[] in
+    let ndb = Option.value neg_db ~default:db in
+    (* per-(pred, bound-positions) index over the delta relation: delta
+       candidates are looked up, not scanned *)
+    let ddb =
+      match delta with
+      | None -> None
+      | Some (pred, rel) ->
+          Some (Db.of_instance (Instance.set pred rel Instance.empty))
     in
-    enum subst prepared.forall
-  in
-  (match delta with
-  | None -> go (-1) 0 prepared.steps [] prepared.filters
-  | Some (pred, _) ->
-      (* one pass per positive occurrence of [pred] *)
-      List.iteri
-        (fun i step ->
-          match step with
-          | SAtom a when a.Ast.pred = pred ->
-              go i 0 prepared.steps [] prepared.filters
-          | _ -> ())
-        prepared.steps);
-  (* Deduplicate: different derivations can yield the same substitution
-     (e.g. via the delta passes, or different ∀-witnesses). Restrict to
-     the rule variables that matter — ∀-variables are not part of the
-     firing. *)
-  let keep =
-    List.filter
-      (fun v -> not (List.mem v prepared.forall))
-      (Ast.rule_vars prepared.rule)
-  in
-  let canon subst =
-    List.sort compare (List.filter (fun (x, _) -> List.mem x keep) subst)
-  in
-  List.sort_uniq compare (List.map canon !results)
+    (* resolve each step's index table once per call: probes then pay a
+       single hash on the key values, not repeated (pred, positions)
+       table hops *)
+    let resolve db' = function
+      | CAtom { apred; key_positions; _ } -> Some (Db.index db' apred key_positions)
+      | CDomain _ -> None
+    in
+    let main_ix = Array.map (resolve db) prepared.csteps in
+    let delta_ix =
+      match ddb with
+      | None -> [||]
+      | Some d ->
+          let dpred = match delta with Some (p, _) -> p | None -> "" in
+          Array.map
+            (function
+              | CAtom { apred; _ } as s when apred = dpred -> resolve d s
+              | _ -> None)
+            prepared.csteps
+    in
+    let env : Value.t option array = Array.make (max prepared.nslots 1) None in
+    let tval = function
+      | CCst v -> v
+      | CVar s -> (
+          match env.(s) with Some v -> v | None -> assert false)
+    in
+    let check_cfilter = function
+      | FPos ca -> Db.mem db ca.cpred (Tuple.make (Array.map tval ca.cargs))
+      | FNeg ca ->
+          not (Db.mem ndb ca.cpred (Tuple.make (Array.map tval ca.cargs)))
+      | FEq (s, t) -> Value.equal (tval s) (tval t)
+      | FNeq (s, t) -> not (Value.equal (tval s) (tval t))
+    in
+    let filters_ok k = List.for_all check_cfilter prepared.filters_after.(k) in
+    (* ∀-rules: re-evaluate the whole body for every valuation of the
+       ∀-variables over the domain (paper, §5.2) *)
+    let check_forall () =
+      let nf = Array.length prepared.forall_slots in
+      let rec enum i =
+        if i = nf then List.for_all check_cfilter prepared.body_filters
+        else
+          let s = prepared.forall_slots.(i) in
+          List.for_all
+            (fun v ->
+              env.(s) <- Some v;
+              enum (i + 1))
+            dom
+      in
+      enum 0
+    in
+    let nsteps = Array.length prepared.csteps in
+    (* dedup: different derivations (delta passes, ∀-witnesses) can yield
+       the same projected substitution — a hash set replaces the legacy
+       terminal sort_uniq. Keys are the kept slot values with an
+       explicitly combined per-value hash: the polymorphic [Hashtbl.hash]
+       samples only a bounded prefix of the structure, so hashing an
+       assoc list whole would drop the trailing bindings and collapse
+       buckets. *)
+    let module Seen = Hashtbl.Make (struct
+      type t = Value.t array
+
+      let equal a b =
+        Array.length a = Array.length b
+        &&
+        let rec eq i =
+          i >= Array.length a || (Value.equal a.(i) b.(i) && eq (i + 1))
+        in
+        eq 0
+
+      let hash a =
+        Array.fold_left (fun h v -> (h * 31) + Hashtbl.hash v) 17 a
+    end) in
+    (* Within one pass, distinct derivation paths always differ at some
+       bound slot and [keep] covers every bound slot, so emits are already
+       unique: the hash set is needed only when several delta passes can
+       re-find the same valuation, or when a caller-supplied domain list
+       might contain repeats. *)
+    let npasses =
+      match delta with
+      | None -> 0
+      | Some (pred, _) ->
+          Array.fold_left
+            (fun n s ->
+              match s with
+              | CAtom { apred; _ } when apred = pred -> n + 1
+              | _ -> n)
+            0 prepared.csteps
+    in
+    let dedup = npasses > 1 || prepared.need_dom in
+    let seen = Seen.create (if dedup then 1024 else 1) in
+    let results = ref [] in
+    let nkeep = Array.length prepared.keep in
+    let emit () =
+      let vals =
+        Array.init nkeep (fun k ->
+            let _, s = prepared.keep.(k) in
+            match env.(s) with Some v -> v | None -> assert false)
+      in
+      if (not dedup) || not (Seen.mem seen vals) then (
+        if dedup then Seen.add seen vals ();
+        let subst =
+          List.init nkeep (fun k -> (fst prepared.keep.(k), vals.(k)))
+        in
+        results := subst :: !results)
+    in
+    let rec go delta_idx i =
+      if i = nsteps then (
+        if Array.length prepared.forall_slots > 0 then (
+          if check_forall () then emit ())
+        else emit ())
+      else
+        match prepared.csteps.(i) with
+        | CDomain s ->
+            List.iter
+              (fun v ->
+                env.(s) <- Some v;
+                if filters_ok (i + 1) then go delta_idx (i + 1))
+              dom;
+            env.(s) <- None
+        | CAtom { arity; key_terms; unify; binds; _ } ->
+            let key = List.map tval key_terms in
+            let ix =
+              if i = delta_idx then delta_ix.(i) else main_ix.(i)
+            in
+            let candidates =
+              match ix with
+              | None -> []
+              | Some ix -> (
+                  match Hashtbl.find_opt ix key with
+                  | Some ts -> ts
+                  | None -> [])
+            in
+            let n = Array.length unify in
+            let rec unify_from tup j =
+              j >= n
+              ||
+              match unify.(j) with
+              | UKey -> unify_from tup (j + 1)
+              | UBind s ->
+                  env.(s) <- Some (Tuple.get tup j);
+                  unify_from tup (j + 1)
+              | UCheckSlot s -> (
+                  match env.(s) with
+                  | Some w ->
+                      Value.equal w (Tuple.get tup j) && unify_from tup (j + 1)
+                  | None -> assert false)
+            in
+            List.iter
+              (fun tup ->
+                if Tuple.arity tup = arity then (
+                  if unify_from tup 0 && filters_ok (i + 1) then
+                    go delta_idx (i + 1);
+                  Array.iter (fun s -> env.(s) <- None) binds))
+              candidates
+    in
+    let start delta_idx = if filters_ok 0 then go delta_idx 0 in
+    (match delta with
+    | None -> start (-1)
+    | Some (pred, _) ->
+        (* one pass per positive occurrence of [pred] *)
+        Array.iteri
+          (fun i step ->
+            match step with
+            | CAtom { apred; _ } when apred = pred -> start i
+            | _ -> ())
+          prepared.csteps);
+    List.sort compare !results
 
 let satisfies db subst blits =
   List.for_all

@@ -1,12 +1,12 @@
 (** Rule instantiation: enumerating the valuations that satisfy a rule body
     against a database.
 
-    This is the shared workhorse of every engine in the family. Bodies are
-    evaluated by an index-backed nested-loop join over the positive atoms
-    (greedy most-bound-first ordering) with negative and (in)equality
-    literals applied as soon as their variables are bound. Negative
-    literals are checked against the same database — the "not inferred so
-    far" reading of the paper's immediate-consequence operator (§4.1).
+    This is the shared workhorse of every engine in the family. At
+    {!prepare} time each rule is compiled to a slot-based plan: variables
+    are mapped to integer slots, atoms are ordered greedily most-bound
+    first, and for every step the set of already-bound argument positions
+    is known statically. The inner join loop then unifies tuples into a
+    mutable environment array — no association lists on the hot path.
 
     An instantiation of a rule w.r.t. K (paper, §4.1) maps each variable
     into [adom(P, K)]; because our rules are range-restricted (safety
@@ -15,12 +15,18 @@
 
 open Relational
 
-(** A database view with memoized secondary indexes. Build one per
-    evaluation stage (indexes are only valid for the instance supplied). *)
+(** A mutable database view with memoized secondary indexes that are
+    maintained incrementally: create one [Db] per evaluation (not per
+    stage) and feed it new facts with {!Db.insert} or {!Db.absorb} —
+    every cached index is updated in place instead of being rebuilt. *)
 module Db : sig
   type t
 
   val of_instance : Instance.t -> t
+
+  (** [instance db] is the current underlying instance (a persistent
+      snapshot; later mutations of [db] do not affect it). *)
+  val instance : t -> Instance.t
 
   (** [relation db p] is the relation bound to predicate [p]. *)
   val relation : t -> string -> Relation.t
@@ -32,12 +38,25 @@ module Db : sig
 
   (** [mem db p tup] tests a ground fact. *)
   val mem : t -> string -> Tuple.t -> bool
+
+  (** [insert db p tup] adds a fact, updating every memoized index of
+      [p]. Returns [true] iff the fact was new. *)
+  val insert : t -> string -> Tuple.t -> bool
+
+  (** [remove db p tup] deletes a fact, updating every memoized index of
+      [p]. Returns [true] iff the fact was present. *)
+  val remove : t -> string -> Tuple.t -> bool
+
+  (** [absorb db delta] inserts every fact of [delta] into [db],
+      maintaining all memoized indexes incrementally. *)
+  val absorb : t -> Instance.t -> unit
 end
 
-(** A rule body prepared for evaluation (atom ordering precomputed). *)
+(** A rule compiled to a slot-based join plan (atom ordering, index keys,
+    unification ops and filter schedule all precomputed). *)
 type prepared
 
-(** [prepare rule] plans the body join. *)
+(** [prepare rule] plans and compiles the body join. *)
 val prepare : Ast.rule -> prepared
 
 (** [run prepared db] enumerates all satisfying substitutions for the body.
@@ -46,8 +65,10 @@ val prepare : Ast.rule -> prepared
 
     [delta]: when [Some (pred, rel)], restricts one positive occurrence of
     [pred] at a time to range over [rel] instead of its full relation, and
-    unions the results — the semi-naive evaluation primitive. If the body
-    has no positive occurrence of [pred] the result is empty.
+    unions the results — the semi-naive evaluation primitive. The delta
+    relation is indexed per (pred, bound-positions) exactly like the main
+    database, so delta candidates are looked up rather than scanned. If
+    the body has no positive occurrence of [pred] the result is empty.
 
     [dom]: the active domain [adom(P, K)]. Variables not bound by a
     positive atom (the paper allows head variables bound only by negative

@@ -29,8 +29,7 @@ let head_consistent adds dels =
          List.exists (fun (p', t') -> p = p' && Tuple.equal t t') dels)
        adds)
 
-let candidates prepared dom inst =
-  let db = Matcher.Db.of_instance inst in
+let candidates prepared dom db =
   List.concat_map
     (fun (idx, rule, plan) ->
       let substs = Matcher.run ~dom plan db in
@@ -51,10 +50,8 @@ let candidates prepared dom inst =
             if not (head_consistent adds dels) then None
             else
               let changes =
-                List.exists
-                  (fun (p, t) -> not (Instance.mem_fact p t inst))
-                  adds
-                || List.exists (fun (p, t) -> Instance.mem_fact p t inst) dels
+                List.exists (fun (p, t) -> not (Matcher.Db.mem db p t)) adds
+                || List.exists (fun (p, t) -> Matcher.Db.mem db p t) dels
               in
               if not changes then None
               else
@@ -129,33 +126,29 @@ let run ?(strategy = First) ?(max_cycles = 10_000) p inst =
             | Some b -> if c.specificity > b.specificity then Some c else best)
           None cs
   in
-  let rec cycle memory n trace =
+  (* one persistent working memory for the whole run; each firing applies
+     its retractions and assertions to the indexed database in place *)
+  let db = Matcher.Db.of_instance inst in
+  let rec cycle n trace =
     if n >= max_cycles then
       failwith
         (Printf.sprintf "Production.run: no quiescence within %d cycles"
            max_cycles)
     else
       let cs =
-        candidates prepared dom memory
+        candidates prepared dom db
         |> List.filter (fun c -> not (Hashtbl.mem fired_memo (memo_key c)))
       in
       match choose cs with
-      | None -> { memory; cycles = n; trace = List.rev trace }
+      | None ->
+          { memory = Matcher.Db.instance db; cycles = n; trace = List.rev trace }
       | Some c ->
           Hashtbl.replace fired_memo (memo_key c) ();
-          let memory =
-            List.fold_left
-              (fun m (pr, t) -> Instance.remove_fact pr t m)
-              memory c.dels
-          in
-          let memory =
-            List.fold_left
-              (fun m (pr, t) -> Instance.add_fact pr t m)
-              memory c.adds
-          in
+          List.iter (fun (pr, t) -> ignore (Matcher.Db.remove db pr t)) c.dels;
+          List.iter (fun (pr, t) -> ignore (Matcher.Db.insert db pr t)) c.adds;
           List.iter (fun f -> Hashtbl.replace ages f (n + 1)) c.adds;
-          cycle memory (n + 1)
+          cycle (n + 1)
             ({ rule_index = c.idx; asserted = c.adds; retracted = c.dels }
              :: trace)
   in
-  cycle inst 0 []
+  cycle 0 []

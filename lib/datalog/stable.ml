@@ -1,30 +1,16 @@
 open Relational
 
+(* GL(M): semi-naive least fixpoint with negatives checked against the
+   fixed candidate M (one persistent database per application). *)
+let gl_prepared prepared delta_preds dom inst context =
+  let neg_db = Matcher.Db.of_instance context in
+  fst (Eval_util.seminaive_fixpoint ~neg_db prepared ~delta_preds ~dom inst)
+
 let gl p inst context =
   Ast.check_datalog_neg p;
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
-  let neg_db = Matcher.Db.of_instance context in
-  let rec loop current =
-    let db = Matcher.Db.of_instance current in
-    let out = ref Instance.empty in
-    List.iter
-      (fun (rule, plan) ->
-        let substs = Matcher.run ~dom ~neg_db plan db in
-        List.iter
-          (fun subst ->
-            let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
-            List.iter
-              (fun (pos, pr, t) ->
-                if pos && not (Instance.mem_fact pr t current) then
-                  out := Instance.add_fact pr t !out)
-              facts)
-          substs)
-      (Eval_util.rules prepared);
-    if Instance.total_facts !out = 0 then current
-    else loop (Instance.union current !out)
-  in
-  loop inst
+  gl_prepared prepared (Ast.idb p) dom inst context
 
 let is_stable p inst m = Instance.equal (gl p inst m) m
 
@@ -40,6 +26,15 @@ let models ?limit p inst =
     failwith
       (Printf.sprintf "Stable.models: %d unknown facts, search too large"
          (List.length unknowns));
+  (* prepare once: the candidate enumeration applies GL up to 2^unknowns
+     times over the same program and domain *)
+  Ast.check_datalog_neg p;
+  let dom = Eval_util.program_dom p inst in
+  let prepared = Eval_util.prepare p in
+  let delta_preds = Ast.idb p in
+  let stable_candidate m =
+    Instance.equal (gl_prepared prepared delta_preds dom inst m) m
+  in
   let out = ref [] in
   let n = ref 0 in
   let reached_limit () =
@@ -47,7 +42,7 @@ let models ?limit p inst =
   in
   let rec branch candidate = function
     | [] ->
-        if (not (reached_limit ())) && is_stable p inst candidate then (
+        if (not (reached_limit ())) && stable_candidate candidate then (
           out := candidate :: !out;
           incr n)
     | (pred, t) :: rest ->

@@ -11,35 +11,17 @@ type result = {
 (* A(J): least fixpoint of the rules with negatives checked against the
    fixed context J, positives against the growing instance, starting from
    the input. Semi-naive iteration is sound here because within one A
-   computation the negation context never changes. *)
-let gl_operator prepared dom inst context =
+   computation the negation context never changes — so each A(J) runs as
+   a delta fixpoint over one persistent database. *)
+let gl_operator prepared delta_preds dom inst context =
   let neg_db = Matcher.Db.of_instance context in
-  let rec loop current =
-    let db = Matcher.Db.of_instance current in
-    let out = ref Instance.empty in
-    List.iter
-      (fun (rule, plan) ->
-        let substs = Matcher.run ~dom ~neg_db plan db in
-        List.iter
-          (fun subst ->
-            let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
-            List.iter
-              (fun (pos, p, t) ->
-                if pos && not (Instance.mem_fact p t current) then
-                  out := Instance.add_fact p t !out)
-              facts)
-          substs)
-      prepared;
-    if Instance.total_facts !out = 0 then current
-    else loop (Instance.union current !out)
-  in
-  loop inst
+  fst (Eval_util.seminaive_fixpoint ~neg_db prepared ~delta_preds ~dom inst)
 
 let sequence p inst =
   Ast.check_datalog_neg p;
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
-  let a = gl_operator (Eval_util.rules prepared) dom inst in
+  let a = gl_operator prepared (Ast.idb p) dom inst in
   let rec loop under acc =
     let over = a under in
     let under' = a over in

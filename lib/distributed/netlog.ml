@@ -49,9 +49,15 @@ let check net =
 
 let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
   check net;
-  let stores : (string, Instance.t) Hashtbl.t = Hashtbl.create 8 in
-  List.iter (fun p -> Hashtbl.replace stores p Instance.empty) net.peers;
-  List.iter (fun (p, i) -> Hashtbl.replace stores p i) net.stores;
+  (* each peer's store is a persistent indexed database: inbox ingestion
+     and local derivations insert into it incrementally *)
+  let stores : (string, Matcher.Db.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun p -> Hashtbl.replace stores p (Matcher.Db.of_instance Instance.empty))
+    net.peers;
+  List.iter
+    (fun (p, i) -> Hashtbl.replace stores p (Matcher.Db.of_instance i))
+    net.stores;
   let inbox : (string, (string * Tuple.t) Queue.t) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -86,21 +92,21 @@ let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
      anything changed anywhere (locally or messages sent) *)
   let activate p =
     incr rounds;
-    let store = ref (Hashtbl.find stores p) in
+    let store = Hashtbl.find stores p in
     let changed = ref false in
     let q = Hashtbl.find inbox p in
     while not (Queue.is_empty q) do
       let pred, tup = Queue.pop q in
-      if not (Instance.mem_fact pred tup !store) then (
-        store := Instance.add_fact pred tup !store;
-        changed := true)
+      if Matcher.Db.insert store pred tup then changed := true
     done;
     (match List.assoc_opt p prepared with
     | None -> ()
     | Some rules ->
         let plain = List.map (fun (r, _) -> r.rule) rules in
-        let dom = Datalog.Eval_util.program_dom plain !store in
-        let db = Matcher.Db.of_instance !store in
+        let dom =
+          Datalog.Eval_util.program_dom plain (Matcher.Db.instance store)
+        in
+        let db = store in
         let derived = ref [] in
         List.iter
           (fun (lr, plan) ->
@@ -132,17 +138,14 @@ let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
         List.iter
           (fun (dest, pred, tup) ->
             if dest = p then (
-              if not (Instance.mem_fact pred tup !store) then (
-                store := Instance.add_fact pred tup !store;
-                changed := true))
-            else if not (Instance.mem_fact pred tup (Hashtbl.find stores dest))
+              if Matcher.Db.insert store pred tup then changed := true)
+            else if not (Matcher.Db.mem (Hashtbl.find stores dest) pred tup)
             then (
               (* best-effort duplicate suppression; re-sends are harmless *)
               Queue.add (pred, tup) (Hashtbl.find inbox dest);
               incr messages;
               changed := true))
           !derived);
-    Hashtbl.replace stores p !store;
     !changed
   in
   let quiescent = ref false in
@@ -162,7 +165,10 @@ let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
      done
    with Exit -> ());
   {
-    stores = List.map (fun p -> (p, Hashtbl.find stores p)) net.peers;
+    stores =
+      List.map
+        (fun p -> (p, Matcher.Db.instance (Hashtbl.find stores p)))
+        net.peers;
     rounds = !rounds;
     messages = !messages;
     quiescent = !quiescent;

@@ -67,10 +67,13 @@ let eval ~seed p inst =
           Hashtbl.add committed (idx, ci, key) want)
       c.choices
   in
-  let rec loop current =
-    let db = Matcher.Db.of_instance current in
-    let added = ref false in
-    let next = ref current in
+  (* one persistent database across rounds: each round matches against the
+     round-start state, collects its additions separately, and absorbs them
+     at the end so the indexes update incrementally *)
+  let db = Matcher.Db.of_instance inst in
+  let rec loop () =
+    let added = ref Instance.empty in
+    let any = ref false in
     List.iter
       (fun (idx, c, plan) ->
         let substs = shuffle rng (Matcher.run ~dom plan db) in
@@ -81,15 +84,22 @@ let eval ~seed p inst =
               let _, facts = Matcher.instantiate_heads subst c.rule.Ast.head in
               List.iter
                 (fun (pos, pr, t) ->
-                  if pos && not (Instance.mem_fact pr t !next) then (
-                    next := Instance.add_fact pr t !next;
-                    added := true))
+                  if
+                    pos
+                    && (not (Matcher.Db.mem db pr t))
+                    && not (Instance.mem_fact pr t !added)
+                  then (
+                    added := Instance.add_fact pr t !added;
+                    any := true))
                 facts))
           substs)
       prepared;
-    if !added then loop !next else !next
+    if !any then (
+      Matcher.Db.absorb db !added;
+      loop ())
+    else Matcher.Db.instance db
   in
-  loop inst
+  loop ()
 
 let answer ~seed p inst pred = Instance.find pred (eval ~seed p inst)
 

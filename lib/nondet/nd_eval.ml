@@ -27,20 +27,23 @@ let head_consistent facts =
               facts)
        facts)
 
-(* Enumerate all applicable firings as (bottom, grounded head facts). *)
-let firings p inst =
-  let dom = Datalog.Eval_util.program_dom p inst in
-  let db = Matcher.Db.of_instance inst in
+(* Enumerate all applicable firings as (bottom, grounded head facts),
+   given pre-compiled plans and an indexed database. *)
+let firings_db prepared dom db =
   List.concat_map
-    (fun rule ->
-      let plan = Matcher.prepare rule in
+    (fun (rule, plan) ->
       let substs = Matcher.run ~dom plan db in
       List.filter_map
         (fun subst ->
           let bottom, facts = Matcher.instantiate_heads subst rule.Ast.head in
           if head_consistent facts then Some (bottom, facts) else None)
         substs)
-    p
+    prepared
+
+let firings p inst =
+  let dom = Datalog.Eval_util.program_dom p inst in
+  let db = Matcher.Db.of_instance inst in
+  firings_db (List.map (fun r -> (r, Matcher.prepare r)) p) dom db
 
 let successors p inst =
   let fs = firings p inst in
@@ -68,27 +71,45 @@ type outcome =
 
 let run ~seed ?(max_steps = 100_000) p inst =
   let rng = Random.State.make [| seed |] in
-  let rec go inst steps =
-    if steps >= max_steps then Out_of_fuel { instance = inst; steps }
+  (* plans are compiled once; the walk mutates one indexed database,
+     applying only the chosen firing at each step *)
+  let prepared = List.map (fun r -> (r, Matcher.prepare r)) p in
+  let db = Matcher.Db.of_instance inst in
+  let changes_state facts =
+    List.exists
+      (fun (pos, pred, tup) ->
+        if pos then not (Matcher.Db.mem db pred tup)
+        else Matcher.Db.mem db pred tup)
+      facts
+  in
+  let rec go steps =
+    if steps >= max_steps then
+      Out_of_fuel { instance = Matcher.Db.instance db; steps }
     else
+      let dom = Datalog.Eval_util.program_dom p (Matcher.Db.instance db) in
       (* candidate firings: state-changing or ⊥-deriving *)
       let candidates =
         List.filter_map
           (fun (bottom, facts) ->
             if bottom then Some None
-            else
-              let next = apply_heads inst facts in
-              if Instance.equal next inst then None else Some (Some next))
-          (firings p inst)
+            else if changes_state facts then Some (Some facts)
+            else None)
+          (firings_db prepared dom db)
       in
       match candidates with
-      | [] -> Terminal { instance = inst; steps }
+      | [] -> Terminal { instance = Matcher.Db.instance db; steps }
       | _ -> (
           match List.nth candidates (Random.State.int rng (List.length candidates)) with
           | None -> Abandoned { steps = steps + 1 }
-          | Some next -> go next (steps + 1))
+          | Some facts ->
+              List.iter
+                (fun (pos, pred, tup) ->
+                  if pos then ignore (Matcher.Db.insert db pred tup)
+                  else ignore (Matcher.Db.remove db pred tup))
+                facts;
+              go (steps + 1))
   in
-  go inst 0
+  go 0
 
 let run_until_terminal ~seed ?(attempts = 100) ?max_steps p inst =
   let rec try_ k =

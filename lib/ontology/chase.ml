@@ -130,10 +130,18 @@ type outcome =
   | Terminated of { instance : Instance.t; steps : int; nulls : int }
   | Out_of_fuel of { instance : Instance.t; steps : int; nulls : int }
 
-(* Is the tgd's head satisfiable in [inst] under the (body) match σ?
+(* Is the tgd's head satisfiable in [db] under the (body) match σ?
    I.e. does some extension of σ to the existential variables make every
-   head atom a fact? *)
+   head atom a fact? Without existential variables the head is fully
+   ground under σ, so plain membership tests suffice. *)
 let head_satisfied db subst (r : Ast.rule) =
+  if existential_vars r = [] then
+    List.for_all
+      (fun a ->
+        let p, t = Ast.ground_atom subst a in
+        Matcher.Db.mem db p t)
+      (head_atoms r)
+  else
   let substituted =
     List.map
       (fun (a : Ast.atom) ->
@@ -166,44 +174,54 @@ let chase ?(max_steps = 10_000) tgds inst =
   let gen = Value.Gen.create () in
   let prepared = List.map (fun r -> (r, Matcher.prepare r)) tgds in
   let steps = ref 0 in
-  let current = ref inst in
+  (* one persistent database for the whole chase; firings insert into it
+     and the indexes follow incrementally *)
+  let db = Matcher.Db.of_instance inst in
   let rec pass () =
-    let db = Matcher.Db.of_instance !current in
+    (* snapshot this pass's triggers before applying any of them, so
+       every rule matches against the pass-start state *)
+    let triggers =
+      List.map (fun ((r : Ast.rule), plan) -> (r, Matcher.run plan db)) prepared
+    in
     let fired = ref false in
-    (try
-       List.iter
-         (fun ((r : Ast.rule), plan) ->
-           let substs = Matcher.run plan db in
-           List.iter
-             (fun subst ->
-               (* recheck against the freshest instance *)
-               let db_now = Matcher.Db.of_instance !current in
-               if not (head_satisfied db_now subst r) then (
-                 if !steps >= max_steps then raise Exit;
-                 incr steps;
-                 fired := true;
-                 let subst =
-                   List.fold_left
-                     (fun s y -> (y, Value.Gen.fresh gen) :: s)
-                     subst (existential_vars r)
-                 in
-                 List.iter
-                   (fun a ->
-                     let p, t = Ast.ground_atom subst a in
-                     current := Instance.add_fact p t !current)
-                   (head_atoms r)))
-             substs)
-         prepared
-     with Exit -> raise Exit);
+    List.iter
+      (fun ((r : Ast.rule), substs) ->
+        List.iter
+          (fun subst ->
+            (* recheck against the freshest state *)
+            if not (head_satisfied db subst r) then (
+              if !steps >= max_steps then raise Exit;
+              incr steps;
+              fired := true;
+              let subst =
+                List.fold_left
+                  (fun s y -> (y, Value.Gen.fresh gen) :: s)
+                  subst (existential_vars r)
+              in
+              List.iter
+                (fun a ->
+                  let p, t = Ast.ground_atom subst a in
+                  ignore (Matcher.Db.insert db p t))
+                (head_atoms r)))
+          substs)
+      triggers;
     if !fired then pass ()
   in
   match pass () with
   | () ->
       Terminated
-        { instance = !current; steps = !steps; nulls = Value.Gen.count gen }
+        {
+          instance = Matcher.Db.instance db;
+          steps = !steps;
+          nulls = Value.Gen.count gen;
+        }
   | exception Exit ->
       Out_of_fuel
-        { instance = !current; steps = !steps; nulls = Value.Gen.count gen }
+        {
+          instance = Matcher.Db.instance db;
+          steps = !steps;
+          nulls = Value.Gen.count gen;
+        }
 
 type cq = { body : Ast.atom list; answer : string list }
 

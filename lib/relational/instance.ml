@@ -12,6 +12,7 @@ let set name r i =
   if Relation.is_empty r then SMap.remove name i else SMap.add name r i
 
 let add_fact name tup i = set name (Relation.add tup (find name i)) i
+let add_all name tups i = set name (Relation.add_all tups (find name i)) i
 let remove_fact name tup i = set name (Relation.remove tup (find name i)) i
 let mem_fact name tup i = Relation.mem tup (find name i)
 
@@ -91,25 +92,6 @@ let to_string i = Format.asprintf "%a" pp i
 
 (* --- fact parsing ------------------------------------------------------ *)
 
-let strip_comment line =
-  let cut =
-    match (String.index_opt line '%', String.length line) with
-    | Some k, _ -> k
-    | None, _ -> (
-        match
-          (* find "//" *)
-          let rec go i =
-            if i + 1 >= String.length line then None
-            else if line.[i] = '/' && line.[i + 1] = '/' then Some i
-            else go (i + 1)
-          in
-          go 0
-        with
-        | Some k -> k
-        | None -> String.length line)
-  in
-  String.sub line 0 cut
-
 let parse_one_fact lineno stmt i =
   let stmt = String.trim stmt in
   if stmt = "" then i
@@ -135,8 +117,9 @@ let parse_one_fact lineno stmt i =
         add_fact name (Tuple.of_list args) i
 
 (* Split the text into dot-terminated statements, respecting quoted
-   strings (a '.' inside "..." does not terminate a fact) and stripping
-   comments per line. *)
+   strings: a '.' inside "..." does not terminate a fact, and a '%' or
+   "//" inside "..." does not start a comment — comment detection shares
+   the string-state scan instead of running per line up front. *)
 let parse_facts text =
   let lines = String.split_on_char '\n' text in
   let buf = Buffer.create 64 in
@@ -145,20 +128,25 @@ let parse_facts text =
   List.iteri
     (fun idx line ->
       let lineno = idx + 1 in
-      let line = if !in_string then line else strip_comment line in
-      String.iter
-        (fun c ->
-          if !in_string then (
-            Buffer.add_char buf c;
-            if c = '"' then in_string := false)
-          else if c = '"' then (
-            Buffer.add_char buf c;
-            in_string := true)
-          else if c = '.' then (
-            inst := parse_one_fact lineno (Buffer.contents buf) !inst;
-            Buffer.clear buf)
-          else Buffer.add_char buf c)
-        line;
+      let n = String.length line in
+      let i = ref 0 in
+      let in_comment = ref false in
+      while (not !in_comment) && !i < n do
+        let c = line.[!i] in
+        if !in_string then (
+          Buffer.add_char buf c;
+          if c = '"' then in_string := false)
+        else if c = '%' || (c = '/' && !i + 1 < n && line.[!i + 1] = '/') then
+          in_comment := true
+        else if c = '"' then (
+          Buffer.add_char buf c;
+          in_string := true)
+        else if c = '.' then (
+          inst := parse_one_fact lineno (Buffer.contents buf) !inst;
+          Buffer.clear buf)
+        else Buffer.add_char buf c;
+        incr i
+      done;
       Buffer.add_char buf ' ')
     lines;
   (if String.trim (Buffer.contents buf) <> "" then

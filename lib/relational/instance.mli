@@ -21,6 +21,11 @@ val set : string -> Relation.t -> t -> t
     @raise Invalid_argument on arity mismatch with existing tuples. *)
 val add_fact : string -> Tuple.t -> t -> t
 
+(** [add_all name tups i] inserts a batch of tuples into relation [name]
+    with a single bulk union.
+    @raise Invalid_argument on arity mismatch with existing tuples. *)
+val add_all : string -> Tuple.t list -> t -> t
+
 (** [remove_fact name tup i] deletes one tuple (no-op if absent). *)
 val remove_fact : string -> Tuple.t -> t -> t
 

@@ -19,7 +19,28 @@ let add t r =
   check_arity r t;
   TSet.add t r
 
-let of_list ts = List.fold_left (fun r t -> add t r) empty ts
+let check_homogeneous ts =
+  match ts with
+  | [] | [ _ ] -> ()
+  | t :: rest ->
+      let a = Tuple.arity t in
+      if List.exists (fun u -> Tuple.arity u <> a) rest then
+        invalid_arg "Relation: arity mismatch"
+
+(* fold-free bulk constructors: one homogeneity sweep, then a single
+   balanced set build / union instead of per-tuple [add] *)
+let of_list ts =
+  check_homogeneous ts;
+  TSet.of_list ts
+
+let add_all ts r =
+  match ts with
+  | [] -> r
+  | t :: _ ->
+      check_homogeneous ts;
+      check_arity r t;
+      TSet.union (TSet.of_list ts) r
+
 let of_rows rows = of_list (List.map Tuple.of_list rows)
 let to_list = TSet.elements
 let remove = TSet.remove

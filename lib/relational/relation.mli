@@ -24,6 +24,11 @@ val to_list : t -> Tuple.t list
 (** [add t r] inserts a tuple. @raise Invalid_argument on arity mismatch. *)
 val add : Tuple.t -> t -> t
 
+(** [add_all ts r] inserts all tuples of [ts] with a single bulk union —
+    one arity check for the batch instead of one per tuple.
+    @raise Invalid_argument on arity mismatch. *)
+val add_all : Tuple.t list -> t -> t
+
 (** [remove t r] deletes a tuple (no-op if absent). *)
 val remove : Tuple.t -> t -> t
 

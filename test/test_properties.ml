@@ -130,6 +130,32 @@ let prop_positive_monotone =
         ((Datalog.Seminaive.eval p i).Datalog.Seminaive.instance)
         ((Datalog.Seminaive.eval p bigger).Datalog.Seminaive.instance))
 
+(* the delta engine must agree with naive evaluation on rules that stress
+   its compiled plans: repeated variables inside one atom, constants in
+   body atoms, and bodies with several positive occurrences of the same
+   recursive (delta) predicate — each occurrence needs its own delta
+   pass, and dedup across passes must not lose substitutions *)
+let delta_stress_pool =
+  [
+    "loop(X) :- g(X, X).";
+    "p(X) :- g(X, Y), g(Y, X).";
+    "t(X, Y) :- g(X, Y).";
+    "t(X, Z) :- t(X, Y), t(Y, Z).";
+    "p2(X, Z) :- t(X, Y), t(Y, Z).";
+    "c(Y) :- g(n0, Y).";
+    "c(Y) :- t(Y, n1).";
+    "d(X) :- t(X, X).";
+    "d2(X) :- t(n0, X), g(X, X).";
+    "tri(X) :- g(X, Y), g(Y, Z), g(Z, X).";
+  ]
+
+let prop_seminaive_stress_agree =
+  prop "naive = semi-naive (repeated vars, constants, multi-delta bodies)"
+    (prog_inst_arb delta_stress_pool) (fun (p, i) ->
+      let n = (Datalog.Naive.eval p i).Datalog.Naive.instance in
+      let s = (Datalog.Seminaive.eval p i).Datalog.Seminaive.instance in
+      Instance.equal n s)
+
 (* stratified programs: stratified = well-founded 2-valued = total *)
 let strat_pool = rule_pool @ neg_rule_pool
 
@@ -310,6 +336,7 @@ let suite =
     prop_tc_oracle;
     prop_fixpoint_idempotent;
     prop_positive_monotone;
+    prop_seminaive_stress_agree;
     prop_stratified_equals_wellfounded;
     prop_stratified_unique_stable;
     prop_wf_sandwich;

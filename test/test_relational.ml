@@ -162,6 +162,25 @@ let test_instance_parse_comments_and_strings () =
   Alcotest.(check bool) "string fact" true
     (Instance.mem_fact "p" (t [ Value.Str "dotted. string" ]) i)
 
+let test_instance_comment_markers_in_strings () =
+  (* regression: '%' or '//' inside a quoted string must not start a
+     comment — stripping has to be string-aware *)
+  let i =
+    facts
+      {|
+        p("50%"). % real comment
+        q("http://example.org/x"). // real comment
+        r("100% // of it").
+      |}
+  in
+  Alcotest.(check int) "three facts" 3 (Instance.total_facts i);
+  Alcotest.(check bool) "percent kept" true
+    (Instance.mem_fact "p" (t [ Value.Str "50%" ]) i);
+  Alcotest.(check bool) "slashes kept" true
+    (Instance.mem_fact "q" (t [ Value.Str "http://example.org/x" ]) i);
+  Alcotest.(check bool) "both kept" true
+    (Instance.mem_fact "r" (t [ Value.Str "100% // of it" ]) i)
+
 let test_instance_pp_roundtrip () =
   let i = facts "G(a, b). P(\"x y\"). Q(3)." in
   Alcotest.check instance "pp/parse roundtrip" i
@@ -254,6 +273,8 @@ let suite =
     Alcotest.test_case "fact parse errors" `Quick test_instance_parse_errors;
     Alcotest.test_case "fact parse: comments/strings" `Quick
       test_instance_parse_comments_and_strings;
+    Alcotest.test_case "fact parse: comment markers inside strings" `Quick
+      test_instance_comment_markers_in_strings;
     Alcotest.test_case "instance pp roundtrip" `Quick
       test_instance_pp_roundtrip;
     Alcotest.test_case "instance map_values" `Quick test_instance_map_values;
