@@ -12,12 +12,18 @@ test:
 bench:
 	dune exec bench/main.exe -- --json BENCH_engines.json
 
-# what a CI job runs: build, full test suite, and a bench smoke run
-# (e2 = naive vs semi-naive transitive closure) to catch perf-path breakage
+# what a CI job runs: build, full test suite, a bench smoke run
+# (e2 = naive vs semi-naive transitive closure) to catch perf-path
+# breakage, and a trace smoke step: emit a JSONL trace and validate it
+# against the schema with datalog-trace-check
 ci:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- e2 --json /dev/null
+	printf 'T(X, Y) :- G(X, Y).\nT(X, Y) :- G(X, Z), T(Z, Y).\nG(a, b). G(b, c). G(c, d).\n' > _ci_tc.dl
+	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --trace _ci_tc.jsonl > /dev/null
+	dune exec -- datalog-trace-check _ci_tc.jsonl
+	rm -f _ci_tc.dl _ci_tc.jsonl
 
 clean:
 	dune clean

@@ -32,16 +32,47 @@ let ms t = Printf.sprintf "%8.2f" (1000.0 *. t)
 
 (* Rows are appended by the experiments that feed the perf trajectory
    (e2, e8, e11) and dumped as a JSON array so future PRs can diff
-   engine timings mechanically. *)
+   engine timings mechanically. Each row also carries a "metrics"
+   object harvested from a second, untimed run under an enabled trace
+   context (lib/observe): fixpoint rounds, max delta, index builds and
+   memo hits — so a perf diff can tell algorithmic change apart from
+   constant-factor change. *)
 let json_rows : string list ref = ref []
 
-let record ~experiment ~case ~n ~engine ~wall_ms ~stages ~facts =
+let record ?(metrics = []) ~experiment ~case ~n ~engine ~wall_ms ~stages ~facts
+    () =
+  let metrics_json =
+    match metrics with
+    | [] -> ""
+    | kvs ->
+        Printf.sprintf ", \"metrics\": {%s}"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) kvs))
+  in
   json_rows :=
     Printf.sprintf
       "{\"experiment\": %S, \"case\": %S, \"n\": %d, \"engine\": %S, \
-       \"wall_ms\": %.3f, \"stages\": %d, \"facts\": %d}"
-      experiment case n engine wall_ms stages facts
+       \"wall_ms\": %.3f, \"stages\": %d, \"facts\": %d%s}"
+      experiment case n engine wall_ms stages facts metrics_json
     :: !json_rows
+
+(* Run [f] once more under an enabled (sink-free) trace context — outside
+   any timed section — and harvest the counters that characterise the
+   evaluation: fixpoint shape and index behaviour (see lib/observe). *)
+let metric_keys =
+  [ "fixpoint.rounds"; "fixpoint.delta_max"; "db.index_builds";
+    "db.index_memo_hits" ]
+
+let collect_metrics f =
+  let ctx = Observe.Trace.make ~sinks:[] () in
+  ignore (f ctx);
+  Observe.Trace.finish ctx;
+  List.filter_map
+    (fun k ->
+      match Observe.Trace.counter ctx k with
+      | 0 -> None
+      | v -> Some (k, v))
+    metric_keys
 
 let write_json path =
   let oc = open_out path in
@@ -171,11 +202,19 @@ let e2 () =
         Relation.cardinal (Instance.find "T" rs.Datalog.Seminaive.instance)
       in
       assert (Instance.equal rn.Datalog.Naive.instance rs.Datalog.Seminaive.instance);
+      let naive_metrics =
+        collect_metrics (fun trace -> Datalog.Naive.eval ~trace tc_program inst)
+      in
+      let semi_metrics =
+        collect_metrics (fun trace ->
+            Datalog.Seminaive.eval ~trace tc_program inst)
+      in
       record ~experiment:"e2" ~case:name ~n ~engine:"naive"
-        ~wall_ms:(1000. *. tn) ~stages:rn.Datalog.Naive.stages ~facts:tfacts;
+        ~wall_ms:(1000. *. tn) ~stages:rn.Datalog.Naive.stages ~facts:tfacts
+        ~metrics:naive_metrics ();
       record ~experiment:"e2" ~case:name ~n ~engine:"seminaive"
         ~wall_ms:(1000. *. ts) ~stages:rs.Datalog.Seminaive.stages
-        ~facts:tfacts;
+        ~facts:tfacts ~metrics:semi_metrics ();
       row "  %-16s %6d | %s %s %6.1fx | %6d %6d\n" name g (ms tn) (ms ts)
         (tn /. ts) rs.Datalog.Seminaive.stages tfacts)
     [
@@ -430,10 +469,20 @@ let e8 () =
              (Datalog.Ast.idb rewritten.Datalog.Magic.program)
              magic_inst.Datalog.Seminaive.instance)
       in
+      let full_metrics =
+        collect_metrics (fun trace ->
+            Datalog.Seminaive.answer ~trace tc_program inst "T")
+      in
+      let magic_metrics =
+        collect_metrics (fun trace ->
+            Datalog.Magic.answer ~trace tc_program inst query)
+      in
       record ~experiment:"e8" ~case:name ~n:full_all ~engine:"seminaive-full"
-        ~wall_ms:(1000. *. tf) ~stages:0 ~facts:full_all;
+        ~wall_ms:(1000. *. tf) ~stages:0 ~facts:full_all
+        ~metrics:full_metrics ();
       record ~experiment:"e8" ~case:name ~n:full_all ~engine:"magic"
-        ~wall_ms:(1000. *. tm) ~stages:0 ~facts:magic_facts;
+        ~wall_ms:(1000. *. tm) ~stages:0 ~facts:magic_facts
+        ~metrics:magic_metrics ();
       row "  %-16s | %s %s %6.1fx | %8d %8d | %b\n" name (ms tf) (ms tm)
         (tf /. tm) full_all magic_facts (Relation.equal full magic))
     [
@@ -530,16 +579,28 @@ let e11 () =
             Datalog.Inflationary.eval ~strategy:Datalog.Inflationary.Delta_loop
               p inst)
       in
+      let naive_metrics =
+        collect_metrics (fun trace ->
+            Datalog.Inflationary.eval ~trace
+              ~strategy:Datalog.Inflationary.Naive_loop p inst)
+      in
+      let delta_metrics =
+        collect_metrics (fun trace ->
+            Datalog.Inflationary.eval ~trace
+              ~strategy:Datalog.Inflationary.Delta_loop p inst)
+      in
       record ~experiment:"e11" ~case:name
         ~n:(Instance.total_facts b.Datalog.Inflationary.instance)
         ~engine:"inflationary-naive" ~wall_ms:(1000. *. ta)
         ~stages:a.Datalog.Inflationary.stages
-        ~facts:(Instance.total_facts a.Datalog.Inflationary.instance);
+        ~facts:(Instance.total_facts a.Datalog.Inflationary.instance)
+        ~metrics:naive_metrics ();
       record ~experiment:"e11" ~case:name
         ~n:(Instance.total_facts b.Datalog.Inflationary.instance)
         ~engine:"inflationary-delta" ~wall_ms:(1000. *. tb)
         ~stages:b.Datalog.Inflationary.stages
-        ~facts:(Instance.total_facts b.Datalog.Inflationary.instance);
+        ~facts:(Instance.total_facts b.Datalog.Inflationary.instance)
+        ~metrics:delta_metrics ();
       row "  %-18s | %s %s %6.1fx | %b\n" name (ms ta) (ms tb) (ta /. tb)
         (Instance.equal a.Datalog.Inflationary.instance
            b.Datalog.Inflationary.instance))

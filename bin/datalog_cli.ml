@@ -92,70 +92,141 @@ let semantics_arg =
            $(b,noninflationary), $(b,wellfounded), $(b,stable), \
            $(b,invent)")
 
+(* --- observability ------------------------------------------------------ *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After evaluation, print a run report to stdout: span hierarchy \
+           with timings, per-round delta sizes, rule firing counts and \
+           index/join ratios")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines trace of the run to $(docv) (span_open / \
+           span_close / event / summary lines; see lib/observe)")
+
+(* Build the trace context the flags ask for, run [f] inside a "run" span,
+   then flush: the JSONL file is closed even on exceptions, and the stats
+   report prints only after a completed run. *)
+let with_observability ~name stats trace_path f =
+  if (not stats) && trace_path = None then f Observe.Trace.null
+  else
+    let oc, sinks =
+      match trace_path with
+      | None -> (None, [])
+      | Some path -> (
+          try
+            let oc = open_out path in
+            ( Some oc,
+              [
+                Observe.Report.jsonl_sink ~write:(fun line ->
+                    output_string oc line;
+                    output_char oc '\n');
+              ] )
+          with Sys_error msg ->
+            Printf.eprintf "cannot open trace file: %s\n" msg;
+            exit 2)
+    in
+    let ctx = Observe.Trace.make ~sinks () in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out_noerr oc)
+      (fun () ->
+        Observe.Trace.open_span ctx ~kind:"run" name;
+        let r = f ctx in
+        Observe.Trace.close_span ctx ();
+        Observe.Trace.finish ctx;
+        if stats then Format.printf "%a" Observe.Report.pp_summary ctx;
+        r)
+
 (* --- run ---------------------------------------------------------------- *)
 
+let semantics_name = function
+  | `Naive -> "naive"
+  | `Seminaive -> "seminaive"
+  | `Stratified -> "stratified"
+  | `Semipositive -> "semipositive"
+  | `Inflationary -> "inflationary"
+  | `Noninflationary -> "noninflationary"
+  | `Wellfounded -> "wellfounded"
+  | `Stable -> "stable"
+  | `Invent -> "invent"
+
 let run_cmd =
-  let run semantics program facts answer ordered =
+  let run semantics program facts answer ordered stats trace_path =
     let { Datalog.Parser.program = p; _ } = load_program program in
     let inst = load_facts facts in
     let inst = if ordered then Order.adjoin inst else inst in
-    match semantics with
-    | `Naive -> print_answer (Datalog.Naive.eval p inst).Datalog.Naive.instance answer
-    | `Seminaive ->
-        print_answer (Datalog.Seminaive.eval p inst).Datalog.Seminaive.instance
-          answer
-    | `Stratified ->
-        print_answer (Datalog.Stratified.eval p inst).Datalog.Stratified.instance
-          answer
-    | `Semipositive ->
-        print_answer
-          (Datalog.Semipositive.eval p inst).Datalog.Semipositive.instance
-          answer
-    | `Inflationary ->
-        print_answer
-          (Datalog.Inflationary.eval p inst).Datalog.Inflationary.instance
-          answer
-    | `Noninflationary -> (
-        match Datalog.Noninflationary.run p inst with
-        | Datalog.Noninflationary.Fixpoint { instance; stages } ->
-            Format.printf "%% fixpoint after %d stages@." stages;
-            print_answer instance answer
-        | Datalog.Noninflationary.Diverged { period; entered; _ } ->
-            Format.printf
-              "%% diverges: cycle of period %d entered at stage %d@." period
-              entered
-        | Datalog.Noninflationary.Contradiction { pred; stage; _ } ->
-            Format.printf "%% contradiction on %s at stage %d@." pred stage)
-    | `Wellfounded ->
-        let res = Datalog.Wellfounded.eval p inst in
-        Format.printf "%% true facts:@.";
-        print_answer res.Datalog.Wellfounded.true_facts answer;
-        let unk = Datalog.Wellfounded.unknown res in
-        if Instance.total_facts unk > 0 then (
-          Format.printf "%% unknown facts:@.";
-          print_answer unk answer)
-    | `Stable ->
-        let models = Datalog.Stable.models p inst in
-        Format.printf "%% %d stable model(s)@." (List.length models);
-        List.iteri
-          (fun i m ->
-            Format.printf "%% model %d:@." (i + 1);
-            print_answer m answer)
-          models
-    | `Invent -> (
-        match Datalog.Invent.run p inst with
-        | Datalog.Invent.Fixpoint { instance; stages; invented } ->
-            Format.printf "%% fixpoint after %d stages, %d invented values@."
-              stages invented;
-            print_answer instance answer
-        | Datalog.Invent.Out_of_fuel { stages; _ } ->
-            Format.printf "%% out of fuel after %d stages@." stages)
+    with_observability ~name:(semantics_name semantics) stats trace_path
+      (fun trace ->
+        match semantics with
+        | `Naive ->
+            print_answer (Datalog.Naive.eval ~trace p inst).Datalog.Naive.instance
+              answer
+        | `Seminaive ->
+            print_answer
+              (Datalog.Seminaive.eval ~trace p inst).Datalog.Seminaive.instance
+              answer
+        | `Stratified ->
+            print_answer
+              (Datalog.Stratified.eval ~trace p inst).Datalog.Stratified.instance
+              answer
+        | `Semipositive ->
+            print_answer
+              (Datalog.Semipositive.eval ~trace p inst)
+                .Datalog.Semipositive.instance answer
+        | `Inflationary ->
+            print_answer
+              (Datalog.Inflationary.eval ~trace p inst)
+                .Datalog.Inflationary.instance answer
+        | `Noninflationary -> (
+            match Datalog.Noninflationary.run ~trace p inst with
+            | Datalog.Noninflationary.Fixpoint { instance; stages } ->
+                Format.printf "%% fixpoint after %d stages@." stages;
+                print_answer instance answer
+            | Datalog.Noninflationary.Diverged { period; entered; _ } ->
+                Format.printf
+                  "%% diverges: cycle of period %d entered at stage %d@." period
+                  entered
+            | Datalog.Noninflationary.Contradiction { pred; stage; _ } ->
+                Format.printf "%% contradiction on %s at stage %d@." pred stage)
+        | `Wellfounded ->
+            let res = Datalog.Wellfounded.eval ~trace p inst in
+            Format.printf "%% true facts:@.";
+            print_answer res.Datalog.Wellfounded.true_facts answer;
+            let unk = Datalog.Wellfounded.unknown res in
+            if Instance.total_facts unk > 0 then (
+              Format.printf "%% unknown facts:@.";
+              print_answer unk answer)
+        | `Stable ->
+            let models = Datalog.Stable.models ~trace p inst in
+            Format.printf "%% %d stable model(s)@." (List.length models);
+            List.iteri
+              (fun i m ->
+                Format.printf "%% model %d:@." (i + 1);
+                print_answer m answer)
+              models
+        | `Invent -> (
+            match Datalog.Invent.run ~trace p inst with
+            | Datalog.Invent.Fixpoint { instance; stages; invented } ->
+                Format.printf
+                  "%% fixpoint after %d stages, %d invented values@." stages
+                  invented;
+                print_answer instance answer
+            | Datalog.Invent.Out_of_fuel { stages; _ } ->
+                Format.printf "%% out of fuel after %d stages@." stages))
   in
   let doc = "Evaluate a program under a chosen semantics" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ semantics_arg $ program_arg $ facts_arg $ answer_arg
-      $ order_arg)
+      $ order_arg $ stats_arg $ trace_arg)
 
 (* --- nondet ------------------------------------------------------------- *)
 
@@ -173,37 +244,47 @@ let nondet_cmd =
              whole effect relation, $(b,poss)/$(b,cert) the possibility / \
              certainty semantics")
   in
-  let run mode program facts answer seed =
+  let run mode program facts answer seed stats trace_path =
     let { Datalog.Parser.program = p; _ } = load_program program in
     Datalog.Ast.check_ndatalog_any p;
     let inst = load_facts facts in
-    match mode with
-    | `Walk -> (
-        match Nondet.Nd_eval.run ~seed p inst with
-        | Nondet.Nd_eval.Terminal { instance; steps } ->
-            Format.printf "%% terminal after %d firings@." steps;
-            print_answer instance answer
-        | Nondet.Nd_eval.Abandoned { steps } ->
-            Format.printf "%% abandoned (\xe2\x8a\xa5) after %d firings@." steps
-        | Nondet.Nd_eval.Out_of_fuel { steps; _ } ->
-            Format.printf "%% out of fuel after %d firings@." steps)
-    | `Enumerate ->
-        let stats = Nondet.Enumerate.effect p inst in
-        Format.printf "%% %d terminal instance(s), %d states explored@."
-          (List.length stats.Nondet.Enumerate.terminals)
-          stats.Nondet.Enumerate.explored;
-        List.iteri
-          (fun i j ->
-            Format.printf "%% outcome %d:@." (i + 1);
-            print_answer j answer)
-          stats.Nondet.Enumerate.terminals
-    | `Poss -> print_answer (Nondet.Posscert.poss p inst) answer
-    | `Cert -> print_answer (Nondet.Posscert.cert p inst) answer
+    let name =
+      match mode with
+      | `Walk -> "nondet.walk"
+      | `Enumerate -> "nondet.enumerate"
+      | `Poss -> "nondet.poss"
+      | `Cert -> "nondet.cert"
+    in
+    with_observability ~name stats trace_path (fun trace ->
+        match mode with
+        | `Walk -> (
+            match Nondet.Nd_eval.run ~seed ~trace p inst with
+            | Nondet.Nd_eval.Terminal { instance; steps } ->
+                Format.printf "%% terminal after %d firings@." steps;
+                print_answer instance answer
+            | Nondet.Nd_eval.Abandoned { steps } ->
+                Format.printf "%% abandoned (\xe2\x8a\xa5) after %d firings@."
+                  steps
+            | Nondet.Nd_eval.Out_of_fuel { steps; _ } ->
+                Format.printf "%% out of fuel after %d firings@." steps)
+        | `Enumerate ->
+            let stats = Nondet.Enumerate.effect p inst in
+            Format.printf "%% %d terminal instance(s), %d states explored@."
+              (List.length stats.Nondet.Enumerate.terminals)
+              stats.Nondet.Enumerate.explored;
+            List.iteri
+              (fun i j ->
+                Format.printf "%% outcome %d:@." (i + 1);
+                print_answer j answer)
+              stats.Nondet.Enumerate.terminals
+        | `Poss -> print_answer (Nondet.Posscert.poss p inst) answer
+        | `Cert -> print_answer (Nondet.Posscert.cert p inst) answer)
   in
   let doc = "Evaluate a nondeterministic program (N-Datalog variants)" in
   Cmd.v (Cmd.info "nondet" ~doc)
     Term.(
-      const run $ mode_arg $ program_arg $ facts_arg $ answer_arg $ seed_arg)
+      const run $ mode_arg $ program_arg $ facts_arg $ answer_arg $ seed_arg
+      $ stats_arg $ trace_arg)
 
 (* --- stratify / deps / check ------------------------------------------- *)
 
@@ -275,7 +356,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ lang_arg $ program_arg)
 
 let query_cmd =
-  let run program facts =
+  let run program facts stats trace_path =
     let { Datalog.Parser.program = p; queries } = load_program program in
     let inst = load_facts facts in
     match queries with
@@ -283,17 +364,20 @@ let query_cmd =
         Printf.eprintf "no ?- query directive in program\n";
         exit 2
     | qs ->
-        List.iter
-          (fun q ->
-            let rel = Datalog.Magic.answer p inst q in
-            Relation.iter
-              (fun t ->
-                Format.printf "%a@." Datalog.Pretty.pp_fact (q.Datalog.Ast.pred, t))
-              rel)
-          qs
+        with_observability ~name:"magic" stats trace_path (fun trace ->
+            List.iter
+              (fun q ->
+                let rel = Datalog.Magic.answer ~trace p inst q in
+                Relation.iter
+                  (fun t ->
+                    Format.printf "%a@." Datalog.Pretty.pp_fact
+                      (q.Datalog.Ast.pred, t))
+                  rel)
+              qs)
   in
   let doc = "Answer ?- queries with magic-set rewriting" in
-  Cmd.v (Cmd.info "query" ~doc) Term.(const run $ program_arg $ facts_arg)
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ program_arg $ facts_arg $ stats_arg $ trace_arg)
 
 let main =
   let doc =

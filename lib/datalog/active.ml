@@ -67,12 +67,14 @@ let condition_matches db dom blits =
   let plan = Matcher.prepare rule in
   Matcher.run ~dom plan db
 
-let run ?(max_steps = 10_000) rules inst transaction =
+let run ?(max_steps = 10_000) ?(trace = Observe.Trace.null) rules inst
+    transaction =
   let log = ref [] in
   let steps = ref 0 in
+  let tracing = Observe.Trace.enabled trace in
   (* one persistent database for the whole transaction: inserts and
      deletes maintain the memoized indexes in place *)
-  let state = Matcher.Db.of_instance inst in
+  let state = Matcher.Db.of_instance ~trace inst in
   (* deferred queue of (rule, grounded actions) *)
   let deferred : (string * update list) Queue.t = Queue.create () in
   let dom () =
@@ -123,6 +125,9 @@ let run ?(max_steps = 10_000) rules inst transaction =
       | Del (p, t) -> Matcher.Db.remove state p t
     in
     log := { rule_name; update = u; applied = changed } :: !log;
+    if tracing then
+      Observe.Trace.incr trace
+        (if changed then "active.updates_applied" else "active.updates_noop");
     if changed then (
       incr steps;
       if !steps > max_steps then raise (Cascade_limit max_steps);
@@ -141,6 +146,10 @@ let run ?(max_steps = 10_000) rules inst transaction =
         | Some ev_subst ->
             let cond = List.map (subst_blit ev_subst) r.condition in
             let extensions = condition_matches state (dom ()) cond in
+            if tracing then
+              Observe.Trace.add trace
+                ("active.triggers." ^ r.name)
+                (List.length extensions);
             List.iter
               (fun ext ->
                 let full = ext @ ev_subst in

@@ -62,8 +62,16 @@ exception Cascade_limit of int
     processes deferred rules to quiescence (default budget 10_000 applied
     updates). Only updates that actually change the database trigger
     rules.
+    [trace] receives the counters [active.updates_applied],
+    [active.updates_noop] and [active.triggers.<rule>] (condition matches
+    per rule) plus the database's [db.*] counters.
     @raise Cascade_limit when the budget is exhausted.
     @raise Ast.Check_error on malformed patterns/conditions (unbound
     action variables). *)
 val run :
-  ?max_steps:int -> rule list -> Instance.t -> update list -> result
+  ?max_steps:int ->
+  ?trace:Observe.Trace.ctx ->
+  rule list ->
+  Instance.t ->
+  update list ->
+  result

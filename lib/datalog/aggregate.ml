@@ -92,7 +92,8 @@ let eval_agg db dom (a : agg_rule) =
       (a.pred, Tuple.of_list (key @ [ result ])) :: acc)
     groups []
 
-let eval layers inst =
+let eval ?(trace = Observe.Trace.null) layers inst =
+  let tracing = Observe.Trace.enabled trace in
   List.fold_left
     (fun current { rules; aggregates } ->
       let current =
@@ -100,7 +101,7 @@ let eval layers inst =
         | [] -> current
         | _ ->
             (* each layer's rule set must stratify internally *)
-            (Stratified.eval rules current).Stratified.instance
+            (Stratified.eval ~trace rules current).Stratified.instance
       in
       let dom =
         Eval_util.program_dom
@@ -112,11 +113,14 @@ let eval layers inst =
           current
       in
       (* one indexed view shared by every aggregate of the layer *)
-      let db = Matcher.Db.of_instance current in
+      let db = Matcher.Db.of_instance ~trace current in
+      let agg_facts = List.concat_map (eval_agg db dom) aggregates in
+      if tracing then (
+        Observe.Trace.add trace "aggregate.rules" (List.length aggregates);
+        Observe.Trace.add trace "aggregate.facts" (List.length agg_facts));
       List.fold_left
         (fun acc (pred, tup) -> Instance.add_fact pred tup acc)
-        current
-        (List.concat_map (eval_agg db dom) aggregates))
+        current agg_facts)
     inst layers
 
-let answer layers inst pred = Instance.find pred (eval layers inst)
+let answer ?trace layers inst pred = Instance.find pred (eval ?trace layers inst)

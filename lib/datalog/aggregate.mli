@@ -43,11 +43,14 @@ type layer = {
 
 exception Agg_error of string
 
-(** [eval layers inst] evaluates the layers in order.
+(** [eval layers inst] evaluates the layers in order. [trace] receives
+    the stratified runs' spans plus the counters [aggregate.rules]
+    (aggregate rules evaluated) and [aggregate.facts] (facts produced).
     @raise Agg_error on non-integer input to [Sum], or aggregate
     variables not bound by the body.
     @raise Ast.Check_error via the underlying engine on malformed rules. *)
-val eval : layer list -> Instance.t -> Instance.t
+val eval : ?trace:Observe.Trace.ctx -> layer list -> Instance.t -> Instance.t
 
 (** [answer layers inst pred]. *)
-val answer : layer list -> Instance.t -> string -> Relation.t
+val answer :
+  ?trace:Observe.Trace.ctx -> layer list -> Instance.t -> string -> Relation.t

@@ -12,8 +12,27 @@ type prepared = (Ast.rule * Matcher.prepared) list
 let prepare p = List.map (fun r -> (r, Matcher.prepare r)) p
 let rules p = p
 
-let fire_rule ?delta ?neg_db db dom (rule, plan) k =
+(* Stable per-rule counter label: position in the prepared program plus
+   the head predicate(s) — "r3:T". Firing counters are reported as
+   "rule_firings.<label>". *)
+let rule_label i (rule : Ast.rule) =
+  let heads =
+    String.concat "+"
+      (List.sort_uniq String.compare
+         (List.filter_map
+            (fun h -> Option.map (fun a -> a.Ast.pred) (Ast.atom_of_hlit h))
+            rule.Ast.head))
+  in
+  Printf.sprintf "r%d:%s" i heads
+
+let count_firings db label substs =
+  let tr = Matcher.Db.trace db in
+  if Observe.Trace.enabled tr then
+    Observe.Trace.add tr ("rule_firings." ^ label) (List.length substs)
+
+let fire_rule ?delta ?neg_db ?label db dom (rule, plan) k =
   let substs = Matcher.run ?delta ~dom ?neg_db plan db in
+  (match label with Some l -> count_firings db l substs | None -> ());
   List.iter
     (fun subst ->
       let _bottom, facts = Matcher.instantiate_heads subst rule.Ast.head in
@@ -22,9 +41,10 @@ let fire_rule ?delta ?neg_db db dom (rule, plan) k =
 
 let consequences_db ?neg_db prepared db ~dom =
   let out = ref Instance.empty in
-  List.iter
-    (fun rp ->
-      fire_rule ?neg_db db dom rp (fun (pos, pred, tup) ->
+  List.iteri
+    (fun i ((rule, _) as rp) ->
+      fire_rule ?neg_db ~label:(rule_label i rule) db dom rp
+        (fun (pos, pred, tup) ->
           if pos then out := Instance.add_fact pred tup !out
           else
             invalid_arg
@@ -37,9 +57,9 @@ let consequences prepared inst ~dom =
 
 let consequences_signed_db prepared db ~dom =
   let pos = ref Instance.empty and neg = ref Instance.empty in
-  List.iter
-    (fun rp ->
-      fire_rule db dom rp (fun (p, pred, tup) ->
+  List.iteri
+    (fun i ((rule, _) as rp) ->
+      fire_rule ~label:(rule_label i rule) db dom rp (fun (p, pred, tup) ->
           if p then pos := Instance.add_fact pred tup !pos
           else neg := Instance.add_fact pred tup !neg))
     prepared;
@@ -48,15 +68,17 @@ let consequences_signed_db prepared db ~dom =
 let consequences_signed prepared inst ~dom =
   consequences_signed_db prepared (Matcher.Db.of_instance inst) ~dom
 
-let seminaive_fixpoint ?neg_db prepared ~delta_preds ~dom inst =
+let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
+    ~delta_preds ~dom inst =
   (* One Db for the whole fixpoint: each stage feeds its delta back with
      [Db.absorb], so join indexes are built once and extended
      incrementally instead of being rebuilt from the full instance. *)
-  let db = Matcher.Db.of_instance inst in
+  let db = Matcher.Db.of_instance ~trace inst in
+  let tracing = Observe.Trace.enabled trace in
   (* per-rule delta predicates, computed once *)
   let with_dps =
-    List.map
-      (fun (rule, plan) ->
+    List.mapi
+      (fun i (rule, plan) ->
         let dps =
           List.sort_uniq String.compare
             (List.filter_map
@@ -66,7 +88,7 @@ let seminaive_fixpoint ?neg_db prepared ~delta_preds ~dom inst =
                  | _ -> None)
                rule.Ast.body)
         in
-        (rule, plan, dps))
+        (rule, plan, dps, rule_label i rule))
       prepared
   in
   let collect_fresh rule substs acc =
@@ -75,47 +97,92 @@ let seminaive_fixpoint ?neg_db prepared ~delta_preds ~dom inst =
         let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
         List.fold_left
           (fun acc (pos, p, t) ->
-            if pos && not (Matcher.Db.mem db p t) then
-              Instance.add_fact p t acc
+            if pos then
+              if Matcher.Db.mem db p t then (
+                if tracing then
+                  Observe.Trace.incr trace "fixpoint.tuples_deduped";
+                acc)
+              else (
+                if tracing then
+                  Observe.Trace.incr trace "fixpoint.tuples_derived";
+                Instance.add_fact p t acc)
             else acc)
           acc facts)
       acc substs
   in
+  (* Each application of Γ is one "round" span; its close records the
+     delta it produced (round 0 = the initial full evaluation). *)
+  let round_no = ref 0 in
+  let open_round () =
+    if tracing then (
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int !round_no);
+      Stdlib.incr round_no)
+  in
+  let close_round delta =
+    if tracing then (
+      let d = Instance.total_facts delta in
+      Observe.Trace.incr trace "fixpoint.rounds";
+      Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
+      Observe.Trace.add trace "fixpoint.delta_total" d;
+      Observe.Trace.close_span trace
+        ~fields:[ Observe.Trace.fint "delta" d ]
+        ())
+  in
   (* stage 1: full evaluation; the facts not already present form Δ⁰ *)
+  open_round ();
   let delta0 =
     List.fold_left
-      (fun acc (rule, plan, _) ->
-        collect_fresh rule (Matcher.run ?neg_db ~dom plan db) acc)
+      (fun acc (rule, plan, _, label) ->
+        let substs = Matcher.run ?neg_db ~dom plan db in
+        if tracing then count_firings db label substs;
+        collect_fresh rule substs acc)
       Instance.empty with_dps
   in
+  close_round delta0;
   (* [stages] counts the applications of Γ that inferred new facts, to
      agree with the naive engine's count. *)
   let rec loop delta stages =
     if Instance.total_facts delta = 0 then (Matcher.Db.instance db, stages)
     else (
+      open_round ();
       Matcher.Db.absorb db delta;
       let fresh =
         List.fold_left
-          (fun acc (rule, plan, dps) ->
+          (fun acc (rule, plan, dps, label) ->
             List.fold_left
               (fun acc pred ->
                 let drel = Instance.find pred delta in
                 if Relation.is_empty drel then acc
                 else
-                  collect_fresh rule
-                    (Matcher.run ~delta:(pred, drel) ?neg_db ~dom plan db)
-                    acc)
+                  let substs =
+                    Matcher.run ~delta:(pred, drel) ?neg_db ~dom plan db
+                  in
+                  if tracing then count_firings db label substs;
+                  collect_fresh rule substs acc)
               acc dps)
           Instance.empty with_dps
       in
+      close_round fresh;
       loop fresh (stages + 1))
   in
   loop delta0 0
 
-let naive_fixpoint prepared ~dom inst =
+let naive_fixpoint ?(trace = Observe.Trace.null) prepared ~dom inst =
+  let tracing = Observe.Trace.enabled trace in
   let rec loop current stages =
-    let derived = consequences prepared current ~dom in
+    if tracing then
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int stages);
+    let db = Matcher.Db.of_instance ~trace current in
+    let derived = consequences_db prepared db ~dom in
     let next = Instance.union current derived in
+    if tracing then (
+      let d = Instance.total_facts next - Instance.total_facts current in
+      Observe.Trace.incr trace "fixpoint.rounds";
+      Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
+      Observe.Trace.add trace "fixpoint.delta_total" d;
+      Observe.Trace.close_span trace
+        ~fields:[ Observe.Trace.fint "delta" d ]
+        ());
     if Instance.equal next current then (current, stages)
     else loop next (stages + 1)
   in

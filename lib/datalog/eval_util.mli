@@ -15,6 +15,11 @@ type prepared
 val prepare : Ast.program -> prepared
 val rules : prepared -> (Ast.rule * Matcher.prepared) list
 
+(** [rule_label i rule] is the stable counter label ["r<i>:<heads>"] used
+    for per-rule firing counters ([rule_firings.<label>]); [i] is the
+    rule's position in the program. *)
+val rule_label : int -> Ast.rule -> string
+
 (** [consequences prepared inst ~dom] computes all head facts produced by
     firing every rule with every applicable instantiation against [inst]
     (positive heads only — engines handling retraction use
@@ -63,8 +68,16 @@ val consequences_signed :
 
     [neg_db]: check negative literals against this fixed database instead
     of the growing one — makes the fixpoint the Gelfond–Lifschitz
-    operator A(J) used by the well-founded and stable-model engines. *)
+    operator A(J) used by the well-founded and stable-model engines.
+
+    [trace]: when enabled, each application of Γ is wrapped in a ["round"]
+    span whose close field [delta] is the number of facts it produced
+    (round [0] is the initial full evaluation), and the counters
+    [fixpoint.rounds], [fixpoint.delta_max], [fixpoint.delta_total],
+    [fixpoint.tuples_derived], [fixpoint.tuples_deduped] and
+    [rule_firings.<label>] are maintained. *)
 val seminaive_fixpoint :
+  ?trace:Observe.Trace.ctx ->
   ?neg_db:Matcher.Db.t ->
   prepared ->
   delta_preds:string list ->
@@ -73,9 +86,15 @@ val seminaive_fixpoint :
   Instance.t * int
 
 (** [naive_fixpoint prepared ~dom inst] is the same fixpoint computed by
-    full re-evaluation at every stage — the reference strategy. *)
+    full re-evaluation at every stage — the reference strategy. [trace]
+    records the same ["round"] spans and [fixpoint.*] counters as
+    {!seminaive_fixpoint}. *)
 val naive_fixpoint :
-  prepared -> dom:Value.t list -> Instance.t -> Instance.t * int
+  ?trace:Observe.Trace.ctx ->
+  prepared ->
+  dom:Value.t list ->
+  Instance.t ->
+  Instance.t * int
 
 (** [stage_trace prepared ~dom inst] returns the full stage sequence
     [K ⊆ Γ(K) ⊆ Γ²(K) ⊆ ...] up to and including the fixpoint — stage

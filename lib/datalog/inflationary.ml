@@ -4,16 +4,16 @@ type strategy = Naive_loop | Delta_loop
 
 type result = { instance : Instance.t; stages : int }
 
-let eval ?(strategy = Delta_loop) p inst =
+let eval ?(strategy = Delta_loop) ?(trace = Observe.Trace.null) p inst =
   Ast.check_datalog_neg p;
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
   let instance, stages =
     match strategy with
-    | Naive_loop -> Eval_util.naive_fixpoint prepared ~dom inst
+    | Naive_loop -> Eval_util.naive_fixpoint ~trace prepared ~dom inst
     | Delta_loop ->
-        Eval_util.seminaive_fixpoint prepared ~delta_preds:(Ast.idb p) ~dom
-          inst
+        Eval_util.seminaive_fixpoint ~trace prepared ~delta_preds:(Ast.idb p)
+          ~dom inst
   in
   { instance; stages }
 
@@ -23,4 +23,5 @@ let trace p inst =
   let prepared = Eval_util.prepare p in
   Eval_util.stage_trace prepared ~dom inst
 
-let answer p inst pred = Instance.find pred (eval p inst).instance
+let answer ?strategy ?trace p inst pred =
+  Instance.find pred (eval ?strategy ?trace p inst).instance

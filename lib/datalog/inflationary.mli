@@ -20,13 +20,25 @@ type result = {
   stages : int;  (** stages that inferred new facts *)
 }
 
-(** [eval ?strategy p inst] (default {!Delta_loop}).
+(** [eval ?strategy p inst] (default {!Delta_loop}). [trace] receives the
+    round spans and [fixpoint.*] counters of the chosen strategy.
     @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
-val eval : ?strategy:strategy -> Ast.program -> Instance.t -> result
+val eval :
+  ?strategy:strategy ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  result
 
 (** [trace p inst] returns the stage sequence
     [[K; Γ(K); Γ²(K); ...; Γ^ω(K)]] — stage numbers carry meaning for
     programs like Example 4.1's [closer]. *)
 val trace : Ast.program -> Instance.t -> Instance.t list
 
-val answer : Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?strategy:strategy ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  string ->
+  Relation.t

@@ -9,17 +9,21 @@ type outcome =
 let firing_key rule_idx subst =
   (rule_idx, List.sort compare subst)
 
-let run ?(max_stages = 10_000) p inst =
+let run ?(max_stages = 10_000) ?(trace = Observe.Trace.null) p inst =
   Ast.check_invent p;
+  let tracing = Observe.Trace.enabled trace in
   let gen = Value.Gen.create () in
   let prepared =
-    List.mapi (fun i r -> (i, r, Matcher.prepare r, Ast.head_only_vars r)) p
+    List.mapi
+      (fun i r ->
+        (i, r, Matcher.prepare r, Ast.head_only_vars r, Eval_util.rule_label i r))
+      p
   in
   let fired = Hashtbl.create 256 in
   let module VSet = Set.Make (Value) in
   (* one persistent database for the whole run; the active domain grows
      incrementally as facts (and invented values) are added *)
-  let db = Matcher.Db.of_instance inst in
+  let db = Matcher.Db.of_instance ~trace inst in
   let domset =
     ref
       (VSet.union
@@ -37,11 +41,17 @@ let run ?(max_stages = 10_000) p inst =
     else
       let dom = VSet.elements !domset in
       let additions = ref [] in
+      if tracing then
+        Observe.Trace.open_span trace ~kind:"round" (string_of_int stages);
       (* collect firings for every rule against the stage-start state
          before applying any of them: parallel-stage semantics *)
       List.iter
-        (fun (i, rule, plan, new_vars) ->
+        (fun (i, rule, plan, new_vars, label) ->
           let substs = Matcher.run ~dom plan db in
+          if tracing then
+            Observe.Trace.add trace
+              ("rule_firings." ^ label)
+              (List.length substs);
           List.iter
             (fun subst ->
               let key = firing_key i subst in
@@ -59,14 +69,25 @@ let run ?(max_stages = 10_000) p inst =
             substs)
         prepared;
       let changed = ref false in
+      let inserted = ref 0 in
       List.iter
         (fun (pos, pr, t) ->
           if pos && Matcher.Db.insert db pr t then (
             changed := true;
+            Stdlib.incr inserted;
             Array.iter
               (fun v -> domset := VSet.add v !domset)
               (Tuple.values t)))
         !additions;
+      if tracing then (
+        Observe.Trace.incr trace "fixpoint.rounds";
+        Observe.Trace.gauge_max trace "fixpoint.delta_max" !inserted;
+        Observe.Trace.add trace "fixpoint.delta_total" !inserted;
+        Observe.Trace.add trace "invent.values"
+          (Value.Gen.count gen - Observe.Trace.counter trace "invent.values");
+        Observe.Trace.close_span trace
+          ~fields:[ Observe.Trace.fint "delta" !inserted ]
+          ());
       if not !changed then
         Fixpoint
           {
@@ -78,8 +99,8 @@ let run ?(max_stages = 10_000) p inst =
   in
   loop 0
 
-let eval ?max_stages p inst =
-  match run ?max_stages p inst with
+let eval ?max_stages ?trace p inst =
+  match run ?max_stages ?trace p inst with
   | Fixpoint { instance; _ } -> instance
   | Out_of_fuel { stages; _ } ->
       failwith
@@ -88,8 +109,8 @@ let eval ?max_stages p inst =
             Turing-complete; supply more fuel if the program terminates)"
            stages)
 
-let answer ?max_stages p inst pred =
-  let r = Instance.find pred (eval ?max_stages p inst) in
+let answer ?max_stages ?trace p inst pred =
+  let r = Instance.find pred (eval ?max_stages ?trace p inst) in
   Relation.filter (fun t -> not (Tuple.exists Value.is_invented t)) r
 
 let answer_exn ?max_stages p inst pred =

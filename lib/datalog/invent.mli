@@ -25,19 +25,38 @@ type outcome =
     }
   | Out_of_fuel of { instance : Instance.t; stages : int; invented : int }
 
-(** [run ?max_stages p inst] (default fuel 10_000 stages).
+(** [run ?max_stages p inst] (default fuel 10_000 stages). [trace] wraps
+    each stage in a ["round"] span (close field [delta] = facts inserted)
+    and maintains [fixpoint.*], [rule_firings.*] and [invent.values] (the
+    running number of fresh values minted).
     @raise Ast.Check_error if [p] is not Datalog¬new syntax. *)
-val run : ?max_stages:int -> Ast.program -> Instance.t -> outcome
+val run :
+  ?max_stages:int ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  outcome
 
 (** [eval p inst] expects a fixpoint; @raise Failure when fuel runs out. *)
-val eval : ?max_stages:int -> Ast.program -> Instance.t -> Instance.t
+val eval :
+  ?max_stages:int ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  Instance.t
 
 (** [answer p inst pred] returns [pred]'s relation {e restricted to
     invention-free tuples} — the paper's safety restriction guaranteeing a
     deterministic query: programs whose answers never contain invented
     values define deterministic queries. Use [answer_exn] to additionally
     enforce the restriction. *)
-val answer : ?max_stages:int -> Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?max_stages:int ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  string ->
+  Relation.t
 
 (** [answer_exn p inst pred] like [answer] but
     @raise Failure if the relation contains an invented value. *)

@@ -109,10 +109,18 @@ let rewrite p (query : Ast.atom) =
     query_pred = adorned_name query.Ast.pred query_adornment;
   }
 
-let answer p inst (query : Ast.atom) =
+let answer ?(trace = Observe.Trace.null) p inst (query : Ast.atom) =
   let { program; seed = seed_pred, seed_tup; query_pred } = rewrite p query in
+  if Observe.Trace.enabled trace then (
+    Observe.Trace.add trace "magic.rewritten_rules" (List.length program);
+    Observe.Trace.event trace "magic.rewrite"
+      ~fields:
+        [
+          Observe.Trace.fstr "query_pred" query_pred;
+          Observe.Trace.fint "rules" (List.length program);
+        ]);
   let inst = Instance.add_fact seed_pred seed_tup inst in
-  let res = Seminaive.eval program inst in
+  let res = Seminaive.eval ~trace program inst in
   let rel = Instance.find query_pred res.Seminaive.instance in
   (* keep only tuples matching the query's constants *)
   Relation.filter

@@ -38,5 +38,8 @@ val rewrite : Ast.program -> Ast.atom -> rewritten
 (** [answer p inst query] evaluates [query] via magic rewriting +
     semi-naive evaluation and returns the tuples of the query's predicate
     matching the query's constants (full original arity, so the result is
-    directly comparable with unrewritten evaluation). *)
-val answer : Ast.program -> Instance.t -> Ast.atom -> Relation.t
+    directly comparable with unrewritten evaluation). [trace] records the
+    counter [magic.rewritten_rules] and a [magic.rewrite] event before
+    receiving the semi-naive run's spans and counters. *)
+val answer :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> Ast.atom -> Relation.t

@@ -14,9 +14,13 @@ module Db = struct
     indexes :
       (string, (int list, (Value.t list, Tuple.t list) Hashtbl.t) Hashtbl.t)
       Hashtbl.t;
+    trace : Observe.Trace.ctx;
   }
 
-  let of_instance inst = { inst; indexes = Hashtbl.create 32 }
+  let of_instance ?(trace = Observe.Trace.null) inst =
+    { inst; indexes = Hashtbl.create 32; trace }
+
+  let trace db = db.trace
   let instance db = db.inst
   let relation db p = Instance.find p db.inst
   let mem db p tup = Instance.mem_fact p tup db.inst
@@ -34,8 +38,11 @@ module Db = struct
   let index db p positions =
     let per_pred = pred_indexes db p in
     match Hashtbl.find_opt per_pred positions with
-    | Some ix -> ix
+    | Some ix ->
+        Observe.Trace.incr db.trace "db.index_memo_hits";
+        ix
     | None ->
+        Observe.Trace.incr db.trace "db.index_builds";
         let ix = Hashtbl.create 64 in
         Relation.iter
           (fun t ->
@@ -60,8 +67,11 @@ module Db = struct
     lookup_key db p (List.map fst bindings) (List.map snd bindings)
 
   let insert db p t =
-    if Instance.mem_fact p t db.inst then false
+    if Instance.mem_fact p t db.inst then (
+      Observe.Trace.incr db.trace "db.insert_dups";
+      false)
     else (
+      Observe.Trace.incr db.trace "db.inserts";
       db.inst <- Instance.add_fact p t db.inst;
       (match Hashtbl.find_opt db.indexes p with
       | None -> ()
@@ -394,6 +404,8 @@ let run ?delta ?dom ?neg_db prepared db =
        "Matcher.run: rule has domain-bound or \xe2\x88\x80 variables; supply ~dom");
   if prepared.undecidable then []
   else
+    let tr = Db.trace db in
+    let tracing = Observe.Trace.enabled tr in
     let dom = Option.value dom ~default:[] in
     let ndb = Option.value neg_db ~default:db in
     (* per-(pred, bound-positions) index over the delta relation: delta
@@ -535,6 +547,9 @@ let run ?delta ?dom ?neg_db prepared db =
                   | Some ts -> ts
                   | None -> [])
             in
+            if tracing then
+              Observe.Trace.add tr "matcher.candidates"
+                (List.length candidates);
             let n = Array.length unify in
             let rec unify_from tup j =
               j >= n
@@ -569,6 +584,11 @@ let run ?delta ?dom ?neg_db prepared db =
             | CAtom { apred; _ } when apred = pred -> start i
             | _ -> ())
           prepared.csteps);
+    if tracing then (
+      let n = List.length !results in
+      Observe.Trace.incr tr "matcher.runs";
+      Observe.Trace.add tr "matcher.substs" n;
+      Observe.Trace.gauge_max tr "matcher.substs_max" n);
     List.sort compare !results
 
 let satisfies db subst blits =

@@ -22,7 +22,15 @@ open Relational
 module Db : sig
   type t
 
-  val of_instance : Instance.t -> t
+  (** [of_instance ?trace inst] wraps [inst]. The [trace] context (default
+      {!Observe.Trace.null}) receives the database's hot-path counters:
+      [db.index_builds] / [db.index_memo_hits] (secondary-index
+      construction vs. memo reuse), [db.inserts] / [db.insert_dups], and
+      the matcher counters of every {!run} against this database. *)
+  val of_instance : ?trace:Observe.Trace.ctx -> Instance.t -> t
+
+  (** The trace context the database reports to. *)
+  val trace : t -> Observe.Trace.ctx
 
   (** [instance db] is the current underlying instance (a persistent
       snapshot; later mutations of [db] do not affect it). *)
@@ -79,6 +87,11 @@ val prepare : Ast.rule -> prepared
     database instead of [db] — the Gelfond–Lifschitz transform primitive
     used by the well-founded engine (positives grow in [db] while the
     negation context stays fixed).
+
+    When the database's trace context is enabled, each call updates the
+    counters [matcher.runs], [matcher.candidates] (index-bucket tuples
+    scanned), [matcher.substs] (substitutions produced — the ratio is the
+    join selectivity) and the gauge [matcher.substs_max].
 
     @raise Invalid_argument if the rule needs a domain (it has
     non-positively-bound or ∀ variables) and [dom] was not supplied. *)

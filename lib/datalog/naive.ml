@@ -2,16 +2,11 @@ open Relational
 
 type result = { instance : Instance.t; stages : int }
 
-let eval p inst =
+let eval ?(trace = Observe.Trace.null) p inst =
   Ast.check_datalog p;
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
-  let rec loop current stages =
-    let derived = Eval_util.consequences prepared current ~dom in
-    let next = Instance.union current derived in
-    if Instance.equal next current then { instance = current; stages }
-    else loop next (stages + 1)
-  in
-  loop inst 0
+  let instance, stages = Eval_util.naive_fixpoint ~trace prepared ~dom inst in
+  { instance; stages }
 
-let answer p inst pred = Instance.find pred (eval p inst).instance
+let answer ?trace p inst pred = Instance.find pred (eval ?trace p inst).instance

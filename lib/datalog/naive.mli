@@ -13,10 +13,12 @@ type result = {
   stages : int;  (** fixpoint stages (applications of Γ_P) *)
 }
 
-(** [eval p inst] runs [p] on [inst].
+(** [eval p inst] runs [p] on [inst]. [trace] receives one round span per
+    Γ application and the [fixpoint.*] counters.
     @raise Ast.Check_error if [p] is not pure Datalog (negation,
     multi-heads, ⊥, ∀ or arity inconsistencies). *)
-val eval : Ast.program -> Instance.t -> result
+val eval : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> result
 
 (** [answer p inst pred] is the relation computed for [pred]. *)
-val answer : Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> string -> Relation.t

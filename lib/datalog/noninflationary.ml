@@ -52,15 +52,42 @@ let step ?(policy = Pos_priority) p inst =
   let dom = Eval_util.program_dom p inst in
   prepared_step policy (Eval_util.prepare p) dom inst
 
-let run ?(policy = Pos_priority) ?(max_stages = 10_000) p inst =
+let run ?(policy = Pos_priority) ?(max_stages = 10_000)
+    ?(trace = Observe.Trace.null) p inst =
   Ast.check_datalog_negneg p;
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
+  let tracing = Observe.Trace.enabled trace in
   let module IMap = Map.Make (struct
     type t = Instance.t
 
     let compare = Instance.compare
   end) in
+  let traced_step current stage =
+    if tracing then (
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int stage);
+      let r = prepared_step policy prepared dom current in
+      Observe.Trace.incr trace "fixpoint.rounds";
+      (match r with
+      | Ok next ->
+          (* non-inflationary: the state can shrink, so the "delta" is the
+             symmetric difference with the previous state *)
+          let d =
+            Instance.total_facts (Instance.diff next current)
+            + Instance.total_facts (Instance.diff current next)
+          in
+          Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
+          Observe.Trace.add trace "fixpoint.delta_total" d;
+          Observe.Trace.close_span trace
+            ~fields:[ Observe.Trace.fint "delta" d ]
+            ()
+      | Stdlib.Error (pred, _) ->
+          Observe.Trace.close_span trace
+            ~fields:[ Observe.Trace.fstr "contradiction" pred ]
+            ());
+      r)
+    else prepared_step policy prepared dom current
+  in
   let rec loop current seen history stage =
     if stage > max_stages then
       failwith
@@ -68,8 +95,16 @@ let run ?(policy = Pos_priority) ?(max_stages = 10_000) p inst =
            "Noninflationary.run: no fixpoint or cycle within %d stages"
            max_stages)
     else
-      match prepared_step policy prepared dom current with
-      | Stdlib.Error (pred, tuple) -> Contradiction { stage; pred; tuple }
+      match traced_step current stage with
+      | Stdlib.Error (pred, tuple) ->
+          if tracing then
+            Observe.Trace.event trace "contradiction"
+              ~fields:
+                [
+                  Observe.Trace.fint "stage" stage;
+                  Observe.Trace.fstr "pred" pred;
+                ];
+          Contradiction { stage; pred; tuple }
       | Ok next ->
           if Instance.equal next current then
             Fixpoint { instance = current; stages = stage }
@@ -80,7 +115,15 @@ let run ?(policy = Pos_priority) ?(max_stages = 10_000) p inst =
                   List.rev history
                   |> List.filteri (fun i _ -> i >= entered)
                 in
-                Diverged { entered; period = stage + 1 - entered; states = cycle }
+                let period = stage + 1 - entered in
+                if tracing then
+                  Observe.Trace.event trace "diverged"
+                    ~fields:
+                      [
+                        Observe.Trace.fint "entered" entered;
+                        Observe.Trace.fint "period" period;
+                      ];
+                Diverged { entered; period; states = cycle }
             | None ->
                 loop next
                   (IMap.add next (stage + 1) seen)
@@ -88,8 +131,8 @@ let run ?(policy = Pos_priority) ?(max_stages = 10_000) p inst =
   in
   loop inst (IMap.singleton inst 0) [ inst ] 0
 
-let eval ?policy p inst =
-  match run ?policy p inst with
+let eval ?policy ?trace p inst =
+  match run ?policy ?trace p inst with
   | Fixpoint { instance; _ } -> instance
   | Diverged { period; _ } ->
       failwith
@@ -100,4 +143,5 @@ let eval ?policy p inst =
         (Printf.sprintf
            "Datalog\xc2\xac\xc2\xac program derived a contradiction on %s" pred)
 
-let answer ?policy p inst pred = Instance.find pred (eval ?policy p inst)
+let answer ?policy ?trace p inst pred =
+  Instance.find pred (eval ?policy ?trace p inst)

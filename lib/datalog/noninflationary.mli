@@ -40,15 +40,35 @@ type outcome =
     Cycle detection is exact (all visited instances are retained), bounded
     by [max_stages] (default 10_000; exceeding it raises [Failure] —
     with exact detection this indicates a genuinely growing state).
+    [trace] wraps each operator application in a ["round"] span whose
+    [delta] close field is the {e symmetric-difference} size (the state
+    can shrink), and emits a [diverged] or [contradiction] event on those
+    outcomes.
     @raise Ast.Check_error if [p] is not Datalog¬¬ syntax. *)
 val run :
-  ?policy:policy -> ?max_stages:int -> Ast.program -> Instance.t -> outcome
+  ?policy:policy ->
+  ?max_stages:int ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  outcome
 
 (** [eval p inst] expects termination.
     @raise Failure on divergence or contradiction. *)
-val eval : ?policy:policy -> Ast.program -> Instance.t -> Instance.t
+val eval :
+  ?policy:policy ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  Instance.t
 
-val answer : ?policy:policy -> Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?policy:policy ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  string ->
+  Relation.t
 
 (** [step ?policy p inst] applies the operator once — the building block
     is exposed for the production-rule layer and for tests. Returns

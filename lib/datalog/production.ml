@@ -75,8 +75,10 @@ let candidates prepared dom db =
         substs)
     prepared
 
-let run ?(strategy = First) ?(max_cycles = 10_000) p inst =
+let run ?(strategy = First) ?(max_cycles = 10_000)
+    ?(trace = Observe.Trace.null) p inst =
   Ast.check_ndatalog p;
+  let tracing = Observe.Trace.enabled trace in
   let dom = Eval_util.program_dom p inst in
   let prepared =
     List.mapi (fun i r -> (i, r, Matcher.prepare r)) p
@@ -128,8 +130,8 @@ let run ?(strategy = First) ?(max_cycles = 10_000) p inst =
   in
   (* one persistent working memory for the whole run; each firing applies
      its retractions and assertions to the indexed database in place *)
-  let db = Matcher.Db.of_instance inst in
-  let rec cycle n trace =
+  let db = Matcher.Db.of_instance ~trace inst in
+  let rec cycle n fired_log =
     if n >= max_cycles then
       failwith
         (Printf.sprintf "Production.run: no quiescence within %d cycles"
@@ -139,9 +141,16 @@ let run ?(strategy = First) ?(max_cycles = 10_000) p inst =
         candidates prepared dom db
         |> List.filter (fun c -> not (Hashtbl.mem fired_memo (memo_key c)))
       in
+      if tracing then (
+        Observe.Trace.incr trace "production.cycles";
+        Observe.Trace.add trace "production.candidates" (List.length cs));
       match choose cs with
       | None ->
-          { memory = Matcher.Db.instance db; cycles = n; trace = List.rev trace }
+          {
+            memory = Matcher.Db.instance db;
+            cycles = n;
+            trace = List.rev fired_log;
+          }
       | Some c ->
           Hashtbl.replace fired_memo (memo_key c) ();
           List.iter (fun (pr, t) -> ignore (Matcher.Db.remove db pr t)) c.dels;
@@ -149,6 +158,6 @@ let run ?(strategy = First) ?(max_cycles = 10_000) p inst =
           List.iter (fun f -> Hashtbl.replace ages f (n + 1)) c.adds;
           cycle (n + 1)
             ({ rule_index = c.idx; asserted = c.adds; retracted = c.dels }
-             :: trace)
+             :: fired_log)
   in
   cycle 0 []

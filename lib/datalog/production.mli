@@ -36,12 +36,15 @@ type result = {
 
 (** [run ?strategy ?max_cycles p inst] executes the recognize–act cycle
     until no rule changes working memory (default strategy [First], fuel
-    10_000 cycles).
+    10_000 cycles). [trace] receives the counters [production.cycles] and
+    [production.candidates] (conflict-set sizes summed over cycles) plus
+    the working memory's [db.*] / [matcher.*] counters.
     @raise Ast.Check_error if [p] is not N-Datalog¬¬ syntax.
     @raise Failure on fuel exhaustion. *)
 val run :
   ?strategy:strategy ->
   ?max_cycles:int ->
+  ?trace:Observe.Trace.ctx ->
   Ast.program ->
   Instance.t ->
   result

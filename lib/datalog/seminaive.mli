@@ -14,8 +14,11 @@ type result = {
   stages : int;  (** delta iterations until the delta is empty *)
 }
 
-(** [eval p inst] runs [p] on [inst].
+(** [eval p inst] runs [p] on [inst]. [trace] receives round spans and
+    the [fixpoint.*] / [db.*] / [matcher.*] / [rule_firings.*] counters
+    (see {!Eval_util.seminaive_fixpoint}).
     @raise Ast.Check_error if [p] is not pure Datalog. *)
-val eval : Ast.program -> Instance.t -> result
+val eval : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> result
 
-val answer : Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> string -> Relation.t

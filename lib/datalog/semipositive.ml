@@ -4,7 +4,7 @@ exception Not_semipositive of string
 
 type result = { instance : Instance.t; stages : int }
 
-let eval p inst =
+let eval ?(trace = Observe.Trace.null) p inst =
   Ast.check_datalog_neg p;
   if not (Stratify.is_semipositive p) then
     raise
@@ -14,8 +14,9 @@ let eval p inst =
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
   let instance, stages =
-    Eval_util.seminaive_fixpoint prepared ~delta_preds:(Ast.idb p) ~dom inst
+    Eval_util.seminaive_fixpoint ~trace prepared ~delta_preds:(Ast.idb p) ~dom
+      inst
   in
   { instance; stages }
 
-let answer p inst pred = Instance.find pred (eval p inst).instance
+let answer ?trace p inst pred = Instance.find pred (eval ?trace p inst).instance

@@ -15,6 +15,7 @@ type result = { instance : Instance.t; stages : int }
 (** [eval p inst] evaluates a semi-positive program.
     @raise Not_semipositive if some idb predicate is negated.
     @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
-val eval : Ast.program -> Instance.t -> result
+val eval : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> result
 
-val answer : Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> string -> Relation.t

@@ -14,8 +14,8 @@ let gl p inst context =
 
 let is_stable p inst m = Instance.equal (gl p inst m) m
 
-let models ?limit p inst =
-  let wf = Wellfounded.eval p inst in
+let models ?limit ?(trace = Observe.Trace.null) p inst =
+  let wf = Wellfounded.eval ~trace p inst in
   let unknowns =
     Instance.fold
       (fun pred r acc ->
@@ -32,7 +32,15 @@ let models ?limit p inst =
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
   let delta_preds = Ast.idb p in
+  let tracing = Observe.Trace.enabled trace in
+  if tracing then
+    Observe.Trace.add trace "stable.unknowns" (List.length unknowns);
+  (* Each candidate check is one GL fixpoint; up to 2^unknowns of them run
+     here, so candidates are counted but their inner fixpoints are not
+     span-traced (the counters still accumulate via the shared ctx only if
+     threaded — deliberately not, to keep traces bounded). *)
   let stable_candidate m =
+    if tracing then Observe.Trace.incr trace "stable.candidates_checked";
     Instance.equal (gl_prepared prepared delta_preds dom inst m) m
   in
   let out = ref [] in
@@ -43,6 +51,7 @@ let models ?limit p inst =
   let rec branch candidate = function
     | [] ->
         if (not (reached_limit ())) && stable_candidate candidate then (
+          if tracing then Observe.Trace.incr trace "stable.models_found";
           out := candidate :: !out;
           incr n)
     | (pred, t) :: rest ->

@@ -18,10 +18,19 @@ open Relational
 val is_stable : Ast.program -> Instance.t -> Instance.t -> bool
 
 (** [models ?limit p inst] enumerates stable models (at most [limit],
-    default unlimited), branching on the well-founded unknowns.
+    default unlimited), branching on the well-founded unknowns. [trace]
+    receives the well-founded run's spans plus the counters
+    [stable.unknowns], [stable.candidates_checked] and
+    [stable.models_found]; the inner Gelfond–Lifschitz fixpoints of the
+    candidate checks are not span-traced (there can be [2^unknowns]).
     @raise Failure if there are more than 20 unknown facts (the search
     would explode; the limit guards accidental blowups). *)
-val models : ?limit:int -> Ast.program -> Instance.t -> Instance.t list
+val models :
+  ?limit:int ->
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  Instance.t list
 
 (** [count p inst] is [List.length (models p inst)]. *)
 val count : Ast.program -> Instance.t -> int

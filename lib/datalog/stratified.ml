@@ -4,27 +4,42 @@ exception Not_stratifiable of string
 
 type result = { instance : Instance.t; strata : int; stages : int }
 
-let eval p inst =
+let eval ?(trace = Observe.Trace.null) p inst =
   match Stratify.stratify p with
   | Error msg -> raise (Not_stratifiable msg)
   | Ok { strata; _ } ->
       (* adom(P, K) is shared by all strata: no stratum can invent
          values, so the domain is fixed up front. *)
       let dom = Eval_util.program_dom p inst in
-      let instance, stages =
+      let tracing = Observe.Trace.enabled trace in
+      let instance, stages, _ =
         List.fold_left
-          (fun (current, stages) stratum ->
+          (fun (current, stages, i) stratum ->
             match stratum with
-            | [] -> (current, stages)
+            | [] -> (current, stages, i + 1)
             | _ ->
+                if tracing then
+                  Observe.Trace.open_span trace ~kind:"stratum"
+                    (string_of_int i)
+                    ~fields:
+                      [ Observe.Trace.fint "rules" (List.length stratum) ];
                 let prepared = Eval_util.prepare stratum in
                 let next, s =
-                  Eval_util.seminaive_fixpoint prepared
+                  Eval_util.seminaive_fixpoint ~trace prepared
                     ~delta_preds:(Ast.idb stratum) ~dom current
                 in
-                (next, stages + s))
-          (inst, 0) strata
+                if tracing then
+                  Observe.Trace.close_span trace
+                    ~fields:
+                      [
+                        Observe.Trace.fint "stages" s;
+                        Observe.Trace.fint "facts"
+                          (Instance.total_facts next);
+                      ]
+                    ();
+                (next, stages + s, i + 1))
+          (inst, 0, 0) strata
       in
       { instance; strata = List.length strata; stages }
 
-let answer p inst pred = Instance.find pred (eval p inst).instance
+let answer ?trace p inst pred = Instance.find pred (eval ?trace p inst).instance

@@ -17,9 +17,12 @@ type result = {
   stages : int;  (** total Γ applications across strata *)
 }
 
-(** [eval p inst] evaluates [p] under stratified semantics.
+(** [eval p inst] evaluates [p] under stratified semantics. [trace]
+    wraps each non-empty stratum in a ["stratum"] span (close fields
+    [stages], [facts]) containing its round spans.
     @raise Not_stratifiable if [p] has recursion through negation.
     @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
-val eval : Ast.program -> Instance.t -> result
+val eval : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> result
 
-val answer : Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> string -> Relation.t

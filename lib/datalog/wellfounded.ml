@@ -13,28 +13,45 @@ type result = {
    the input. Semi-naive iteration is sound here because within one A
    computation the negation context never changes — so each A(J) runs as
    a delta fixpoint over one persistent database. *)
-let gl_operator prepared delta_preds dom inst context =
+let gl_operator ?(trace = Observe.Trace.null) prepared delta_preds dom inst
+    context =
   let neg_db = Matcher.Db.of_instance context in
-  fst (Eval_util.seminaive_fixpoint ~neg_db prepared ~delta_preds ~dom inst)
+  fst
+    (Eval_util.seminaive_fixpoint ~trace ~neg_db prepared ~delta_preds ~dom
+       inst)
 
-let sequence p inst =
+let sequence ?(trace = Observe.Trace.null) p inst =
   Ast.check_datalog_neg p;
   let dom = Eval_util.program_dom p inst in
   let prepared = Eval_util.prepare p in
-  let a = gl_operator prepared (Ast.idb p) dom inst in
-  let rec loop under acc =
-    let over = a under in
-    let under' = a over in
+  let tracing = Observe.Trace.enabled trace in
+  (* One alternating round = two applications of A: the first refines the
+     overestimate, the second the underestimate. Each is a "phase" span. *)
+  let a phase round context =
+    if tracing then
+      Observe.Trace.open_span trace ~kind:"phase"
+        (Printf.sprintf "%s.%d" phase round);
+    let r = gl_operator ~trace prepared (Ast.idb p) dom inst context in
+    if tracing then
+      Observe.Trace.close_span trace
+        ~fields:[ Observe.Trace.fint "facts" (Instance.total_facts r) ]
+        ();
+    r
+  in
+  let rec loop under acc round =
+    let over = a "over" round under in
+    let under' = a "under" round over in
+    if tracing then Observe.Trace.incr trace "wf.rounds";
     let acc = (under', over) :: acc in
     if Instance.equal under' under then List.rev acc
-    else loop under' acc
+    else loop under' acc (round + 1)
   in
-  loop inst []
+  loop inst [] 1
 
 let alternating_sequence = sequence
 
-let eval p inst =
-  let seq = sequence p inst in
+let eval ?trace p inst =
+  let seq = sequence ?trace p inst in
   let true_facts, possible = List.nth seq (List.length seq - 1) in
   { true_facts; possible; rounds = List.length seq }
 
@@ -45,4 +62,6 @@ let truth_of res pred tup =
 
 let unknown res = Instance.diff res.possible res.true_facts
 let is_total res = Instance.equal res.true_facts res.possible
-let answer p inst pred = Instance.find pred (eval p inst).true_facts
+
+let answer ?trace p inst pred =
+  Instance.find pred (eval ?trace p inst).true_facts

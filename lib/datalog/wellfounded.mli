@@ -28,8 +28,11 @@ type result = {
 }
 
 (** [eval p inst] computes the well-founded model of [p] on [inst].
+    [trace] wraps each application of [A] in a ["phase"] span named
+    [over.<k>] / [under.<k>] (close field [facts]) and counts alternating
+    rounds in [wf.rounds].
     @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
-val eval : Ast.program -> Instance.t -> result
+val eval : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> result
 
 (** [truth_of res pred tup] classifies one fact. Facts outside the
     Herbrand base are simply [False]. *)
@@ -46,9 +49,14 @@ val is_total : result -> bool
 
 (** [answer p inst pred] is [pred]'s relation in the 2-valued (true facts)
     reading. *)
-val answer : Ast.program -> Instance.t -> string -> Relation.t
+val answer :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> string -> Relation.t
 
 (** [alternating_sequence p inst] exposes the sequence of (under, over)
     approximation pairs for inspection — benchmark E4 reports its
     length. *)
-val alternating_sequence : Ast.program -> Instance.t -> (Instance.t * Instance.t) list
+val alternating_sequence :
+  ?trace:Observe.Trace.ctx ->
+  Ast.program ->
+  Instance.t ->
+  (Instance.t * Instance.t) list

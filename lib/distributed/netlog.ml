@@ -47,16 +47,19 @@ let check net =
       if not (List.mem p net.peers) then bad "store for unknown peer %s" p)
     net.stores
 
-let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
+let run ?(schedule = Round_robin) ?(max_rounds = 10_000)
+    ?(trace = Observe.Trace.null) net =
   check net;
+  let tracing = Observe.Trace.enabled trace in
   (* each peer's store is a persistent indexed database: inbox ingestion
      and local derivations insert into it incrementally *)
   let stores : (string, Matcher.Db.t) Hashtbl.t = Hashtbl.create 8 in
   List.iter
-    (fun p -> Hashtbl.replace stores p (Matcher.Db.of_instance Instance.empty))
+    (fun p ->
+      Hashtbl.replace stores p (Matcher.Db.of_instance ~trace Instance.empty))
     net.peers;
   List.iter
-    (fun (p, i) -> Hashtbl.replace stores p (Matcher.Db.of_instance i))
+    (fun (p, i) -> Hashtbl.replace stores p (Matcher.Db.of_instance ~trace i))
     net.stores;
   let inbox : (string, (string * Tuple.t) Queue.t) Hashtbl.t =
     Hashtbl.create 8
@@ -92,6 +95,7 @@ let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
      anything changed anywhere (locally or messages sent) *)
   let activate p =
     incr rounds;
+    if tracing then Observe.Trace.incr trace "netlog.activations";
     let store = Hashtbl.find stores p in
     let changed = ref false in
     let q = Hashtbl.find inbox p in
@@ -144,6 +148,10 @@ let run ?(schedule = Round_robin) ?(max_rounds = 10_000) net =
               (* best-effort duplicate suppression; re-sends are harmless *)
               Queue.add (pred, tup) (Hashtbl.find inbox dest);
               incr messages;
+              if tracing then (
+                Observe.Trace.incr trace "netlog.messages";
+                Observe.Trace.incr trace ("netlog.sent." ^ p);
+                Observe.Trace.incr trace ("netlog.recv." ^ dest));
               changed := true))
           !derived);
     !changed

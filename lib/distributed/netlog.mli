@@ -68,8 +68,16 @@ exception Bad_network of string
 val check : network -> unit
 
 (** [run ?schedule ?max_rounds net] (defaults: [Round_robin], fuel
-    10_000 activations). *)
-val run : ?schedule:schedule -> ?max_rounds:int -> network -> outcome
+    10_000 activations). [trace] counts [netlog.activations],
+    [netlog.messages], and the per-peer message volumes
+    [netlog.sent.<peer>] / [netlog.recv.<peer>], plus the stores' [db.*]
+    counters. *)
+val run :
+  ?schedule:schedule ->
+  ?max_rounds:int ->
+  ?trace:Observe.Trace.ctx ->
+  network ->
+  outcome
 
 (** [store outcome peer] is a peer's final local store. *)
 val store : outcome -> string -> Instance.t

@@ -36,8 +36,9 @@ let shuffle rng l =
   done;
   Array.to_list a
 
-let eval ~seed p inst =
+let eval ~seed ?(trace = Observe.Trace.null) p inst =
   check p;
+  let tracing = Observe.Trace.enabled trace in
   let rng = Random.State.make [| seed |] in
   let plain = List.map (fun c -> c.rule) p in
   let dom = Datalog.Eval_util.program_dom plain inst in
@@ -70,8 +71,12 @@ let eval ~seed p inst =
   (* one persistent database across rounds: each round matches against the
      round-start state, collects its additions separately, and absorbs them
      at the end so the indexes update incrementally *)
-  let db = Matcher.Db.of_instance inst in
+  let db = Matcher.Db.of_instance ~trace inst in
+  let round_no = ref 0 in
   let rec loop () =
+    if tracing then (
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int !round_no);
+      Stdlib.incr round_no);
     let added = ref Instance.empty in
     let any = ref false in
     List.iter
@@ -80,6 +85,7 @@ let eval ~seed p inst =
         List.iter
           (fun subst ->
             if compatible idx c subst then (
+              if tracing then Observe.Trace.incr trace "choice.commits";
               commit idx c subst;
               let _, facts = Matcher.instantiate_heads subst c.rule.Ast.head in
               List.iter
@@ -94,6 +100,14 @@ let eval ~seed p inst =
                 facts))
           substs)
       prepared;
+    if tracing then (
+      let d = Instance.total_facts !added in
+      Observe.Trace.incr trace "fixpoint.rounds";
+      Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
+      Observe.Trace.add trace "fixpoint.delta_total" d;
+      Observe.Trace.close_span trace
+        ~fields:[ Observe.Trace.fint "delta" d ]
+        ());
     if !any then (
       Matcher.Db.absorb db !added;
       loop ())
@@ -101,7 +115,8 @@ let eval ~seed p inst =
   in
   loop ()
 
-let answer ~seed p inst pred = Instance.find pred (eval ~seed p inst)
+let answer ~seed ?trace p inst pred =
+  Instance.find pred (eval ~seed ?trace p inst)
 
 let respects_choices p result =
   List.for_all

@@ -33,11 +33,20 @@ exception Invalid_choice of string
 val check : crule list -> unit
 
 (** [eval ~seed p inst] computes one choice-model bottom-up. Deterministic
-    for a fixed seed. *)
-val eval : seed:int -> crule list -> Instance.t -> Instance.t
+    for a fixed seed. [trace] wraps each round in a ["round"] span (close
+    field [delta]) and counts [choice.commits] along with the shared
+    [fixpoint.*] counters. *)
+val eval :
+  seed:int -> ?trace:Observe.Trace.ctx -> crule list -> Instance.t -> Instance.t
 
 (** [answer ~seed p inst pred]. *)
-val answer : seed:int -> crule list -> Instance.t -> string -> Relation.t
+val answer :
+  seed:int ->
+  ?trace:Observe.Trace.ctx ->
+  crule list ->
+  Instance.t ->
+  string ->
+  Relation.t
 
 (** [respects_choices p result]: every committed FD holds in the result's
     head relations — an invariant checkable after the fact (used by

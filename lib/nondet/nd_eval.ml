@@ -69,12 +69,13 @@ type outcome =
   | Abandoned of { steps : int }
   | Out_of_fuel of { instance : Instance.t; steps : int }
 
-let run ~seed ?(max_steps = 100_000) p inst =
+let run ~seed ?(max_steps = 100_000) ?(trace = Observe.Trace.null) p inst =
   let rng = Random.State.make [| seed |] in
+  let tracing = Observe.Trace.enabled trace in
   (* plans are compiled once; the walk mutates one indexed database,
      applying only the chosen firing at each step *)
   let prepared = List.map (fun r -> (r, Matcher.prepare r)) p in
-  let db = Matcher.Db.of_instance inst in
+  let db = Matcher.Db.of_instance ~trace inst in
   let changes_state facts =
     List.exists
       (fun (pos, pred, tup) ->
@@ -96,11 +97,16 @@ let run ~seed ?(max_steps = 100_000) p inst =
             else None)
           (firings_db prepared dom db)
       in
+      if tracing then (
+        Observe.Trace.incr trace "nondet.steps";
+        Observe.Trace.add trace "nondet.candidates" (List.length candidates));
       match candidates with
       | [] -> Terminal { instance = Matcher.Db.instance db; steps }
       | _ -> (
           match List.nth candidates (Random.State.int rng (List.length candidates)) with
-          | None -> Abandoned { steps = steps + 1 }
+          | None ->
+              if tracing then Observe.Trace.event trace "abandoned";
+              Abandoned { steps = steps + 1 }
           | Some facts ->
               List.iter
                 (fun (pos, pred, tup) ->
@@ -111,11 +117,11 @@ let run ~seed ?(max_steps = 100_000) p inst =
   in
   go 0
 
-let run_until_terminal ~seed ?(attempts = 100) ?max_steps p inst =
+let run_until_terminal ~seed ?(attempts = 100) ?max_steps ?trace p inst =
   let rec try_ k =
     if k >= attempts then None
     else
-      match run ~seed:(seed + (1_000_003 * k)) ?max_steps p inst with
+      match run ~seed:(seed + (1_000_003 * k)) ?max_steps ?trace p inst with
       | Terminal { instance; _ } -> Some instance
       | Abandoned _ -> try_ (k + 1)
       | Out_of_fuel _ -> None

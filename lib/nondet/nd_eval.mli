@@ -44,12 +44,26 @@ type outcome =
 
 (** [run ~seed p inst] performs a uniform random walk: at each state one
     applicable, state-changing (or ⊥) instantiation is chosen at random.
-    Deterministic for a fixed [seed]. [max_steps] defaults to 100_000. *)
-val run : seed:int -> ?max_steps:int -> Datalog.Ast.program -> Instance.t -> outcome
+    Deterministic for a fixed [seed]. [max_steps] defaults to 100_000.
+    [trace] counts [nondet.steps] and [nondet.candidates] (applicable
+    firings summed over steps) and emits an [abandoned] event when a
+    ⊥-headed rule fires. *)
+val run :
+  seed:int ->
+  ?max_steps:int ->
+  ?trace:Observe.Trace.ctx ->
+  Datalog.Ast.program ->
+  Instance.t ->
+  outcome
 
 (** [run_until_terminal ~seed ?attempts p inst] retries [run] on ⊥
     abandonment (fresh derived seeds), returning the first terminal
     instance; [None] if all [attempts] (default 100) were abandoned. *)
 val run_until_terminal :
-  seed:int -> ?attempts:int -> ?max_steps:int -> Datalog.Ast.program -> Instance.t ->
+  seed:int ->
+  ?attempts:int ->
+  ?max_steps:int ->
+  ?trace:Observe.Trace.ctx ->
+  Datalog.Ast.program ->
+  Instance.t ->
   Instance.t option

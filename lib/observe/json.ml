@@ -1,0 +1,223 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- encoding ------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f -> Buffer.add_string b (float_to_string f)
+  | Str s -> escape_string b s
+  | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* --- parsing -------------------------------------------------------- *)
+
+exception Parse_fail of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (
+      pos := !pos + l;
+      v)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'; advance ()
+               | '\\' -> Buffer.add_char b '\\'; advance ()
+               | '/' -> Buffer.add_char b '/'; advance ()
+               | 'b' -> Buffer.add_char b '\b'; advance ()
+               | 'f' -> Buffer.add_char b '\012'; advance ()
+               | 'n' -> Buffer.add_char b '\n'; advance ()
+               | 'r' -> Buffer.add_char b '\r'; advance ()
+               | 't' -> Buffer.add_char b '\t'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > n then fail "truncated \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   (* encode the BMP code point as UTF-8 *)
+                   if code < 0x80 then Buffer.add_char b (Char.chr code)
+                   else if code < 0x800 then (
+                     Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+                   else (
+                     Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                     Buffer.add_char b
+                       (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_digit () =
+      match peek () with Some ('0' .. '9') -> true | _ -> false
+    in
+    if not (is_digit ()) then fail "expected digit";
+    while is_digit () do advance () done;
+    let is_float = ref false in
+    if peek () = Some '.' then (
+      is_float := true;
+      advance ();
+      if not (is_digit ()) then fail "expected fraction digit";
+      while is_digit () do advance () done);
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        if not (is_digit ()) then fail "expected exponent digit";
+        while is_digit () do advance () done
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos < n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+      else Ok v
+  | exception Parse_fail msg -> Error msg
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

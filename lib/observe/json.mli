@@ -1,0 +1,26 @@
+(** Minimal JSON encoder/parser for the observability layer.
+
+    The library is deliberately dependency-free; this module covers
+    exactly what the trace writer needs (objects, arrays, scalars) plus a
+    parser used by tests and [trace_check] to validate emitted lines. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] is the compact (single-line) JSON rendering of [v].
+    Strings are escaped per RFC 8259; non-ASCII bytes pass through
+    unescaped (the output is UTF-8). *)
+val to_string : t -> string
+
+(** [parse s] parses one complete JSON value, rejecting trailing input.
+    [\u] escapes are decoded to UTF-8 (BMP code points only). *)
+val parse : string -> (t, string) result
+
+(** [member k v] is the value of key [k] when [v] is an object. *)
+val member : string -> t -> t option

@@ -1,0 +1,30 @@
+(** Trace sinks and reports: the JSON-lines trace writer, its schema
+    validator, and the human-readable [--stats] summary.
+
+    {1 JSONL trace schema}
+
+    One JSON object per line. Every line has a ["type"] key:
+
+    - [span_open]: ["id"], ["parent"] (0 at the root), ["kind"],
+      ["name"], ["t_ms"] (open time, process-CPU ms), ["fields"]
+    - [span_close]: ["id"], ["kind"], ["name"], ["dur_ms"], ["fields"]
+    - [event]: ["span"] (enclosing span id), ["name"], ["fields"]
+    - [summary]: ["counters"] (an object mapping counter name to value);
+      written once by [Trace.finish]
+
+    ["fields"] is always present, possibly [{}]. *)
+
+(** [jsonl_sink ~write] emits one schema line per callback via [write]
+    (which receives the line without a trailing newline). *)
+val jsonl_sink : write:(string -> unit) -> Trace.sink
+
+(** [validate_line line] checks one trace line against the schema:
+    valid JSON, a known ["type"], and that type's required keys.
+    Returns the line type on success. *)
+val validate_line : string -> (string, string) result
+
+(** [pp_summary ppf ctx] prints the human-readable run report: retained
+    spans (runs, strata, phases) with their close fields, per-kind span
+    totals, all counters, and the derived index hit/build and join
+    selectivity ratios. *)
+val pp_summary : Format.formatter -> Trace.ctx -> unit

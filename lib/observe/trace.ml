@@ -1,0 +1,174 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+type fields = (string * value) list
+
+let fint k v = (k, Int v)
+let ffloat k v = (k, Float v)
+let fstr k v = (k, Str v)
+let fbool k v = (k, Bool v)
+
+type span = {
+  sid : int;
+  parent : int;
+  kind : string;
+  name : string;
+  t0 : float;
+}
+
+type sink = {
+  on_open : span -> fields -> unit;
+  on_close : span -> float -> fields -> unit;
+  on_event : int -> string -> fields -> unit;
+  on_finish : (string * int) list -> unit;
+}
+
+type agg = { mutable spans : int; mutable total : float }
+
+type ctx = {
+  enabled : bool;
+  sinks : sink list;
+  retain_kinds : string list;
+  retain_cap : int;
+  mutable next_sid : int;
+  mutable stack : span list;
+  counters : (string, int ref) Hashtbl.t;
+  span_aggs : (string, agg) Hashtbl.t;
+  mutable retained : (span * float * fields) list;
+  mutable retained_n : int;
+}
+
+(* Process-CPU clock: monotone non-decreasing, no extra dependency. All
+   span times are relative offsets within one run, so the epoch is
+   irrelevant. *)
+let now () = Sys.time ()
+
+let default_retain = [ "run"; "stratum"; "phase" ]
+
+let make ?(sinks = []) ?(retain = default_retain) ?(retain_cap = 1024) () =
+  {
+    enabled = true;
+    sinks;
+    retain_kinds = retain;
+    retain_cap;
+    next_sid = 1;
+    stack = [];
+    counters = Hashtbl.create 64;
+    span_aggs = Hashtbl.create 16;
+    retained = [];
+    retained_n = 0;
+  }
+
+let null =
+  {
+    enabled = false;
+    sinks = [];
+    retain_kinds = [];
+    retain_cap = 0;
+    next_sid = 1;
+    stack = [];
+    counters = Hashtbl.create 1;
+    span_aggs = Hashtbl.create 1;
+    retained = [];
+    retained_n = 0;
+  }
+
+let enabled ctx = ctx.enabled
+
+(* --- counters -------------------------------------------------------- *)
+
+let add ctx name n =
+  if ctx.enabled then
+    match Hashtbl.find_opt ctx.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add ctx.counters name (ref n)
+
+let incr ctx name = add ctx name 1
+
+let gauge_max ctx name v =
+  if ctx.enabled then
+    match Hashtbl.find_opt ctx.counters name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.add ctx.counters name (ref v)
+
+let counter ctx name =
+  match Hashtbl.find_opt ctx.counters name with Some r -> !r | None -> 0
+
+let counters ctx =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) ctx.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- spans ----------------------------------------------------------- *)
+
+let open_span ctx ?(fields = []) ~kind name =
+  if ctx.enabled then (
+    let parent = match ctx.stack with s :: _ -> s.sid | [] -> 0 in
+    let sid = ctx.next_sid in
+    ctx.next_sid <- sid + 1;
+    let sp = { sid; parent; kind; name; t0 = now () } in
+    ctx.stack <- sp :: ctx.stack;
+    List.iter (fun s -> s.on_open sp fields) ctx.sinks)
+
+let close_span ctx ?(fields = []) () =
+  if ctx.enabled then
+    match ctx.stack with
+    | [] -> () (* unbalanced close: ignore rather than fail the engine *)
+    | sp :: rest ->
+        ctx.stack <- rest;
+        let dur = now () -. sp.t0 in
+        (match Hashtbl.find_opt ctx.span_aggs sp.kind with
+        | Some a ->
+            a.spans <- a.spans + 1;
+            a.total <- a.total +. dur
+        | None -> Hashtbl.add ctx.span_aggs sp.kind { spans = 1; total = dur });
+        if List.mem sp.kind ctx.retain_kinds && ctx.retained_n < ctx.retain_cap
+        then (
+          ctx.retained <- (sp, dur, fields) :: ctx.retained;
+          ctx.retained_n <- ctx.retained_n + 1);
+        List.iter (fun s -> s.on_close sp dur fields) ctx.sinks
+
+let with_span ctx ?fields ~kind name f =
+  if not ctx.enabled then f ()
+  else (
+    open_span ctx ?fields ~kind name;
+    Fun.protect ~finally:(fun () -> close_span ctx ()) f)
+
+let event ctx ?(fields = []) name =
+  if ctx.enabled then (
+    let sid = match ctx.stack with s :: _ -> s.sid | [] -> 0 in
+    List.iter (fun s -> s.on_event sid name fields) ctx.sinks)
+
+let finish ctx =
+  if ctx.enabled then (
+    (* close anything an exception left open, marking it aborted *)
+    while ctx.stack <> [] do
+      close_span ctx ~fields:[ fbool "aborted" true ] ()
+    done;
+    let cs = counters ctx in
+    List.iter (fun s -> s.on_finish cs) ctx.sinks)
+
+(* --- introspection (summary printing, tests) ------------------------- *)
+
+let span_aggregates ctx =
+  Hashtbl.fold (fun k a acc -> (k, a.spans, a.total) :: acc) ctx.span_aggs []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let retained_spans ctx = List.rev ctx.retained
+
+(* --- stock sinks ----------------------------------------------------- *)
+
+type recorded =
+  | Opened of span * fields
+  | Closed of span * float * fields
+  | Evented of int * string * fields
+  | Finished of (string * int) list
+
+let memory_sink () =
+  let log = ref [] in
+  let sink =
+    {
+      on_open = (fun sp f -> log := Opened (sp, f) :: !log);
+      on_close = (fun sp dur f -> log := Closed (sp, dur, f) :: !log);
+      on_event = (fun sid name f -> log := Evented (sid, name, f) :: !log);
+      on_finish = (fun cs -> log := Finished cs :: !log);
+    }
+  in
+  (sink, fun () -> List.rev !log)

@@ -1,0 +1,124 @@
+(** Engine-wide tracing and metrics.
+
+    A {!ctx} is threaded through the evaluation engines; when disabled
+    (the shared {!null} context) every instrumentation call reduces to a
+    single branch on a boolean, so the hot paths pay a negligible cost.
+    When enabled, the context maintains:
+
+    - {b hierarchical spans} ([run > stratum > round > rule], plus
+      engine-specific kinds such as [phase] for the well-founded
+      alternating fixpoint), timed with a monotone process-CPU clock;
+    - {b counters and max-gauges} for hot-path internals (delta sizes,
+      tuples derived vs. deduped, index builds vs. memo hits, per-rule
+      firings, join selectivity);
+    - {b pluggable sinks} receiving span open/close, events, and the
+      final counter dump — see {!memory_sink} here and
+      [Report.jsonl_sink] for the machine-readable trace writer.
+
+    The instrumentation layer never raises and never changes engine
+    results; an unbalanced [close_span] is ignored and [finish] closes
+    any spans abandoned by an exception. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type fields = (string * value) list
+
+(** Field constructors: [fint "delta" 12] etc. *)
+
+val fint : string -> int -> string * value
+val ffloat : string -> float -> string * value
+val fstr : string -> string -> string * value
+val fbool : string -> bool -> string * value
+
+type span = {
+  sid : int;  (** unique within a context, 1-based *)
+  parent : int;  (** parent span id, 0 at the root *)
+  kind : string;  (** hierarchy level: run, stratum, round, phase, ... *)
+  name : string;
+  t0 : float;  (** open time, seconds on the process-CPU clock *)
+}
+
+(** A sink receives the span/event stream. Close callbacks also receive
+    the span duration (seconds) and the fields recorded at close time;
+    [on_finish] receives the final sorted counter list. *)
+type sink = {
+  on_open : span -> fields -> unit;
+  on_close : span -> float -> fields -> unit;
+  on_event : int -> string -> fields -> unit;
+  on_finish : (string * int) list -> unit;
+}
+
+type ctx
+
+(** The disabled context: all operations are no-ops costing one branch.
+    Engines default their [?trace] argument to this. *)
+val null : ctx
+
+(** [make ()] is an enabled context. [retain] lists the span kinds whose
+    closed spans are kept (with close fields) for the human-readable
+    summary, capped at [retain_cap] spans; defaults to
+    [["run"; "stratum"; "phase"]]. *)
+val make :
+  ?sinks:sink list -> ?retain:string list -> ?retain_cap:int -> unit -> ctx
+
+val enabled : ctx -> bool
+
+(** {1 Counters}
+
+    [add ctx name n] accumulates into a named counter; [gauge_max]
+    keeps the maximum instead. Counters and gauges share one namespace
+    and are both reported by {!counters}. *)
+
+val add : ctx -> string -> int -> unit
+val incr : ctx -> string -> unit
+val gauge_max : ctx -> string -> int -> unit
+
+(** [counter ctx name] is the current value ([0] when absent). *)
+val counter : ctx -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : ctx -> (string * int) list
+
+(** {1 Spans and events} *)
+
+(** [open_span ctx ~kind name] pushes a child of the innermost open
+    span. Pair with {!close_span}, whose [fields] carry the
+    measurements known only at the end (e.g. a round's delta size). *)
+val open_span : ctx -> ?fields:fields -> kind:string -> string -> unit
+
+val close_span : ctx -> ?fields:fields -> unit -> unit
+
+(** [with_span ctx ~kind name f] wraps [f] in a span, closing it even if
+    [f] raises. *)
+val with_span : ctx -> ?fields:fields -> kind:string -> string -> (unit -> 'a) -> 'a
+
+(** [event ctx name] records a point event inside the innermost open
+    span. *)
+val event : ctx -> ?fields:fields -> string -> unit
+
+(** [finish ctx] closes any spans left open (marked [aborted]) and
+    delivers the final counter dump to every sink. Call once, after the
+    traced computation. *)
+val finish : ctx -> unit
+
+(** {1 Introspection} *)
+
+(** Per-kind aggregates over closed spans: [(kind, count, total_seconds)],
+    sorted by kind. *)
+val span_aggregates : ctx -> (string * int * float) list
+
+(** Retained closed spans (see [retain] in {!make}) in close order:
+    [(span, duration_seconds, close_fields)]. *)
+val retained_spans : ctx -> (span * float * fields) list
+
+(** {1 Stock sinks} *)
+
+type recorded =
+  | Opened of span * fields
+  | Closed of span * float * fields
+  | Evented of int * string * fields
+  | Finished of (string * int) list
+
+(** [memory_sink ()] is a sink plus an accessor returning everything it
+    received, in order — the test harness's view of a run. *)
+val memory_sink : unit -> sink * (unit -> recorded list)

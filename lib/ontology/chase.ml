@@ -169,42 +169,65 @@ let head_satisfied db subst (r : Ast.rule) =
   in
   Matcher.run (Matcher.prepare probe) db <> []
 
-let chase ?(max_steps = 10_000) tgds inst =
+let chase ?(max_steps = 10_000) ?(trace = Observe.Trace.null) tgds inst =
   check tgds;
+  let tracing = Observe.Trace.enabled trace in
   let gen = Value.Gen.create () in
   let prepared = List.map (fun r -> (r, Matcher.prepare r)) tgds in
   let steps = ref 0 in
   (* one persistent database for the whole chase; firings insert into it
      and the indexes follow incrementally *)
-  let db = Matcher.Db.of_instance inst in
+  let db = Matcher.Db.of_instance ~trace inst in
+  let pass_no = ref 0 in
   let rec pass () =
+    if tracing then (
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int !pass_no);
+      Stdlib.incr pass_no);
     (* snapshot this pass's triggers before applying any of them, so
        every rule matches against the pass-start state *)
     let triggers =
       List.map (fun ((r : Ast.rule), plan) -> (r, Matcher.run plan db)) prepared
     in
     let fired = ref false in
-    List.iter
-      (fun ((r : Ast.rule), substs) ->
-        List.iter
-          (fun subst ->
-            (* recheck against the freshest state *)
-            if not (head_satisfied db subst r) then (
-              if !steps >= max_steps then raise Exit;
-              incr steps;
-              fired := true;
-              let subst =
-                List.fold_left
-                  (fun s y -> (y, Value.Gen.fresh gen) :: s)
-                  subst (existential_vars r)
-              in
-              List.iter
-                (fun a ->
-                  let p, t = Ast.ground_atom subst a in
-                  ignore (Matcher.Db.insert db p t))
-                (head_atoms r)))
-          substs)
-      triggers;
+    let fired_count = ref 0 in
+    let close_pass () =
+      if tracing then (
+        Observe.Trace.incr trace "fixpoint.rounds";
+        Observe.Trace.add trace "chase.firings" !fired_count;
+        Observe.Trace.close_span trace
+          ~fields:[ Observe.Trace.fint "firings" !fired_count ]
+          ())
+    in
+    (try
+       List.iter
+         (fun ((r : Ast.rule), substs) ->
+           List.iter
+             (fun subst ->
+               (* recheck against the freshest state *)
+               if not (head_satisfied db subst r) then (
+                 if !steps >= max_steps then raise Exit;
+                 incr steps;
+                 fired := true;
+                 Stdlib.incr fired_count;
+                 let subst =
+                   List.fold_left
+                     (fun s y -> (y, Value.Gen.fresh gen) :: s)
+                     subst (existential_vars r)
+                 in
+                 List.iter
+                   (fun a ->
+                     let p, t = Ast.ground_atom subst a in
+                     ignore (Matcher.Db.insert db p t))
+                   (head_atoms r)))
+             substs)
+         triggers
+     with Exit ->
+       close_pass ();
+       raise Exit);
+    close_pass ();
+    if tracing then
+      Observe.Trace.add trace "chase.nulls"
+        (Value.Gen.count gen - Observe.Trace.counter trace "chase.nulls");
     if !fired then pass ()
   in
   match pass () with
@@ -247,8 +270,8 @@ let query_matches inst (atoms : Ast.atom list) answer =
            answer))
     substs
 
-let run_chase ?max_steps tgds inst =
-  match chase ?max_steps tgds inst with
+let run_chase ?max_steps ?trace tgds inst =
+  match chase ?max_steps ?trace tgds inst with
   | Terminated { instance; _ } -> instance
   | Out_of_fuel { steps; _ } ->
       failwith
@@ -256,8 +279,8 @@ let run_chase ?max_steps tgds inst =
            "Chase: no termination within %d steps (check weak acyclicity)"
            steps)
 
-let certain_answers ?max_steps tgds inst q =
-  let chased = run_chase ?max_steps tgds inst in
+let certain_answers ?max_steps ?trace tgds inst q =
+  let chased = run_chase ?max_steps ?trace tgds inst in
   let tuples = query_matches chased q.body q.answer in
   Relation.of_list
     (List.filter

@@ -55,8 +55,11 @@ type outcome =
   | Out_of_fuel of { instance : Instance.t; steps : int; nulls : int }
 
 (** [chase ?max_steps tgds inst] runs the restricted chase (default fuel
-    10_000 trigger applications). *)
-val chase : ?max_steps:int -> tgd list -> Instance.t -> outcome
+    10_000 trigger applications). [trace] wraps each pass in a ["round"]
+    span (close field [firings]) and counts [chase.firings],
+    [chase.nulls] and [fixpoint.rounds]. *)
+val chase :
+  ?max_steps:int -> ?trace:Observe.Trace.ctx -> tgd list -> Instance.t -> outcome
 
 (** A conjunctive query: positive atoms plus answer variables. *)
 type cq = { body : Datalog.Ast.atom list; answer : string list }
@@ -64,7 +67,12 @@ type cq = { body : Datalog.Ast.atom list; answer : string list }
 (** [certain_answers ?max_steps tgds inst q] — chase, match [q], keep
     null-free tuples. @raise Failure if the chase runs out of fuel. *)
 val certain_answers :
-  ?max_steps:int -> tgd list -> Instance.t -> cq -> Relation.t
+  ?max_steps:int ->
+  ?trace:Observe.Trace.ctx ->
+  tgd list ->
+  Instance.t ->
+  cq ->
+  Relation.t
 
 (** [bcq ?max_steps tgds inst atoms] — boolean query: is there a match of
     [atoms] (nulls allowed as witnesses)? *)

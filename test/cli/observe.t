@@ -1,0 +1,108 @@
+Observability surface: --stats run reports and --trace JSONL traces.
+
+  $ cat > tc.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- G(X, Z), T(Z, Y).
+  > EOF
+  $ cat > g.facts <<'EOF'
+  > G(a, b). G(b, c). G(c, d).
+  > EOF
+
+--stats prints the run report after the answer; timings vary run to run,
+so they are normalized here:
+
+  $ datalog-unchained run -s seminaive tc.dl -f g.facts -a T --stats \
+  >   | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g'
+  T(a, b).
+  T(a, c).
+  T(a, d).
+  T(b, c).
+  T(b, d).
+  T(c, d).
+  == run report ==
+  spans:
+    run      seminaive                      _ ms
+  span totals:
+    round                           4 spans         _ ms
+  counters:
+    db.index_builds                                     2
+    db.index_memo_hits                                  7
+    db.inserts                                          6
+    fixpoint.delta_max                                  3
+    fixpoint.delta_total                                6
+    fixpoint.rounds                                     4
+    fixpoint.tuples_derived                             6
+    matcher.candidates                                 18
+    matcher.runs                                        5
+    matcher.substs                                      6
+    matcher.substs_max                                  3
+    rule_firings.r0:T                                   3
+    rule_firings.r1:T                                   3
+  index hit/build ratio: 7/2 (77.8% hits)
+  join selectivity: 6/18 (33.3% of scanned tuples)
+
+--trace writes a schema-valid JSON-lines file: one run span, one round
+span per Γ application, and a final counter summary:
+
+  $ datalog-unchained run -s seminaive tc.dl -f g.facts --trace tc.jsonl \
+  >   > /dev/null
+  $ datalog-trace-check tc.jsonl
+  ok: 11 lines (span_open 5, span_close 5, event 0, summary 1)
+
+The well-founded engine nests its rounds under alternating-fixpoint
+phase spans (over.k / under.k):
+
+  $ cat > win.dl <<'EOF'
+  > win(X) :- moves(X, Y), !win(Y).
+  > EOF
+  $ cat > moves.facts <<'EOF'
+  > moves(b,c). moves(c,a). moves(a,b).
+  > EOF
+  $ datalog-unchained run -s wellfounded win.dl -f moves.facts \
+  >   --trace wf.jsonl > /dev/null
+  $ datalog-trace-check wf.jsonl
+  ok: 13 lines (span_open 6, span_close 6, event 0, summary 1)
+  $ grep -c '"kind":"phase"' wf.jsonl
+  4
+
+Magic-set query answering records the rewrite as an event:
+
+  $ cat > query.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- T(X, Z), G(Z, Y).
+  > ?- T(a, Y).
+  > EOF
+  $ datalog-unchained query query.dl -f g.facts --trace q.jsonl > /dev/null
+  $ datalog-trace-check q.jsonl
+  ok: 12 lines (span_open 5, span_close 5, event 1, summary 1)
+  $ grep '"type":"event"' q.jsonl
+  {"type":"event","span":1,"name":"magic.rewrite","fields":{"query_pred":"T__bf","rules":3}}
+
+A nondet walk is traced through the same flags:
+
+  $ cat > orient.dl <<'EOF'
+  > !G(X, Y) :- G(X, Y), G(Y, X).
+  > EOF
+  $ cat > cyc.facts <<'EOF'
+  > G(a, b). G(b, a).
+  > EOF
+  $ datalog-unchained nondet -m walk orient.dl -f cyc.facts \
+  >   --trace nd.jsonl > /dev/null
+  $ datalog-trace-check nd.jsonl
+  ok: 3 lines (span_open 1, span_close 1, event 0, summary 1)
+
+An unwritable --trace path is a clear error, not an exception trace:
+
+  $ datalog-unchained run tc.dl -f g.facts --trace /nonexistent/x.jsonl
+  cannot open trace file: /nonexistent/x.jsonl: No such file or directory
+  [2]
+
+Without the flags, output is unchanged (no instrumentation):
+
+  $ datalog-unchained run -s seminaive tc.dl -f g.facts -a T
+  T(a, b).
+  T(a, c).
+  T(a, d).
+  T(b, c).
+  T(b, d).
+  T(c, d).

@@ -18,6 +18,7 @@ let () =
       ("choice-active", Test_choice_active.suite);
       ("distributed", Test_distributed.suite);
       ("trees-ontology", Test_trees_ontology.suite);
+      ("observe", Test_observe.suite);
       ("properties", Test_properties.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties-sec6", Test_properties2.suite);

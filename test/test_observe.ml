@@ -1,0 +1,308 @@
+(* The observability layer (lib/observe): span nesting and ordering,
+   counter aggregation, the per-round metrics engines report through it,
+   and the machine-readable JSONL trace schema. *)
+open Relational
+open Helpers
+module T = Observe.Trace
+
+(* --- spans: nesting, ordering, close fields ------------------------- *)
+
+let test_span_nesting () =
+  let sink, recorded = T.memory_sink () in
+  let ctx = T.make ~sinks:[ sink ] () in
+  T.open_span ctx ~kind:"run" "outer";
+  T.open_span ctx ~kind:"round" "0";
+  T.close_span ctx ~fields:[ T.fint "delta" 3 ] ();
+  T.open_span ctx ~kind:"round" "1";
+  T.close_span ctx ~fields:[ T.fint "delta" 0 ] ();
+  T.close_span ctx ();
+  T.finish ctx;
+  match recorded () with
+  | [
+   T.Opened (outer, _);
+   T.Opened (r0, _);
+   T.Closed (r0', _, f0);
+   T.Opened (r1, _);
+   T.Closed (r1', _, f1);
+   T.Closed (outer', _, _);
+   T.Finished _;
+  ] ->
+      Alcotest.(check int) "root sid" 1 outer.T.sid;
+      Alcotest.(check int) "root has no parent" 0 outer.T.parent;
+      Alcotest.(check int) "round 0 nests under run" outer.T.sid r0.T.parent;
+      Alcotest.(check int) "round 1 nests under run" outer.T.sid r1.T.parent;
+      Alcotest.(check bool) "sids increase" true (r1.T.sid > r0.T.sid);
+      Alcotest.(check int) "close matches open (r0)" r0.T.sid r0'.T.sid;
+      Alcotest.(check int) "close matches open (r1)" r1.T.sid r1'.T.sid;
+      Alcotest.(check int) "run closes last" outer.T.sid outer'.T.sid;
+      Alcotest.(check bool) "close fields carried" true
+        (f0 = [ T.fint "delta" 3 ] && f1 = [ T.fint "delta" 0 ])
+  | events ->
+      Alcotest.failf "unexpected event stream (%d events)" (List.length events)
+
+let test_finish_closes_abandoned_spans () =
+  (* an engine bailing out with an exception must still yield a balanced
+     stream: finish closes whatever is left open, innermost first *)
+  let sink, recorded = T.memory_sink () in
+  let ctx = T.make ~sinks:[ sink ] () in
+  T.open_span ctx ~kind:"run" "outer";
+  T.open_span ctx ~kind:"round" "0";
+  T.finish ctx;
+  let closes =
+    List.filter_map
+      (function T.Closed (s, _, _) -> Some s.T.name | _ -> None)
+      (recorded ())
+  in
+  Alcotest.(check (list string)) "innermost closed first" [ "0"; "outer" ]
+    closes
+
+let test_unbalanced_close_ignored () =
+  let ctx = T.make () in
+  T.close_span ctx ();
+  (* no open span: must not raise *)
+  T.open_span ctx ~kind:"run" "r";
+  T.close_span ctx ();
+  T.close_span ctx ();
+  T.finish ctx;
+  let aggs = T.span_aggregates ctx in
+  Alcotest.(check int) "exactly one closed span" 1
+    (List.fold_left (fun acc (_, n, _) -> acc + n) 0 aggs)
+
+let test_null_ctx_inert () =
+  Alcotest.(check bool) "null is disabled" false (T.enabled T.null);
+  T.open_span T.null ~kind:"run" "r";
+  T.add T.null "c" 5;
+  T.close_span T.null ();
+  T.finish T.null;
+  Alcotest.(check int) "null accumulates nothing" 0 (T.counter T.null "c");
+  Alcotest.(check bool) "null retains nothing" true
+    (T.retained_spans T.null = [])
+
+(* --- counters: accumulation, gauges, sorted dump --------------------- *)
+
+let test_counter_aggregation () =
+  let ctx = T.make () in
+  T.add ctx "b.count" 3;
+  T.incr ctx "b.count";
+  T.add ctx "a.count" 2;
+  T.gauge_max ctx "z.max" 4;
+  T.gauge_max ctx "z.max" 9;
+  T.gauge_max ctx "z.max" 7;
+  T.finish ctx;
+  Alcotest.(check int) "absent counter reads 0" 0 (T.counter ctx "nope");
+  Alcotest.(check int) "add + incr accumulate" 4 (T.counter ctx "b.count");
+  Alcotest.(check int) "gauge keeps the max" 9 (T.counter ctx "z.max");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted by name"
+    [ ("a.count", 2); ("b.count", 4); ("z.max", 9) ]
+    (T.counters ctx)
+
+let test_finish_reaches_sink () =
+  let sink, recorded = T.memory_sink () in
+  let ctx = T.make ~sinks:[ sink ] () in
+  T.add ctx "k" 7;
+  T.finish ctx;
+  match List.rev (recorded ()) with
+  | T.Finished counters :: _ ->
+      Alcotest.(check (list (pair string int))) "final dump" [ ("k", 7) ]
+        counters
+  | _ -> Alcotest.fail "finish did not reach the sink"
+
+(* --- engine metrics: semi-naive rounds on a chain --------------------- *)
+
+(* On a chain of n nodes (n-1 edges), semi-naive TC applies Γ exactly n
+   times: round 0 derives the n-1 edges, each later round the paths one
+   hop longer, and the last round derives nothing, proving the fixpoint.
+   The per-round delta close-fields must shrink monotonically to 0. *)
+let test_seminaive_chain_rounds () =
+  let n = 6 in
+  let sink, recorded = T.memory_sink () in
+  let ctx = T.make ~sinks:[ sink ] () in
+  let res = Datalog.Seminaive.eval ~trace:ctx tc_program (Graph_gen.chain n) in
+  T.finish ctx;
+  let deltas =
+    List.filter_map
+      (function
+        | T.Closed (s, _, fields) when s.T.kind = "round" ->
+            (match List.assoc_opt "delta" fields with
+            | Some (T.Int d) -> Some d
+            | _ -> Alcotest.failf "round %s closed without a delta" s.T.name)
+        | _ -> None)
+      (recorded ())
+  in
+  Alcotest.(check int) "exactly n rounds" n (List.length deltas);
+  Alcotest.(check int) "fixpoint.rounds counter agrees" n
+    (T.counter ctx "fixpoint.rounds");
+  Alcotest.(check int) "rounds = stages + 1" (res.Datalog.Seminaive.stages + 1)
+    n;
+  Alcotest.(check (list int))
+    "deltas shrink monotonically to 0"
+    (List.init n (fun i -> n - 1 - i))
+    deltas;
+  Alcotest.(check int) "delta_max is the first delta" (n - 1)
+    (T.counter ctx "fixpoint.delta_max")
+
+let test_rule_firings_counted () =
+  let ctx = T.make () in
+  ignore
+    (Datalog.Seminaive.eval ~trace:ctx tc_program (Graph_gen.chain 4));
+  T.finish ctx;
+  (* chain n0->n1->n2->n3: base rule fires 3x, recursive rule 3x (paths of
+     length 2 and 3) *)
+  Alcotest.(check int) "base rule firings" 3
+    (T.counter ctx "rule_firings.r0:T");
+  Alcotest.(check int) "recursive rule firings" 3
+    (T.counter ctx "rule_firings.r1:T")
+
+(* --- JSONL trace schema across the engines ---------------------------- *)
+
+(* Run an engine under a jsonl sink wrapped in a run span, then check
+   every emitted line against the documented schema via
+   Report.validate_line — the golden guarantee behind --trace. *)
+let jsonl_run name f =
+  let buf = Buffer.create 256 in
+  let sink =
+    Observe.Report.jsonl_sink ~write:(fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n')
+  in
+  let ctx = T.make ~sinks:[ sink ] () in
+  T.open_span ctx ~kind:"run" name;
+  f ctx;
+  T.close_span ctx ();
+  T.finish ctx;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  if List.length lines < 3 then
+    Alcotest.failf "%s: trace too short (%d lines)" name (List.length lines);
+  List.iter
+    (fun line ->
+      match Observe.Report.validate_line line with
+      | Ok _ -> ()
+      | Error msg ->
+          Alcotest.failf "%s: invalid trace line (%s): %s" name msg line)
+    lines;
+  (* the summary line closes every stream *)
+  match Observe.Report.validate_line (List.nth lines (List.length lines - 1)) with
+  | Ok "summary" -> ()
+  | Ok other -> Alcotest.failf "%s: stream ends with %s, not summary" name other
+  | Error msg -> Alcotest.failf "%s: bad final line: %s" name msg
+
+let win_program = prog "win(X) :- moves(X, Y), !win(Y)."
+
+let comp_tc_program =
+  prog
+    {|
+    T(X, Y) :- G(X, Y).
+    T(X, Y) :- G(X, Z), T(Z, Y).
+    CT(X, Y) :- !T(X, Y).
+  |}
+
+let test_trace_schema_all_engines () =
+  let tc_input = Instance.set "G" (pairs [ ("a", "b"); ("b", "c") ]) Instance.empty in
+  let cyc = facts "moves(a, b). moves(b, a)." in
+  let engines =
+    [
+      ("naive", fun trace -> ignore (Datalog.Naive.eval ~trace tc_program tc_input));
+      ( "seminaive",
+        fun trace -> ignore (Datalog.Seminaive.eval ~trace tc_program tc_input) );
+      ( "stratified",
+        fun trace ->
+          ignore (Datalog.Stratified.eval ~trace comp_tc_program tc_input) );
+      ( "semipositive",
+        fun trace ->
+          ignore
+            (Datalog.Semipositive.eval ~trace
+               (prog "NG(X, Y) :- adom(X), adom(Y), !G(X, Y). adom(X) :- G(X, Y). adom(Y) :- G(X, Y).")
+               tc_input) );
+      ( "wellfounded",
+        fun trace -> ignore (Datalog.Wellfounded.eval ~trace win_program cyc) );
+      ( "stable",
+        fun trace -> ignore (Datalog.Stable.models ~trace win_program cyc) );
+      ( "inflationary",
+        fun trace -> ignore (Datalog.Inflationary.eval ~trace tc_program tc_input) );
+      ( "noninflationary",
+        fun trace ->
+          ignore (Datalog.Noninflationary.run ~trace tc_program tc_input) );
+      ( "invent",
+        fun trace ->
+          ignore
+            (Datalog.Invent.run ~trace (prog "tag(X, N) :- item(X).")
+               (facts "item(a). item(b).")) );
+      ( "magic",
+        fun trace ->
+          ignore
+            (Datalog.Magic.answer ~trace tc_program tc_input
+               (Datalog.Ast.atom "T" [ Datalog.Ast.sym "a"; Datalog.Ast.var "Y" ])) );
+      ( "aggregate",
+        fun trace ->
+          let body =
+            (Datalog.Parser.parse_rule "agg__probe :- order(C, I)").Datalog.Ast.body
+          in
+          ignore
+            (Datalog.Aggregate.eval ~trace
+               [
+                 {
+                   Datalog.Aggregate.rules = [];
+                   aggregates =
+                     [
+                       {
+                         Datalog.Aggregate.pred = "per_cust";
+                         group_by = [ "C" ];
+                         func = Datalog.Aggregate.Count;
+                         body;
+                       };
+                     ];
+                 };
+               ]
+               (facts "order(alice, widget). order(bob, gizmo).")) );
+      ( "production",
+        fun trace ->
+          ignore
+            (Datalog.Production.run ~trace
+               (prog "done(X) :- todo(X), !done(X).")
+               (facts "todo(a). todo(b).")) );
+      ( "choice",
+        fun trace ->
+          ignore
+            (Nondet.Choice.eval ~seed:3 ~trace
+               [
+                 {
+                   Nondet.Choice.rule =
+                     Datalog.Parser.parse_rule "T(X, Y) :- G(X, Y).";
+                   choices = [];
+                 };
+               ]
+               tc_input) );
+      ( "chase",
+        fun trace ->
+          ignore
+            (Ontology.Chase.chase ~trace
+               [
+                 Datalog.Parser.parse_rule "worksIn(E, D) :- emp(E).";
+                 Datalog.Parser.parse_rule "hasManager(D, M) :- worksIn(E, D).";
+               ]
+               (facts "emp(e0). emp(e1).")) );
+    ]
+  in
+  List.iter (fun (name, f) -> jsonl_run name f) engines
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "finish closes abandoned spans" `Quick
+      test_finish_closes_abandoned_spans;
+    Alcotest.test_case "unbalanced close is ignored" `Quick
+      test_unbalanced_close_ignored;
+    Alcotest.test_case "null context is inert" `Quick test_null_ctx_inert;
+    Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation;
+    Alcotest.test_case "finish reaches the sink" `Quick test_finish_reaches_sink;
+    Alcotest.test_case "semi-naive chain: n rounds, shrinking deltas" `Quick
+      test_seminaive_chain_rounds;
+    Alcotest.test_case "rule firings counted" `Quick test_rule_firings_counted;
+    Alcotest.test_case "JSONL schema across engines" `Quick
+      test_trace_schema_all_engines;
+  ]

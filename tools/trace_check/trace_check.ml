@@ -1,0 +1,45 @@
+(* datalog-trace-check: validate a JSON-lines trace produced by
+   datalog-unchained --trace against the schema in Observe.Report.
+   Prints a deterministic per-type tally on success; on the first invalid
+   line, reports it and exits 1. *)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: datalog-trace-check TRACE.jsonl";
+        exit 2
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "cannot open trace file: %s\n" msg;
+      exit 2
+  in
+  let counts = Hashtbl.create 8 in
+  let total = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then (
+         match Observe.Report.validate_line line with
+         | Ok ty ->
+             incr total;
+             Hashtbl.replace counts ty
+               (1 + (try Hashtbl.find counts ty with Not_found -> 0))
+         | Error msg ->
+             Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+             exit 1)
+     done
+   with End_of_file -> close_in_noerr ic);
+  let tally ty =
+    Printf.sprintf "%s %d"
+      ty
+      (try Hashtbl.find counts ty with Not_found -> 0)
+  in
+  Printf.printf "ok: %d lines (%s)\n" !total
+    (String.concat ", "
+       (List.map tally [ "span_open"; "span_close"; "event"; "summary" ]))
