@@ -14,13 +14,19 @@ bench:
 
 # what a CI job runs: build, full test suite, a bench smoke run
 # (e2 = naive vs semi-naive transitive closure) to catch perf-path
-# breakage, and a trace smoke step: emit a JSONL trace and validate it
+# breakage, an interning smoke step (the interned engines must still
+# derive the known TC fact counts, and the CLI must report intern
+# counters), and a trace smoke step: emit a JSONL trace and validate it
 # against the schema with datalog-trace-check
 ci:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- e2 --json /dev/null
+	dune exec bench/main.exe -- e2 --json _ci_bench.json
+	grep -q '"case": "random-300x900".*"engine": "seminaive".*"facts": 79230' _ci_bench.json
+	grep -q '"case": "chain-160".*"engine": "seminaive".*"facts": 12720' _ci_bench.json
+	rm -f _ci_bench.json
 	printf 'T(X, Y) :- G(X, Y).\nT(X, Y) :- G(X, Z), T(Z, Y).\nG(a, b). G(b, c). G(c, d).\n' > _ci_tc.dl
+	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --stats | grep -q 'intern.values'
 	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --trace _ci_tc.jsonl > /dev/null
 	dune exec -- datalog-trace-check _ci_tc.jsonl
 	rm -f _ci_tc.dl _ci_tc.jsonl

@@ -21,10 +21,23 @@
    select, or `bechamel` for the micro-benchmark kernels. *)
 open Relational
 
+(* --reps N: repeat each timed section N times and keep the fastest run
+   (default 1). The recorded BENCH_engines.json numbers use --reps 3. *)
+let reps = ref 1
+
 let time f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
+  let rec go best k =
+    if k = 0 then best
+    else
+      let t0 = Sys.time () in
+      let r = f () in
+      let dt = Sys.time () -. t0 in
+      let best =
+        match best with Some (_, b) when b <= dt -> best | _ -> Some (r, dt)
+      in
+      go best (k - 1)
+  in
+  match go None (max 1 !reps) with Some (r, t) -> (r, t) | None -> assert false
 
 let ms t = Printf.sprintf "%8.2f" (1000.0 *. t)
 
@@ -196,27 +209,37 @@ let e2 () =
   List.iter
     (fun (name, n, inst) ->
       let g = Relation.cardinal (Instance.find "G" inst) in
-      let rn, tn = time (fun () -> Datalog.Naive.eval tc_program inst) in
+      (* naive evaluation is O(rounds * full join) and takes minutes at
+         n >= 1000; the sweep times semi-naive alone there *)
+      let skip_naive = n >= 1000 in
       let rs, ts = time (fun () -> Datalog.Seminaive.eval tc_program inst) in
       let tfacts =
         Relation.cardinal (Instance.find "T" rs.Datalog.Seminaive.instance)
-      in
-      assert (Instance.equal rn.Datalog.Naive.instance rs.Datalog.Seminaive.instance);
-      let naive_metrics =
-        collect_metrics (fun trace -> Datalog.Naive.eval ~trace tc_program inst)
       in
       let semi_metrics =
         collect_metrics (fun trace ->
             Datalog.Seminaive.eval ~trace tc_program inst)
       in
-      record ~experiment:"e2" ~case:name ~n ~engine:"naive"
-        ~wall_ms:(1000. *. tn) ~stages:rn.Datalog.Naive.stages ~facts:tfacts
-        ~metrics:naive_metrics ();
       record ~experiment:"e2" ~case:name ~n ~engine:"seminaive"
         ~wall_ms:(1000. *. ts) ~stages:rs.Datalog.Seminaive.stages
         ~facts:tfacts ~metrics:semi_metrics ();
-      row "  %-16s %6d | %s %s %6.1fx | %6d %6d\n" name g (ms tn) (ms ts)
-        (tn /. ts) rs.Datalog.Seminaive.stages tfacts)
+      if skip_naive then
+        row "  %-16s %6d | %9s %s %7s | %6d %6d\n" name g "-" (ms ts) "-"
+          rs.Datalog.Seminaive.stages tfacts
+      else (
+        let rn, tn = time (fun () -> Datalog.Naive.eval tc_program inst) in
+        assert (
+          Instance.equal rn.Datalog.Naive.instance
+            rs.Datalog.Seminaive.instance);
+        let naive_metrics =
+          collect_metrics (fun trace ->
+              Datalog.Naive.eval ~trace tc_program inst)
+        in
+        record ~experiment:"e2" ~case:name ~n ~engine:"naive"
+          ~wall_ms:(1000. *. tn) ~stages:rn.Datalog.Naive.stages ~facts:tfacts
+          ~metrics:naive_metrics ();
+        row "  %-16s %6d | %s %s %6.1fx | %6d %6d\n" name g (ms tn) (ms ts)
+          (tn /. ts) rs.Datalog.Seminaive.stages tfacts))
     [
       ("chain-40", 40, Graph_gen.chain 40);
       ("chain-80", 80, Graph_gen.chain 80);
@@ -225,6 +248,7 @@ let e2 () =
       ("grid-10x10", 100, Graph_gen.grid 10 10);
       ("random-100x300", 100, Graph_gen.random ~seed:11 100 300);
       ("random-300x900", 300, Graph_gen.random ~seed:12 300 900);
+      ("random-1000x5000", 1000, Graph_gen.random ~seed:13 1000 5000);
       ("tree-d8", 255, Graph_gen.binary_tree 8);
     ];
   row "  shape: semi-naive wins by a growing factor on long chains\n"
@@ -901,6 +925,16 @@ let () =
     | "--json" :: file :: rest -> (List.rev acc @ rest, Some file)
     | [ "--json" ] ->
         Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | "--reps" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> reps := k
+        | _ ->
+            Printf.eprintf "--reps requires a positive integer\n";
+            exit 2);
+        split_json acc rest
+    | [ "--reps" ] ->
+        Printf.eprintf "--reps requires a positive integer\n";
         exit 2
     | a :: rest -> split_json (a :: acc) rest
   in

@@ -141,6 +141,11 @@ let with_observability ~name stats trace_path f =
         Observe.Trace.open_span ctx ~kind:"run" name;
         let r = f ctx in
         Observe.Trace.close_span ctx ();
+        (* intern table health: distinct values interned by the process
+           (parsing included) and how many [Intern.id] calls resolved to an
+           existing entry — the sharing the dense-id representation buys *)
+        Observe.Trace.add ctx "intern.values" (Value.Intern.size ());
+        Observe.Trace.add ctx "intern.hits" (Value.Intern.hits ());
         Observe.Trace.finish ctx;
         if stats then Format.printf "%a" Observe.Report.pp_summary ctx;
         r)

@@ -25,19 +25,21 @@ let rule_label i (rule : Ast.rule) =
   in
   Printf.sprintf "r%d:%s" i heads
 
-let count_firings db label substs =
+let count_firings db label n =
   let tr = Matcher.Db.trace db in
   if Observe.Trace.enabled tr then
-    Observe.Trace.add tr ("rule_firings." ^ label) (List.length substs)
+    Observe.Trace.add tr ("rule_firings." ^ label) n
 
-let fire_rule ?delta ?neg_db ?label db dom (rule, plan) k =
-  let substs = Matcher.run ?delta ~dom ?neg_db plan db in
-  (match label with Some l -> count_firings db l substs | None -> ());
-  List.iter
-    (fun subst ->
-      let _bottom, facts = Matcher.instantiate_heads subst rule.Ast.head in
-      List.iter (fun f -> k f) facts)
-    substs
+(* Rules reaching this path have passed the safety checks, so every head
+   variable is body-bound and the interned firing fast path applies:
+   matches ground the compiled head templates directly, with no
+   substitution lists and no value decode/re-intern round trip. *)
+let fire_rule ?delta ?neg_db ?label db dom (_rule, plan) k =
+  let n =
+    Matcher.iter_firings ?delta ~dom ?neg_db plan db (fun ~pos pred ids ->
+        k (pos, pred, Tuple.of_ids (Array.copy ids)))
+  in
+  match label with Some l -> count_firings db l n | None -> ()
 
 let consequences_db ?neg_db prepared db ~dom =
   let out = ref Instance.empty in
@@ -91,24 +93,65 @@ let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
         (rule, plan, dps, rule_label i rule))
       prepared
   in
-  let collect_fresh rule substs acc =
-    List.fold_left
-      (fun acc subst ->
-        let _, facts = Matcher.instantiate_heads subst rule.Ast.head in
-        List.fold_left
-          (fun acc (pos, p, t) ->
-            if pos then
-              if Matcher.Db.mem db p t then (
-                if tracing then
-                  Observe.Trace.incr trace "fixpoint.tuples_deduped";
-                acc)
-              else (
-                if tracing then
-                  Observe.Trace.incr trace "fixpoint.tuples_derived";
-                Instance.add_fact p t acc)
-            else acc)
-          acc facts)
-      acc substs
+  (* Round-fresh accumulator: per-predicate list of new facts plus a flat
+     hash set for within-round dedup. The delta never takes the shape of
+     a persistent relation — building one costs a path copy per fact,
+     and nothing downstream (indexing, absorbing) needs more than the
+     list. *)
+  let fresh_tbl :
+      (string, Tuple.t list ref * unit Matcher.IdTbl.t) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let pred_state p =
+    match Hashtbl.find_opt fresh_tbl p with
+    | Some s -> s
+    | None ->
+        let s = (ref [], Matcher.IdTbl.create 256) in
+        Hashtbl.add fresh_tbl p s;
+        s
+  in
+  (* drain the accumulator into an assoc list (pred-name order, so round
+     processing stays deterministic) and reset it for the next round *)
+  let take_fresh () =
+    let per =
+      Hashtbl.fold (fun p (lst, _) acc -> (p, List.rev !lst) :: acc) fresh_tbl
+        []
+    in
+    Hashtbl.reset fresh_tbl;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) per
+  in
+  let total_fresh delta =
+    List.fold_left (fun n (_, ts) -> n + List.length ts) 0 delta
+  in
+  (* one firing pass for a rule: fresh positive consequences accumulate
+     into the round accumulator (a set, so the unspecified enumeration
+     order of [iter_firings] cannot leak) *)
+  let fire_fresh ?delta plan label =
+    (* per-predicate cache: consecutive firings of the same head
+       predicate (the common case) touch no string-keyed table at all *)
+    let cur_p = ref "" in
+    let cur_mem = ref None in
+    let cur_state = ref None in
+    let have = ref false in
+    let n =
+      Matcher.iter_firings ?delta ?neg_db ~dom plan db (fun ~pos p ids ->
+          if pos then (
+            if not (!have && String.equal !cur_p p) then (
+              have := true;
+              cur_p := p;
+              cur_mem := Some (Matcher.Db.memset db p);
+              cur_state := Some (pred_state p));
+            if Matcher.Db.memset_mem (Option.get !cur_mem) ids then (
+              if tracing then Observe.Trace.incr trace "fixpoint.tuples_deduped")
+            else (
+              if tracing then Observe.Trace.incr trace "fixpoint.tuples_derived";
+              let lst, seen = Option.get !cur_state in
+              if not (Matcher.IdTbl.mem seen ids) then (
+                let t = Tuple.of_ids (Array.copy ids) in
+                Matcher.IdTbl.replace seen (Tuple.ids t) ();
+                lst := t :: !lst))))
+    in
+    if tracing then count_firings db label n
   in
   (* Each application of Γ is one "round" span; its close records the
      delta it produced (round 0 = the initial full evaluation). *)
@@ -118,9 +161,8 @@ let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
       Observe.Trace.open_span trace ~kind:"round" (string_of_int !round_no);
       Stdlib.incr round_no)
   in
-  let close_round delta =
+  let close_round d =
     if tracing then (
-      let d = Instance.total_facts delta in
       Observe.Trace.incr trace "fixpoint.rounds";
       Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
       Observe.Trace.add trace "fixpoint.delta_total" d;
@@ -130,39 +172,27 @@ let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
   in
   (* stage 1: full evaluation; the facts not already present form Δ⁰ *)
   open_round ();
-  let delta0 =
-    List.fold_left
-      (fun acc (rule, plan, _, label) ->
-        let substs = Matcher.run ?neg_db ~dom plan db in
-        if tracing then count_firings db label substs;
-        collect_fresh rule substs acc)
-      Instance.empty with_dps
-  in
-  close_round delta0;
+  List.iter (fun (_rule, plan, _, label) -> fire_fresh plan label) with_dps;
+  let delta0 = take_fresh () in
+  close_round (total_fresh delta0);
   (* [stages] counts the applications of Γ that inferred new facts, to
      agree with the naive engine's count. *)
   let rec loop delta stages =
-    if Instance.total_facts delta = 0 then (Matcher.Db.instance db, stages)
+    if total_fresh delta = 0 then (Matcher.Db.instance db, stages)
     else (
       open_round ();
-      Matcher.Db.absorb db delta;
-      let fresh =
-        List.fold_left
-          (fun acc (rule, plan, dps, label) ->
-            List.fold_left
-              (fun acc pred ->
-                let drel = Instance.find pred delta in
-                if Relation.is_empty drel then acc
-                else
-                  let substs =
-                    Matcher.run ~delta:(pred, drel) ?neg_db ~dom plan db
-                  in
-                  if tracing then count_firings db label substs;
-                  collect_fresh rule substs acc)
-              acc dps)
-          Instance.empty with_dps
-      in
-      close_round fresh;
+      List.iter (fun (p, ts) -> Matcher.Db.absorb_new db p ts) delta;
+      List.iter
+        (fun (_rule, plan, dps, label) ->
+          List.iter
+            (fun pred ->
+              match List.assoc_opt pred delta with
+              | None | Some [] -> ()
+              | Some dts -> fire_fresh ~delta:(pred, dts) plan label)
+            dps)
+        with_dps;
+      let fresh = take_fresh () in
+      close_round (total_fresh fresh);
       loop fresh (stages + 1))
   in
   loop delta0 0

@@ -1,29 +1,118 @@
 open Relational
 
+(* Hashable interned-id vectors: the key type of every secondary index
+   and of the matcher's dedup set. Equality is int-array comparison and
+   hashing a short integer mix — no polymorphic hashing, no value
+   structure walked on the hot path. *)
+module IdKey = struct
+  type t = int array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec eq i =
+      i >= Array.length a
+      || (Array.unsafe_get a i = Array.unsafe_get b i && eq (i + 1))
+    in
+    eq 0
+
+  (* same avalanching mix as [Tuple.hash_ids]: index keys are dense
+     small ids, so a weak polynomial hash would cluster every bucket *)
+  let hash = Tuple.hash_ids
+end
+
+module KTbl = Hashtbl.Make (IdKey)
+module IdTbl = KTbl
+
 module Db = struct
   (* A mutable database view whose secondary indexes survive updates.
      Indexes are memoized per (predicate, constrained positions): a hash
-     table from the value vector at those positions to the matching
+     table from the interned-id vector at those positions to the matching
      tuples. [insert]/[absorb]/[remove] keep every memoized index in sync
      with the instance, so fixpoint engines create one Db per evaluation
      and feed it deltas instead of re-indexing the full instance at every
      stage. The all-tuples scan is the [positions = []] index, so it too
      is maintained incrementally. *)
+  (* each memoized index stores its constrained positions both as the
+     memo key (list) and as a flat array, so per-tuple key extraction is
+     a single [Array.map] with no intermediate list *)
+  type memset = unit KTbl.t
+
   type t = {
     mutable inst : Instance.t;
+    pending : (string, Tuple.t list ref) Hashtbl.t;
+        (* facts accepted by [absorb_new] but not yet folded into the
+           persistent instance: during a fixpoint the memoized indexes
+           and membership sets are the authoritative structures, so the
+           trie is rebuilt lazily — one bulk build per predicate on the
+           next read instead of a path copy per fact per round *)
     indexes :
-      (string, (int list, (Value.t list, Tuple.t list) Hashtbl.t) Hashtbl.t)
+      (string, (int list, int array * Tuple.t list KTbl.t) Hashtbl.t)
       Hashtbl.t;
+    mems : (string, memset) Hashtbl.t;
+        (* per-predicate flat hash membership sets, built lazily on first
+           probe and maintained incrementally ever after: a fact check is
+           O(1) array-hash probes, never a walk of the persistent trie
+           (which goes cache-cold once relations outgrow the caches) *)
     trace : Observe.Trace.ctx;
   }
 
   let of_instance ?(trace = Observe.Trace.null) inst =
-    { inst; indexes = Hashtbl.create 32; trace }
+    {
+      inst;
+      pending = Hashtbl.create 4;
+      indexes = Hashtbl.create 32;
+      mems = Hashtbl.create 8;
+      trace;
+    }
 
   let trace db = db.trace
-  let instance db = db.inst
-  let relation db p = Instance.find p db.inst
-  let mem db p tup = Instance.mem_fact p tup db.inst
+
+  let flush_pred db p =
+    match Hashtbl.find_opt db.pending p with
+    | None -> ()
+    | Some lst ->
+        Hashtbl.remove db.pending p;
+        db.inst <-
+          Instance.set p
+            (Relation.union (Relation.of_distinct !lst) (Instance.find p db.inst))
+            db.inst
+
+  let flush db =
+    if Hashtbl.length db.pending > 0 then
+      List.iter (flush_pred db)
+        (Hashtbl.fold (fun p _ acc -> p :: acc) db.pending [])
+
+  let instance db =
+    flush db;
+    db.inst
+
+  let relation db p =
+    flush_pred db p;
+    Instance.find p db.inst
+
+  let memset db p =
+    match Hashtbl.find_opt db.mems p with
+    | Some tb -> tb
+    | None ->
+        let rel = relation db p in
+        let tb = KTbl.create (max 64 (2 * Relation.cardinal rel)) in
+        Relation.unordered_iter (fun t -> KTbl.replace tb (Tuple.ids t) ()) rel;
+        Hashtbl.add db.mems p tb;
+        tb
+
+  let memset_mem = KTbl.mem
+  let mem db p tup = KTbl.mem (memset db p) (Tuple.ids tup)
+
+  let mems_add db p t =
+    match Hashtbl.find_opt db.mems p with
+    | Some tb -> KTbl.replace tb (Tuple.ids t) ()
+    | None -> ()
+
+  let mems_remove db p t =
+    match Hashtbl.find_opt db.mems p with
+    | Some tb -> KTbl.remove tb (Tuple.ids t)
+    | None -> ()
 
   let pred_indexes db p =
     match Hashtbl.find_opt db.indexes p with
@@ -33,71 +122,83 @@ module Db = struct
         Hashtbl.add db.indexes p t;
         t
 
-  let key_of positions t = List.map (fun i -> Tuple.get t i) positions
+  let key_of parr t = Array.map (fun i -> Tuple.id t i) parr
 
   let index db p positions =
     let per_pred = pred_indexes db p in
     match Hashtbl.find_opt per_pred positions with
-    | Some ix ->
+    | Some (_, ix) ->
         Observe.Trace.incr db.trace "db.index_memo_hits";
         ix
     | None ->
         Observe.Trace.incr db.trace "db.index_builds";
-        let ix = Hashtbl.create 64 in
-        Relation.iter
+        let parr = Array.of_list positions in
+        let ix = KTbl.create 64 in
+        Relation.unordered_iter
           (fun t ->
-            let k = key_of positions t in
-            Hashtbl.replace ix k
-              (t :: (try Hashtbl.find ix k with Not_found -> [])))
+            let k = key_of parr t in
+            KTbl.replace ix k
+              (t :: (try KTbl.find ix k with Not_found -> [])))
           (relation db p);
-        Hashtbl.add per_pred positions ix;
+        Hashtbl.add per_pred positions (parr, ix);
         ix
 
   let lookup_key db p positions key =
-    match Hashtbl.find_opt (index db p positions) key with
+    match KTbl.find_opt (index db p positions) key with
     | Some ts -> ts
     | None -> []
 
+  (* The compiled plans below probe indexes with statically-sorted
+     positions; this convenience entry point only pays a sort when handed
+     unsorted bindings. *)
+  let rec bindings_sorted = function
+    | [] | [ _ ] -> true
+    | (i, _) :: ((j, _) :: _ as rest) -> i <= j && bindings_sorted rest
+
   let lookup db p bindings =
     let bindings =
-      match bindings with
-      | [] | [ _ ] -> bindings
-      | _ -> List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
+      if bindings_sorted bindings then bindings
+      else List.sort (fun (i, _) (j, _) -> Int.compare i j) bindings
     in
-    lookup_key db p (List.map fst bindings) (List.map snd bindings)
+    lookup_key db p (List.map fst bindings)
+      (Array.of_list (List.map (fun (_, v) -> Value.Intern.id v) bindings))
 
   let insert db p t =
+    flush_pred db p;
     if Instance.mem_fact p t db.inst then (
       Observe.Trace.incr db.trace "db.insert_dups";
       false)
     else (
       Observe.Trace.incr db.trace "db.inserts";
       db.inst <- Instance.add_fact p t db.inst;
+      mems_add db p t;
       (match Hashtbl.find_opt db.indexes p with
       | None -> ()
       | Some per_pred ->
           Hashtbl.iter
-            (fun positions ix ->
-              let k = key_of positions t in
-              Hashtbl.replace ix k
-                (t :: (try Hashtbl.find ix k with Not_found -> [])))
+            (fun _ (parr, ix) ->
+              let k = key_of parr t in
+              KTbl.replace ix k
+                (t :: (try KTbl.find ix k with Not_found -> [])))
             per_pred);
       true)
 
   let remove db p t =
+    flush_pred db p;
     if not (Instance.mem_fact p t db.inst) then false
     else (
       db.inst <- Instance.remove_fact p t db.inst;
+      mems_remove db p t;
       (match Hashtbl.find_opt db.indexes p with
       | None -> ()
       | Some per_pred ->
           Hashtbl.iter
-            (fun positions ix ->
-              let k = key_of positions t in
-              match Hashtbl.find_opt ix k with
+            (fun _ (parr, ix) ->
+              let k = key_of parr t in
+              match KTbl.find_opt ix k with
               | None -> ()
               | Some bucket ->
-                  Hashtbl.replace ix k
+                  KTbl.replace ix k
                     (List.filter (fun u -> not (Tuple.equal u t)) bucket))
             per_pred);
       true)
@@ -109,27 +210,81 @@ module Db = struct
         | None ->
             (* no memoized index: bulk-union the new tuples *)
             let news =
-              Relation.fold
+              Relation.unordered_fold
                 (fun t acc -> if mem db p t then acc else t :: acc)
                 rel []
             in
-            if news <> [] then
+            if news <> [] then (
               db.inst <-
-                Instance.set p (Relation.add_all news (relation db p)) db.inst
-        | Some _ -> Relation.iter (fun t -> ignore (insert db p t)) rel)
+                Instance.set p (Relation.add_all news (relation db p)) db.inst;
+              List.iter (mems_add db p) news)
+        | Some per_pred ->
+            (* indexed predicate: one structural union for the relation
+               (shared subtrees, no per-tuple instance churn), then append
+               the genuinely new tuples to every memoized index *)
+            let cur = relation db p in
+            let grown = Relation.union rel cur in
+            let added = Relation.cardinal grown - Relation.cardinal cur in
+            let dups = Relation.cardinal rel - added in
+            if added > 0 then Observe.Trace.add db.trace "db.inserts" added;
+            if dups > 0 then Observe.Trace.add db.trace "db.insert_dups" dups;
+            if added > 0 then (
+              db.inst <- Instance.set p grown db.inst;
+              Relation.unordered_iter
+                (fun t ->
+                  if dups = 0 || not (Relation.mem t cur) then (
+                    mems_add db p t;
+                    Hashtbl.iter
+                      (fun _ (parr, ix) ->
+                        let k = key_of parr t in
+                        KTbl.replace ix k
+                          (t :: (try KTbl.find ix k with Not_found -> [])))
+                      per_pred))
+                rel))
       delta ()
+
+  (* Bulk insert of facts known to be fresh and pairwise distinct (the
+     semi-naive delta, already deduplicated against the database by the
+     firing loop): no membership checks, one traversal per structure. *)
+  let absorb_new db p news =
+    match news with
+    | [] -> ()
+    | _ ->
+        Observe.Trace.add db.trace "db.inserts" (List.length news);
+        (* defer the trie: facts queue up in [pending] and the relation
+           is bulk-rebuilt on the next read; indexes and membership sets
+           (below) stay current, which is all the join loop touches *)
+        (match Hashtbl.find_opt db.pending p with
+        | Some lst -> lst := List.rev_append news !lst
+        | None -> Hashtbl.add db.pending p (ref news));
+        (match Hashtbl.find_opt db.mems p with
+        | Some tb -> List.iter (fun t -> KTbl.replace tb (Tuple.ids t) ()) news
+        | None -> ());
+        (match Hashtbl.find_opt db.indexes p with
+        | None -> ()
+        | Some per_pred ->
+            Hashtbl.iter
+              (fun _ (parr, ix) ->
+                List.iter
+                  (fun t ->
+                    let k = key_of parr t in
+                    KTbl.replace ix k
+                      (t :: (try KTbl.find ix k with Not_found -> [])))
+                  news)
+              per_pred)
 end
 
 (* ------------------------------------------------------------------ *)
 
 (* Compiled plans: variables are mapped to integer slots at [prepare]
-   time, so the join loop unifies into one mutable [Value.t option array]
-   instead of consing association lists. For every step the set of
-   already-bound argument positions is known statically (the step order is
-   fixed), so each atom carries a precomputed index key and the remaining
-   positions carry their unification ops. *)
+   time, and constants to interned ids, so the join loop unifies ids into
+   one mutable [int array] (-1 = unbound) — every comparison on the hot
+   path is a machine-integer compare. For every step the set of
+   already-bound argument positions is known statically (the step order
+   is fixed), so each atom carries a precomputed index key and the
+   remaining positions carry their unification ops. *)
 
-type cterm = CCst of Value.t | CVar of int
+type cterm = CCst of int  (** interned constant id *) | CVar of int
 
 type catom = { cpred : string; cargs : cterm array }
 
@@ -143,7 +298,7 @@ type cstep =
       apred : string;
       arity : int;
       key_positions : int list;  (** statically-bound positions, ascending *)
-      key_terms : cterm list;  (** aligned with [key_positions] *)
+      key_terms : cterm array;  (** aligned with [key_positions] *)
       unify : unify_op array;  (** one op per argument position *)
       binds : int array;  (** slots first bound by this step *)
     }
@@ -170,6 +325,9 @@ type prepared = {
           no substitution is ever produced, matching the legacy matcher *)
   need_dom : bool;
   keep : (string * int) array;  (** output projection, name-sorted *)
+  cheads : (bool * string * cterm array) list;
+      (** compiled head templates (polarity, pred, args); ⊥ heads are
+          omitted — the engines that use the fast firing path ignore them *)
 }
 
 let atom_vars (a : Ast.atom) =
@@ -261,7 +419,7 @@ let prepare (rule : Ast.rule) =
     Array.iteri
       (fun i t ->
         match t with
-        | Ast.Cst v -> keyspec := (i, CCst v) :: !keyspec
+        | Ast.Cst v -> keyspec := (i, CCst (Value.Intern.id v)) :: !keyspec
         | Ast.Var x ->
             let s = slot x in
             if bound.(s) then keyspec := (i, CVar s) :: !keyspec
@@ -281,7 +439,7 @@ let prepare (rule : Ast.rule) =
         apred = a.Ast.pred;
         arity = n;
         key_positions = List.map fst spec;
-        key_terms = List.map snd spec;
+        key_terms = Array.of_list (List.map snd spec);
         unify;
         binds = Array.of_list (List.rev !binds);
       }
@@ -302,7 +460,7 @@ let prepare (rule : Ast.rule) =
   (* compile filters and schedule each at the earliest step after which
      all its variables are bound *)
   let cterm_of = function
-    | Ast.Cst v -> CCst v
+    | Ast.Cst v -> CCst (Value.Intern.id v)
     | Ast.Var x -> CVar (slot x)
   in
   let catom_of (a : Ast.atom) =
@@ -352,6 +510,18 @@ let prepare (rule : Ast.rule) =
     |> Array.of_list
   in
   let forall_slots = Array.of_list (List.map slot rule.Ast.forall) in
+  let cheads =
+    List.filter_map
+      (function
+        | Ast.HBottom -> None
+        | Ast.HPos a ->
+            Some
+              (true, a.Ast.pred, Array.of_list (List.map cterm_of a.Ast.args))
+        | Ast.HNeg a ->
+            Some
+              (false, a.Ast.pred, Array.of_list (List.map cterm_of a.Ast.args)))
+      rule.Ast.head
+  in
   {
     rule;
     nslots;
@@ -364,6 +534,7 @@ let prepare (rule : Ast.rule) =
       Array.length forall_slots > 0
       || Array.exists (function CDomain _ -> true | _ -> false) csteps;
     keep;
+    cheads;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -398,55 +569,72 @@ let check_filter ?neg_db db subst = function
         Some (Db.mem db a.Ast.pred tup)
       else None
 
-let run ?delta ?dom ?neg_db prepared db =
+(* The join loop shared by {!run} and {!iter_firings}. [consume] is
+   called once per (deduped) match with [tval] reading interned ids out
+   of the live environment, and [vals] holding the projected id vector
+   when dedup forced its construction. Returns the match count. *)
+let exec ?delta ?dom ?neg_db prepared db ~consume =
   (if prepared.need_dom && dom = None then
      invalid_arg
        "Matcher.run: rule has domain-bound or \xe2\x88\x80 variables; supply ~dom");
-  if prepared.undecidable then []
+  if prepared.undecidable then 0
   else
     let tr = Db.trace db in
     let tracing = Observe.Trace.enabled tr in
-    let dom = Option.value dom ~default:[] in
-    let ndb = Option.value neg_db ~default:db in
-    (* per-(pred, bound-positions) index over the delta relation: delta
-       candidates are looked up, not scanned *)
-    let ddb =
-      match delta with
-      | None -> None
-      | Some (pred, rel) ->
-          Some (Db.of_instance (Instance.set pred rel Instance.empty))
+    (* the domain is only consulted by CDomain steps and ∀-rules, both of
+       which imply [need_dom]; intern it once per run *)
+    let dom_ids =
+      if prepared.need_dom then
+        List.map Value.Intern.id (Option.value dom ~default:[])
+      else []
     in
+    let ndb = Option.value neg_db ~default:db in
     (* resolve each step's index table once per call: probes then pay a
-       single hash on the key values, not repeated (pred, positions)
+       single hash on the key ids, not repeated (pred, positions)
        table hops *)
-    let resolve db' = function
-      | CAtom { apred; key_positions; _ } -> Some (Db.index db' apred key_positions)
+    let resolve = function
+      | CAtom { apred; key_positions; _ } ->
+          Some (Db.index db apred key_positions)
       | CDomain _ -> None
     in
-    let main_ix = Array.map (resolve db) prepared.csteps in
+    let main_ix = Array.map resolve prepared.csteps in
+    (* per-(pred, bound-positions) index over the delta tuples: delta
+       candidates are looked up, not scanned; built straight from the
+       list, with no intermediate relation or database *)
     let delta_ix =
-      match ddb with
+      match delta with
       | None -> [||]
-      | Some d ->
-          let dpred = match delta with Some (p, _) -> p | None -> "" in
+      | Some (dpred, dtuples) ->
           Array.map
             (function
-              | CAtom { apred; _ } as s when apred = dpred -> resolve d s
+              | CAtom { apred; key_positions; _ } when apred = dpred ->
+                  let parr = Array.of_list key_positions in
+                  let ix = KTbl.create 64 in
+                  List.iter
+                    (fun t ->
+                      let k = Array.map (fun i -> Tuple.id t i) parr in
+                      KTbl.replace ix k
+                        (t :: (try KTbl.find ix k with Not_found -> [])))
+                    dtuples;
+                  Some ix
               | _ -> None)
             prepared.csteps
     in
-    let env : Value.t option array = Array.make (max prepared.nslots 1) None in
+    (* the environment: one interned id per slot, -1 = unbound *)
+    let env = Array.make (max prepared.nslots 1) (-1) in
     let tval = function
-      | CCst v -> v
-      | CVar s -> (
-          match env.(s) with Some v -> v | None -> assert false)
+      | CCst id -> id
+      | CVar s ->
+          let v = Array.unsafe_get env s in
+          assert (v >= 0);
+          v
     in
     let check_cfilter = function
-      | FPos ca -> Db.mem db ca.cpred (Tuple.make (Array.map tval ca.cargs))
+      | FPos ca -> Db.memset_mem (Db.memset db ca.cpred) (Array.map tval ca.cargs)
       | FNeg ca ->
-          not (Db.mem ndb ca.cpred (Tuple.make (Array.map tval ca.cargs)))
-      | FEq (s, t) -> Value.equal (tval s) (tval t)
-      | FNeq (s, t) -> not (Value.equal (tval s) (tval t))
+          not (Db.memset_mem (Db.memset ndb ca.cpred) (Array.map tval ca.cargs))
+      | FEq (s, t) -> tval s = tval t
+      | FNeq (s, t) -> tval s <> tval t
     in
     let filters_ok k = List.for_all check_cfilter prepared.filters_after.(k) in
     (* ∀-rules: re-evaluate the whole body for every valuation of the
@@ -458,35 +646,18 @@ let run ?delta ?dom ?neg_db prepared db =
         else
           let s = prepared.forall_slots.(i) in
           List.for_all
-            (fun v ->
-              env.(s) <- Some v;
+            (fun vid ->
+              env.(s) <- vid;
               enum (i + 1))
-            dom
+            dom_ids
       in
       enum 0
     in
     let nsteps = Array.length prepared.csteps in
     (* dedup: different derivations (delta passes, ∀-witnesses) can yield
-       the same projected substitution — a hash set replaces the legacy
-       terminal sort_uniq. Keys are the kept slot values with an
-       explicitly combined per-value hash: the polymorphic [Hashtbl.hash]
-       samples only a bounded prefix of the structure, so hashing an
-       assoc list whole would drop the trailing bindings and collapse
-       buckets. *)
-    let module Seen = Hashtbl.Make (struct
-      type t = Value.t array
-
-      let equal a b =
-        Array.length a = Array.length b
-        &&
-        let rec eq i =
-          i >= Array.length a || (Value.equal a.(i) b.(i) && eq (i + 1))
-        in
-        eq 0
-
-      let hash a =
-        Array.fold_left (fun h v -> (h * 31) + Hashtbl.hash v) 17 a
-    end) in
+       the same projected valuation — a hash set over the kept id vectors
+       replaces the legacy terminal sort_uniq. *)
+    let module Seen = Hashtbl.Make (IdKey) in
     (* Within one pass, distinct derivation paths always differ at some
        bound slot and [keep] covers every bound slot, so emits are already
        unique: the hash set is needed only when several delta passes can
@@ -505,20 +676,24 @@ let run ?delta ?dom ?neg_db prepared db =
     in
     let dedup = npasses > 1 || prepared.need_dom in
     let seen = Seen.create (if dedup then 1024 else 1) in
-    let results = ref [] in
+    let nresults = ref 0 in
     let nkeep = Array.length prepared.keep in
     let emit () =
-      let vals =
-        Array.init nkeep (fun k ->
-            let _, s = prepared.keep.(k) in
-            match env.(s) with Some v -> v | None -> assert false)
-      in
-      if (not dedup) || not (Seen.mem seen vals) then (
-        if dedup then Seen.add seen vals ();
-        let subst =
-          List.init nkeep (fun k -> (fst prepared.keep.(k), vals.(k)))
+      if dedup then (
+        let vals =
+          Array.init nkeep (fun k ->
+              let _, s = prepared.keep.(k) in
+              let v = env.(s) in
+              assert (v >= 0);
+              v)
         in
-        results := subst :: !results)
+        if not (Seen.mem seen vals) then (
+          Seen.add seen vals ();
+          incr nresults;
+          consume ~tval ~vals:(Some vals)))
+      else (
+        incr nresults;
+        consume ~tval ~vals:None)
     in
     let rec go delta_idx i =
       if i = nsteps then (
@@ -529,48 +704,42 @@ let run ?delta ?dom ?neg_db prepared db =
         match prepared.csteps.(i) with
         | CDomain s ->
             List.iter
-              (fun v ->
-                env.(s) <- Some v;
+              (fun vid ->
+                env.(s) <- vid;
                 if filters_ok (i + 1) then go delta_idx (i + 1))
-              dom;
-            env.(s) <- None
+              dom_ids;
+            env.(s) <- -1
         | CAtom { arity; key_terms; unify; binds; _ } ->
-            let key = List.map tval key_terms in
-            let ix =
-              if i = delta_idx then delta_ix.(i) else main_ix.(i)
-            in
+            let key = Array.map tval key_terms in
+            let ix = if i = delta_idx then delta_ix.(i) else main_ix.(i) in
             let candidates =
               match ix with
               | None -> []
               | Some ix -> (
-                  match Hashtbl.find_opt ix key with
-                  | Some ts -> ts
-                  | None -> [])
+                  match KTbl.find_opt ix key with Some ts -> ts | None -> [])
             in
             if tracing then
               Observe.Trace.add tr "matcher.candidates"
                 (List.length candidates);
             let n = Array.length unify in
-            let rec unify_from tup j =
+            let rec unify_from tids j =
               j >= n
               ||
-              match unify.(j) with
-              | UKey -> unify_from tup (j + 1)
+              match Array.unsafe_get unify j with
+              | UKey -> unify_from tids (j + 1)
               | UBind s ->
-                  env.(s) <- Some (Tuple.get tup j);
-                  unify_from tup (j + 1)
-              | UCheckSlot s -> (
-                  match env.(s) with
-                  | Some w ->
-                      Value.equal w (Tuple.get tup j) && unify_from tup (j + 1)
-                  | None -> assert false)
+                  Array.unsafe_set env s (Array.unsafe_get tids j);
+                  unify_from tids (j + 1)
+              | UCheckSlot s ->
+                  Array.unsafe_get env s = Array.unsafe_get tids j
+                  && unify_from tids (j + 1)
             in
             List.iter
               (fun tup ->
                 if Tuple.arity tup = arity then (
-                  if unify_from tup 0 && filters_ok (i + 1) then
+                  if unify_from (Tuple.ids tup) 0 && filters_ok (i + 1) then
                     go delta_idx (i + 1);
-                  Array.iter (fun s -> env.(s) <- None) binds))
+                  Array.iter (fun s -> env.(s) <- -1) binds))
               candidates
     in
     let start delta_idx = if filters_ok 0 then go delta_idx 0 in
@@ -585,11 +754,72 @@ let run ?delta ?dom ?neg_db prepared db =
             | _ -> ())
           prepared.csteps);
     if tracing then (
-      let n = List.length !results in
+      let n = !nresults in
       Observe.Trace.incr tr "matcher.runs";
       Observe.Trace.add tr "matcher.substs" n;
       Observe.Trace.gauge_max tr "matcher.substs_max" n);
-    List.sort compare !results
+    !nresults
+
+let run ?delta ?dom ?neg_db prepared db =
+  (* the public API takes the delta as a relation; the join loop wants
+     the plain tuple list (order is irrelevant: results are sorted) *)
+  let delta =
+    Option.map
+      (fun (p, rel) ->
+        (p, Relation.unordered_fold (fun t l -> t :: l) rel []))
+      delta
+  in
+  let nkeep = Array.length prepared.keep in
+  let results = ref [] in
+  let (_ : int) =
+    exec ?delta ?dom ?neg_db prepared db ~consume:(fun ~tval ~vals ->
+        let vals =
+          match vals with
+          | Some v -> v
+          | None ->
+              Array.init nkeep (fun k -> tval (CVar (snd prepared.keep.(k))))
+        in
+        results := vals :: !results)
+  in
+  (* explicit value-order sort (no polymorphic compare): the kept slots
+     are name-sorted and identical across results, so ordering by the
+     id vectors decoded through [Value.compare] reproduces the legacy
+     [List.sort compare] over association lists byte for byte *)
+  let cmp_vals a b =
+    let n = Array.length a in
+    let rec go i =
+      if i = n then 0
+      else
+        let c =
+          Value.Intern.compare_ids (Array.unsafe_get a i) (Array.unsafe_get b i)
+        in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  List.map
+    (fun vals ->
+      List.init nkeep (fun k ->
+          (fst prepared.keep.(k), Value.Intern.of_id vals.(k))))
+    (List.sort cmp_vals !results)
+
+let iter_firings ?delta ?dom ?neg_db prepared db f =
+  (* one scratch id array per head template, reused across matches — the
+     callback copies it only when it actually retains the fact *)
+  let heads =
+    List.map
+      (fun (pos, pred, cargs) ->
+        (pos, pred, cargs, Array.make (Array.length cargs) 0))
+      prepared.cheads
+  in
+  exec ?delta ?dom ?neg_db prepared db ~consume:(fun ~tval ~vals:_ ->
+      List.iter
+        (fun (pos, pred, cargs, scratch) ->
+          for i = 0 to Array.length cargs - 1 do
+            Array.unsafe_set scratch i (tval (Array.unsafe_get cargs i))
+          done;
+          f ~pos pred scratch)
+        heads)
 
 let satisfies db subst blits =
   List.for_all

@@ -15,6 +15,11 @@
 
 open Relational
 
+(** Hash tables keyed by interned-id vectors — the representation facts
+    travel in on the fast firing path. Exposed so fixpoint engines can
+    deduplicate deltas with the same flat hashing the matcher uses. *)
+module IdTbl : Hashtbl.S with type key = int array
+
 (** A mutable database view with memoized secondary indexes that are
     maintained incrementally: create one [Db] per evaluation (not per
     stage) and feed it new facts with {!Db.insert} or {!Db.absorb} —
@@ -47,6 +52,20 @@ module Db : sig
   (** [mem db p tup] tests a ground fact. *)
   val mem : t -> string -> Tuple.t -> bool
 
+  (** A per-predicate flat hash membership set: O(1) probes on interned id
+      vectors, built lazily on first use and then maintained incrementally
+      by {!insert}/{!remove}/{!absorb}. Unlike walking the persistent
+      relation trie, probes stay cache-friendly however large the relation
+      grows — fixpoint engines use this for their freshness checks. *)
+  type memset
+
+  (** [memset db p] is the membership set of predicate [p] (building it,
+      once, if needed). The handle stays valid across updates to [db]. *)
+  val memset : t -> string -> memset
+
+  (** [memset_mem m ids] tests the fact with argument ids [ids]. *)
+  val memset_mem : memset -> int array -> bool
+
   (** [insert db p tup] adds a fact, updating every memoized index of
       [p]. Returns [true] iff the fact was new. *)
   val insert : t -> string -> Tuple.t -> bool
@@ -58,6 +77,11 @@ module Db : sig
   (** [absorb db delta] inserts every fact of [delta] into [db],
       maintaining all memoized indexes incrementally. *)
   val absorb : t -> Instance.t -> unit
+
+  (** [absorb_new db p news] bulk-inserts facts of [p] that the caller
+      guarantees fresh (not in [db]) and pairwise distinct — the
+      semi-naive delta contract. Skips every membership check. *)
+  val absorb_new : t -> string -> Tuple.t list -> unit
 end
 
 (** A rule compiled to a slot-based join plan (atom ordering, index keys,
@@ -102,6 +126,28 @@ val run :
   prepared ->
   Db.t ->
   Ast.subst list
+
+(** [iter_firings prepared db f] enumerates the same matches as {!run}
+    (same [delta]/[dom]/[neg_db] semantics, same dedup, same trace
+    counters) but stays on the interned fast path end to end: instead of
+    decoding substitutions, each match instantiates the rule's compiled
+    head templates directly and calls [f ~pos pred ids] per head fact
+    ([pos] = polarity; ⊥ heads are skipped). [ids] is a scratch array
+    reused across calls — probe it with {!Relation.mem_ids} and copy it
+    ([Tuple.of_ids (Array.copy ids)]) before retaining. Enumeration
+    order is unspecified — callers must be order-insensitive (fixpoint
+    engines accumulate into sets). The delta is a plain tuple list (the
+    representation the fixpoint engines already hold); it is indexed per
+    (pred, bound-positions) exactly like {!run}'s. Returns the number of
+    matches. *)
+val iter_firings :
+  ?delta:string * Tuple.t list ->
+  ?dom:Value.t list ->
+  ?neg_db:Db.t ->
+  prepared ->
+  Db.t ->
+  (pos:bool -> string -> int array -> unit) ->
+  int
 
 (** [satisfies db subst blits] checks body literals under a full
     substitution (quantifier-free). Used by the nondeterministic engines

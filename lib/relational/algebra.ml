@@ -77,21 +77,37 @@ let rec holds_cond c t =
   | And (a, b) -> holds_cond a t && holds_cond b t
   | Or (a, b) -> holds_cond a t || holds_cond b t
 
+(* Join keys are projected interned-id vectors: hashing and equality are
+   flat int-array operations, never structural walks over values. *)
+module KTbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let rec eq i =
+      i = la || (Array.unsafe_get a i = Array.unsafe_get b i && eq (i + 1))
+    in
+    eq 0
+
+  let hash = Tuple.hash_ids
+end)
+
 (* Hash join on the given column pairs. *)
 let equijoin pairs left right =
-  let module H = Hashtbl in
-  let key cols t = List.map (fun c -> Tuple.get t c) cols in
-  let lcols = List.map fst pairs and rcols = List.map snd pairs in
-  let index : (Value.t list, Tuple.t list) H.t = H.create 64 in
-  Relation.iter
+  let key cols t = Array.map (fun c -> Tuple.id t c) cols in
+  let lcols = Array.of_list (List.map fst pairs)
+  and rcols = Array.of_list (List.map snd pairs) in
+  let index : Tuple.t list KTbl.t = KTbl.create 64 in
+  Relation.unordered_iter
     (fun t ->
       let k = key rcols t in
-      H.replace index k (t :: (try H.find index k with Not_found -> [])))
+      KTbl.replace index k (t :: (try KTbl.find index k with Not_found -> [])))
     right;
-  Relation.fold
+  Relation.unordered_fold
     (fun lt acc ->
-      let k = key lcols lt in
-      match H.find_opt index k with
+      match KTbl.find_opt index (key lcols lt) with
       | None -> acc
       | Some rts ->
           List.fold_left

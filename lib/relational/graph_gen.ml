@@ -116,14 +116,15 @@ let paper_game ?(name = "moves") () =
 let reference_tc edges =
   let vs = Array.of_list (Relation.values edges) in
   let n = Array.length vs in
-  let idx = Hashtbl.create n in
-  Array.iteri (fun i v -> Hashtbl.add idx v i) vs;
+  (* vertex lookup keyed by interned id: int hashing, no structural walks *)
+  let idx : (int, int) Hashtbl.t = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.add idx (Value.Intern.id v) i) vs;
   let reach = Array.make_matrix n n false in
-  Relation.iter
+  Relation.unordered_iter
     (fun t ->
       if Tuple.arity t = 2 then
-        let i = Hashtbl.find idx (Tuple.get t 0)
-        and j = Hashtbl.find idx (Tuple.get t 1) in
+        let i = Hashtbl.find idx (Tuple.id t 0)
+        and j = Hashtbl.find idx (Tuple.id t 1) in
         reach.(i).(j) <- true)
     edges;
   for k = 0 to n - 1 do
@@ -134,11 +135,12 @@ let reference_tc edges =
         done
     done
   done;
-  let out = ref Relation.empty in
-  for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
+  let ids = Array.map Value.Intern.id vs in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
       if reach.(i).(j) then
-        out := Relation.add (Tuple.of_list [ vs.(i); vs.(j) ]) !out
+        out := Tuple.of_ids [| ids.(i); ids.(j) |] :: !out
     done
   done;
-  !out
+  Relation.of_distinct !out

@@ -1,23 +1,105 @@
-module TSet = Set.Make (Tuple)
 module VSet = Set.Make (Value)
 
-type t = TSet.t
+(* Little-endian Patricia trie keyed by tuple hash (Okasaki & Gill).
+   Canonical for a given key set, so structure never depends on insertion
+   order; persistent, so [Instance] snapshots stay cheap. Each key maps
+   to the (tiny) bucket of tuples sharing that hash. *)
+module Imap = struct
+  type 'a t =
+    | Empty
+    | Leaf of int * 'a
+    | Branch of int * int * 'a t * 'a t
+        (* Branch (prefix, mask, t0, t1): keys in [t0] have the mask bit
+           clear; [prefix] is the keys' common low bits below the mask. *)
 
-let empty = TSet.empty
-let singleton = TSet.singleton
+  let zero_bit k m = k land m = 0
+  let mask k m = k land (m - 1)
+  let match_prefix k p m = mask k m = p
+  let lowest_bit x = x land -x
+  let branching_bit p0 p1 = lowest_bit (p0 lxor p1)
 
-let check_arity r t =
-  match TSet.choose_opt r with
-  | Some u when Tuple.arity u <> Tuple.arity t ->
-      invalid_arg
-        (Printf.sprintf
-           "Relation: arity mismatch (relation has arity %d, tuple has %d)"
-           (Tuple.arity u) (Tuple.arity t))
-  | _ -> ()
+  let join p0 t0 p1 t1 =
+    let m = branching_bit p0 p1 in
+    if zero_bit p0 m then Branch (mask p0 m, m, t0, t1)
+    else Branch (mask p0 m, m, t1, t0)
 
-let add t r =
-  check_arity r t;
-  TSet.add t r
+  let rec find_opt k = function
+    | Empty -> None
+    | Leaf (j, x) -> if j = k then Some x else None
+    | Branch (p, m, t0, t1) ->
+        if not (match_prefix k p m) then None
+        else if zero_bit k m then find_opt k t0
+        else find_opt k t1
+
+  let rec add k x = function
+    | Empty -> Leaf (k, x)
+    | Leaf (j, _) as t ->
+        if j = k then Leaf (k, x) else join k (Leaf (k, x)) j t
+    | Branch (p, m, t0, t1) as t ->
+        if match_prefix k p m then
+          if zero_bit k m then Branch (p, m, add k x t0, t1)
+          else Branch (p, m, t0, add k x t1)
+        else join k (Leaf (k, x)) p t
+
+  let branch p m t0 t1 =
+    match (t0, t1) with Empty, t | t, Empty -> t | _ -> Branch (p, m, t0, t1)
+
+  let rec remove k = function
+    | Empty -> Empty
+    | Leaf (j, _) as t -> if j = k then Empty else t
+    | Branch (p, m, t0, t1) as t ->
+        if not (match_prefix k p m) then t
+        else if zero_bit k m then branch p m (remove k t0) t1
+        else branch p m t0 (remove k t1)
+
+  let rec fold f t acc =
+    match t with
+    | Empty -> acc
+    | Leaf (k, x) -> f k x acc
+    | Branch (_, _, t0, t1) -> fold f t1 (fold f t0 acc)
+
+  let rec add_with f k x = function
+    | Empty -> Leaf (k, x)
+    | Leaf (j, y) as t ->
+        if j = k then Leaf (k, f x y) else join k (Leaf (k, x)) j t
+    | Branch (p, m, t0, t1) as t ->
+        if match_prefix k p m then
+          if zero_bit k m then Branch (p, m, add_with f k x t0, t1)
+          else Branch (p, m, t0, add_with f k x t1)
+        else join k (Leaf (k, x)) p t
+
+  (* Structural merge (Okasaki & Gill): disjoint subtrees are shared, not
+     re-inserted leaf by leaf; [f] combines the two values at colliding
+     keys (left argument from the left trie). *)
+  let rec merge f s t =
+    match (s, t) with
+    | Empty, t -> t
+    | s, Empty -> s
+    | Leaf (k, x), t -> add_with f k x t
+    | s, Leaf (k, x) -> add_with (fun a b -> f b a) k x s
+    | Branch (p, m, s0, s1), Branch (q, n, t0, t1) ->
+        if m = n && p = q then Branch (p, m, merge f s0 t0, merge f s1 t1)
+        else if m < n && match_prefix q p m then
+          if zero_bit q m then Branch (p, m, merge f s0 t, s1)
+          else Branch (p, m, s0, merge f s1 t)
+        else if m > n && match_prefix p q n then
+          if zero_bit p n then Branch (q, n, merge f s t0, t1)
+          else Branch (q, n, t0, merge f s t1)
+        else join p s q t
+end
+
+type t = {
+  buckets : Tuple.t list Imap.t;
+  card : int;
+  ar : int;  (** tuple arity; meaningful only when [card > 0] *)
+  mutable sorted : Tuple.t list option;
+      (** memoized order-on-demand view: every observer that can leak an
+          order (printing, folds, element lists) reads the tuples in
+          {!Tuple.compare} order, so output stays byte-identical to the
+          former [Set.Make (Tuple)] backing *)
+}
+
+let empty = { buckets = Imap.Empty; card = 0; ar = 0; sorted = Some [] }
 
 let check_homogeneous ts =
   match ts with
@@ -27,54 +109,210 @@ let check_homogeneous ts =
       if List.exists (fun u -> Tuple.arity u <> a) rest then
         invalid_arg "Relation: arity mismatch"
 
-(* fold-free bulk constructors: one homogeneity sweep, then a single
-   balanced set build / union instead of per-tuple [add] *)
+(* Bulk build from tuples known pairwise distinct: sort by hash to group
+   collision buckets, then construct the (canonical, so identical to what
+   repeated [add]s would produce) Patricia trie top-down by in-place
+   partition on the branching bit — allocating exactly the final nodes
+   instead of one root-to-leaf path copy per insertion. *)
+let of_distinct ts =
+  match ts with
+  | [] -> empty
+  | t0 :: _ ->
+      check_homogeneous ts;
+      let arr = Array.of_list ts in
+      let n = Array.length arr in
+      Array.sort (fun a b -> Int.compare (Tuple.hash a) (Tuple.hash b)) arr;
+      let keys = Array.make n 0 and buckets = Array.make n [] in
+      let m = ref 0 in
+      Array.iter
+        (fun t ->
+          let h = Tuple.hash t in
+          if !m > 0 && keys.(!m - 1) = h then
+            buckets.(!m - 1) <- t :: buckets.(!m - 1)
+          else (
+            keys.(!m) <- h;
+            buckets.(!m) <- [ t ];
+            incr m))
+        arr;
+      (* [lo, hi): at least one key, all agreeing below their lowest
+         differing bit *)
+      let rec build lo hi =
+        if hi - lo = 1 then Imap.Leaf (keys.(lo), buckets.(lo))
+        else
+          let k0 = keys.(lo) in
+          let d = ref 0 in
+          for i = lo + 1 to hi - 1 do
+            d := !d lor (keys.(i) lxor k0)
+          done;
+          let bm = Imap.lowest_bit !d in
+          let i = ref lo and j = ref (hi - 1) in
+          while !i < !j do
+            if keys.(!i) land bm = 0 then incr i
+            else if keys.(!j) land bm <> 0 then decr j
+            else (
+              let tk = keys.(!i) in
+              keys.(!i) <- keys.(!j);
+              keys.(!j) <- tk;
+              let tb = buckets.(!i) in
+              buckets.(!i) <- buckets.(!j);
+              buckets.(!j) <- tb)
+          done;
+          let mid = if keys.(!i) land bm = 0 then !i + 1 else !i in
+          Imap.Branch (Imap.mask k0 bm, bm, build lo mid, build mid hi)
+      in
+      { buckets = build 0 !m; card = n; ar = Tuple.arity t0; sorted = None }
+
+let raw_fold f r acc =
+  Imap.fold (fun _ bucket acc -> List.fold_left (fun a t -> f t a) acc bucket)
+    r.buckets acc
+
+let to_list r =
+  match r.sorted with
+  | Some l -> l
+  | None ->
+      let l = List.sort Tuple.compare (raw_fold (fun t l -> t :: l) r []) in
+      r.sorted <- Some l;
+      l
+
+(* Rebuild from a list known to be sorted and duplicate-free: the sorted
+   view comes for free. *)
+let of_sorted _ar l =
+  let r = of_distinct l in
+  r.sorted <- Some l;
+  r
+
+let check_arity r t =
+  if r.card > 0 && Tuple.arity t <> r.ar then
+    invalid_arg
+      (Printf.sprintf
+         "Relation: arity mismatch (relation has arity %d, tuple has %d)" r.ar
+         (Tuple.arity t))
+
+let mem t r =
+  match Imap.find_opt (Tuple.hash t) r.buckets with
+  | None -> false
+  | Some bucket -> List.exists (Tuple.equal t) bucket
+
+let mem_ids ids r =
+  match Imap.find_opt (Tuple.hash_ids ids) r.buckets with
+  | None -> false
+  | Some bucket -> List.exists (fun u -> Tuple.equal_ids u ids) bucket
+
+let add t r =
+  check_arity r t;
+  let h = Tuple.hash t in
+  let dup = ref false in
+  let buckets =
+    Imap.add_with
+      (fun _new old ->
+        if List.exists (Tuple.equal t) old then (
+          dup := true;
+          old)
+        else t :: old)
+      h [ t ] r.buckets
+  in
+  if !dup then r
+  else { buckets; card = r.card + 1; ar = Tuple.arity t; sorted = None }
+
+let singleton t = add t empty
+
 let of_list ts =
   check_homogeneous ts;
-  TSet.of_list ts
+  List.fold_left (fun r t -> add t r) empty ts
 
 let add_all ts r =
-  match ts with
-  | [] -> r
-  | t :: _ ->
-      check_homogeneous ts;
-      check_arity r t;
-      TSet.union (TSet.of_list ts) r
+  check_homogeneous ts;
+  List.fold_left (fun r t -> add t r) r ts
 
 let of_rows rows = of_list (List.map Tuple.of_list rows)
-let to_list = TSet.elements
-let remove = TSet.remove
-let mem = TSet.mem
-let cardinal = TSet.cardinal
-let is_empty = TSet.is_empty
 
-let arity r =
-  match TSet.choose_opt r with None -> None | Some t -> Some (Tuple.arity t)
+let remove t r =
+  let h = Tuple.hash t in
+  match Imap.find_opt h r.buckets with
+  | None -> r
+  | Some bucket ->
+      if not (List.exists (Tuple.equal t) bucket) then r
+      else
+        let bucket' = List.filter (fun u -> not (Tuple.equal u t)) bucket in
+        let buckets =
+          if bucket' = [] then Imap.remove h r.buckets
+          else Imap.add h bucket' r.buckets
+        in
+        { buckets; card = r.card - 1; ar = r.ar; sorted = None }
+
+let cardinal r = r.card
+let is_empty r = r.card = 0
+let arity r = if r.card = 0 then None else Some r.ar
+
+let subset a b =
+  a.card <= b.card && raw_fold (fun t ok -> ok && mem t b) a true
+
+let equal a b = a == b || (a.card = b.card && subset a b)
 
 let union a b =
-  (match (TSet.choose_opt a, TSet.choose_opt b) with
-  | Some x, Some y when Tuple.arity x <> Tuple.arity y ->
-      invalid_arg "Relation.union: arity mismatch"
-  | _ -> ());
-  TSet.union a b
+  if a.card > 0 && b.card > 0 && a.ar <> b.ar then
+    invalid_arg "Relation.union: arity mismatch";
+  if a.card = 0 then b
+  else if b.card = 0 then a
+  else
+    (* structural trie merge: disjoint subtrees are shared wholesale;
+       only hash-colliding buckets are combined element by element *)
+    let dups = ref 0 in
+    let merge_buckets ba bb =
+      List.fold_left
+        (fun acc t ->
+          if List.exists (Tuple.equal t) bb then (
+            incr dups;
+            acc)
+          else t :: acc)
+        bb ba
+    in
+    let buckets = Imap.merge merge_buckets a.buckets b.buckets in
+    { buckets; card = a.card + b.card - !dups; ar = a.ar; sorted = None }
 
-let inter = TSet.inter
-let diff = TSet.diff
-let subset = TSet.subset
-let equal = TSet.equal
-let compare = TSet.compare
-let fold = TSet.fold
-let iter = TSet.iter
-let filter = TSet.filter
-let exists = TSet.exists
-let for_all = TSet.for_all
+let inter a b =
+  if a.card = 0 || b.card = 0 then empty
+  else
+    let small, big = if a.card <= b.card then (a, b) else (b, a) in
+    raw_fold (fun t r -> if mem t big then add t r else r) small empty
+
+let diff a b =
+  if a.card = 0 || b.card = 0 then a
+  else raw_fold (fun t r -> if mem t b then r else add t r) a empty
+
+(* Total order consistent with [equal]: lexicographic over the sorted
+   element sequences, exactly the order [Set.Make(Tuple).compare]
+   exposed. *)
+let compare a b =
+  if a == b then 0 else List.compare Tuple.compare (to_list a) (to_list b)
+
+let fold f r acc = List.fold_left (fun acc t -> f t acc) acc (to_list r)
+let iter f r = List.iter f (to_list r)
+let unordered_fold = raw_fold
+let unordered_iter f r = raw_fold (fun t () -> f t) r ()
+let filter p r = of_sorted r.ar (List.filter p (to_list r))
+let exists p r = List.exists p (to_list r)
+let for_all p r = List.for_all p (to_list r)
 let map f r = fold (fun t acc -> add (f t) acc) r empty
-let elements = TSet.elements
-let choose_opt = TSet.choose_opt
+let elements = to_list
+
+let choose_opt r =
+  match r.sorted with
+  | Some [] -> None
+  | Some (t :: _) -> Some t
+  | None ->
+      (* minimum element, matching [Set.choose_opt], without forcing the
+         full sorted view *)
+      raw_fold
+        (fun t best ->
+          match best with
+          | Some u when Tuple.compare u t <= 0 -> best
+          | _ -> Some t)
+        r None
 
 let values r =
   let s =
-    fold
+    raw_fold
       (fun t acc ->
         Array.fold_left (fun acc v -> VSet.add v acc) acc (Tuple.values t))
       r VSet.empty

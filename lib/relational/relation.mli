@@ -1,5 +1,14 @@
 (** Relation instances: finite sets of constant tuples of a fixed arity.
 
+    Backed by a persistent hash trie keyed on the tuples' cached hashes
+    (see {!Tuple}): membership, insertion and set algebra cost integer
+    comparisons, never structural walks over values. Every observer that
+    can leak an order — {!to_list}, {!elements}, {!fold}, {!iter},
+    {!pp} — reads an order-on-demand sorted view ({!Tuple.compare}
+    order, memoized per relation value), so printed output and
+    enumeration order are identical to the former [Set.Make (Tuple)]
+    representation.
+
     All operations enforce arity homogeneity: inserting a tuple of a
     different arity than the existing ones raises
     [Invalid_argument]. The empty relation is compatible with any arity. *)
@@ -16,6 +25,13 @@ val singleton : Tuple.t -> t
     @raise Invalid_argument on mixed arities. *)
 val of_list : Tuple.t list -> t
 
+(** [of_distinct ts] builds a relation from tuples the caller guarantees
+    pairwise distinct (the semi-naive delta contract). Bulk-constructs
+    the backing trie in one pass — O(n) allocation instead of one
+    root-to-leaf path copy per insertion.
+    @raise Invalid_argument on mixed arities. *)
+val of_distinct : Tuple.t list -> t
+
 (** [of_rows rows] builds a relation from value-list rows. *)
 val of_rows : Value.t list list -> t
 
@@ -24,8 +40,8 @@ val to_list : t -> Tuple.t list
 (** [add t r] inserts a tuple. @raise Invalid_argument on arity mismatch. *)
 val add : Tuple.t -> t -> t
 
-(** [add_all ts r] inserts all tuples of [ts] with a single bulk union —
-    one arity check for the batch instead of one per tuple.
+(** [add_all ts r] inserts all tuples of [ts] — one homogeneity sweep for
+    the batch, then constant-time hash inserts.
     @raise Invalid_argument on arity mismatch. *)
 val add_all : Tuple.t list -> t -> t
 
@@ -33,6 +49,10 @@ val add_all : Tuple.t list -> t -> t
 val remove : Tuple.t -> t -> t
 
 val mem : Tuple.t -> t -> bool
+
+(** [mem_ids ids r] is membership for the tuple an id array denotes,
+    without constructing it — the fixpoint engines' duplicate probe. *)
+val mem_ids : int array -> t -> bool
 val cardinal : t -> int
 val is_empty : t -> bool
 
@@ -51,6 +71,14 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Tuple.t -> unit) -> t -> unit
+
+(** [unordered_fold] / [unordered_iter] enumerate in unspecified (hash
+    trie) order without forcing the sorted view — for internal
+    order-insensitive consumers (index building, bulk absorption) on the
+    hot path. Do not use where enumeration order can reach output. *)
+val unordered_fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val unordered_iter : (Tuple.t -> unit) -> t -> unit
 val filter : (Tuple.t -> bool) -> t -> t
 val exists : (Tuple.t -> bool) -> t -> bool
 val for_all : (Tuple.t -> bool) -> t -> bool

@@ -1,45 +1,93 @@
-type t = Value.t array
+(* A tuple is a flat array of interned value ids plus its precomputed
+   hash: equality is int-array comparison, hashing is a field read, and
+   the constant's structure is only revisited when a component is decoded
+   back to a [Value.t]. *)
 
-let make vs = Array.copy vs
-let of_list = Array.of_list
-let to_list = Array.to_list
-let arity = Array.length
+type t = { ids : int array; h : int }
 
-let get t i =
-  if i < 0 || i >= Array.length t then
+(* Avalanching mix (FxHash-style): interned ids are dense small ints, so
+   a plain [h*31 + id] polynomial leaves almost all entropy in a few low
+   bits' worth of range — 79k two-column tuples over 300 constants would
+   share ~10k hash values, degrading every hash structure (and the
+   hash-keyed relation trie) into long collision chains. The multiply
+   spreads each id across the word; the xor-shift folds the high bits
+   back down so the low bits (trie branch bits, table masks) are well
+   distributed too. *)
+let hash_ids ids =
+  let n = Array.length ids in
+  let h = ref (n + 0x9E3779B9) in
+  for i = 0 to n - 1 do
+    let x = (!h lxor Array.unsafe_get ids i) * 0x9E3779B1 in
+    h := x lxor (x lsr 29)
+  done;
+  !h land max_int
+
+let of_ids ids = { ids; h = hash_ids ids }
+
+let equal_ids t ids =
+  let la = Array.length t.ids in
+  la = Array.length ids
+  &&
+  let rec eq i =
+    i = la || (Array.unsafe_get t.ids i = Array.unsafe_get ids i && eq (i + 1))
+  in
+  eq 0
+let make vs = of_ids (Array.map Value.Intern.id vs)
+let of_list vs = of_ids (Array.of_list (List.map Value.Intern.id vs))
+let to_list t = List.map Value.Intern.of_id (Array.to_list t.ids)
+let arity t = Array.length t.ids
+let ids t = t.ids
+
+let id t i =
+  if i < 0 || i >= Array.length t.ids then
     invalid_arg
       (Printf.sprintf "Tuple.get: index %d out of bounds (arity %d)" i
-         (Array.length t))
-  else t.(i)
+         (Array.length t.ids))
+  else Array.unsafe_get t.ids i
+
+let get t i = Value.Intern.of_id (id t i)
 
 let compare a b =
-  let la = Array.length a and lb = Array.length b in
+  let la = Array.length a.ids and lb = Array.length b.ids in
   if la <> lb then Int.compare la lb
   else
     let rec go i =
       if i = la then 0
       else
-        let c = Value.compare a.(i) b.(i) in
+        let c =
+          Value.Intern.compare_ids
+            (Array.unsafe_get a.ids i)
+            (Array.unsafe_get b.ids i)
+        in
         if c <> 0 then c else go (i + 1)
     in
     go 0
 
-let equal a b = compare a b = 0
+let equal a b =
+  a == b
+  || a.h = b.h
+     &&
+     let la = Array.length a.ids in
+     la = Array.length b.ids
+     &&
+     let rec eq i =
+       i = la
+       || Array.unsafe_get a.ids i = Array.unsafe_get b.ids i && eq (i + 1)
+     in
+     eq 0
 
-let hash t =
-  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) (Array.length t) t
-
-let project t cols = Array.of_list (List.map (fun i -> get t i) cols)
-let concat = Array.append
-let values t = t
-let exists = Array.exists
-let rename t perm = Array.map (fun i -> get t i) perm
+let hash t = t.h
+let project t cols = of_ids (Array.of_list (List.map (fun i -> id t i) cols))
+let concat a b = of_ids (Array.append a.ids b.ids)
+let values t = Array.map Value.Intern.of_id t.ids
+let exists p t = Array.exists (fun i -> p (Value.Intern.of_id i)) t.ids
+let rename t perm = of_ids (Array.map (fun i -> id t i) perm)
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"
     (Format.pp_print_array
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        Value.pp)
-    t
+    (values t)
 
 let to_string t = Format.asprintf "%a" pp t

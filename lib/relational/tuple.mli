@@ -1,13 +1,16 @@
 (** Constant tuples.
 
-    A tuple is an immutable array of {!Value.t}. Positions play the role of
-    attributes (the paper's named perspective is recovered by {!Schema}
-    which maps attribute names to positions). *)
+    A tuple is an immutable flat array of interned value ids (see
+    {!Value.Intern}) carrying its precomputed hash. Positions play the
+    role of attributes (the paper's named perspective is recovered by
+    {!Schema} which maps attribute names to positions). Equality and
+    hashing never walk the constants' structure; components are decoded
+    back to {!Value.t} only on demand. *)
 
-type t = private Value.t array
+type t
 
-(** [make vs] creates a tuple from an array. The array is copied, so later
-    mutation of [vs] does not affect the tuple. *)
+(** [make vs] creates a tuple from an array of values, interning each
+    component. Later mutation of [vs] does not affect the tuple. *)
 val make : Value.t array -> t
 
 (** [of_list vs] creates a tuple from a list of values. *)
@@ -18,15 +21,40 @@ val to_list : t -> Value.t list
 (** [arity t] is the number of components. *)
 val arity : t -> int
 
-(** [get t i] is the [i]-th component (0-based).
+(** [get t i] is the [i]-th component (0-based), decoded.
     @raise Invalid_argument if [i] is out of bounds. *)
 val get : t -> int -> Value.t
 
-(** Lexicographic order; tuples of different arities are ordered by arity
-    first so that mixed sets behave sanely. *)
+(** {1 Interned view} — the relational core's fast path. *)
+
+(** [of_ids ids] builds a tuple directly from interned ids. The array is
+    owned by the tuple afterwards; every entry must have been returned by
+    {!Value.Intern.id}. *)
+val of_ids : int array -> t
+
+(** [ids t] is the underlying id array (not a copy; do not mutate). *)
+val ids : t -> int array
+
+(** [id t i] is the interned id of the [i]-th component.
+    @raise Invalid_argument if [i] is out of bounds. *)
+val id : t -> int -> int
+
+(** [hash_ids ids] is the hash a tuple built from [ids] would carry —
+    for probing hashed containers without constructing the tuple. *)
+val hash_ids : int array -> int
+
+(** [equal_ids t ids] tests component-wise id equality against a raw id
+    array. *)
+val equal_ids : t -> int array -> bool
+
+(** Lexicographic {!Value.compare} order; tuples of different arities are
+    ordered by arity first so that mixed sets behave sanely. *)
 val compare : t -> t -> int
 
+(** Component-wise id equality — O(arity) int compares, hash-gated. *)
 val equal : t -> t -> bool
+
+(** The precomputed hash (a field read). *)
 val hash : t -> int
 
 (** [project t cols] keeps components at positions [cols], in that order
@@ -36,7 +64,7 @@ val project : t -> int list -> t
 (** [concat a b] juxtaposes two tuples. *)
 val concat : t -> t -> t
 
-(** [values t] is the underlying array (not a copy; do not mutate). *)
+(** [values t] decodes the components into a fresh array. *)
 val values : t -> Value.t array
 
 (** [exists p t] tests whether some component satisfies [p]. *)

@@ -15,11 +15,14 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Tag and payload are mixed directly — [Hashtbl.hash] on an immediate or
+   a string allocates nothing, unlike the former [Hashtbl.hash (tag, v)]
+   which boxed a tuple per call. *)
 let hash = function
-  | Int n -> Hashtbl.hash (0, n)
-  | Str s -> Hashtbl.hash (1, s)
-  | Sym s -> Hashtbl.hash (2, s)
-  | New n -> Hashtbl.hash (3, n)
+  | Int n -> (Hashtbl.hash n * 4) land max_int
+  | Str s -> ((Hashtbl.hash s * 4) + 1) land max_int
+  | Sym s -> ((Hashtbl.hash s * 4) + 2) land max_int
+  | New n -> ((Hashtbl.hash n * 4) + 3) land max_int
 
 let is_invented = function New _ -> true | _ -> false
 let int n = Int n
@@ -41,6 +44,48 @@ let parse s =
     Str (Scanf.sscanf s "%S" Fun.id)
   else
     match int_of_string_opt s with Some i -> Int i | None -> Sym s
+
+module Intern = struct
+  module H = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  (* One process-wide table: ids are dense, allocated in first-intern
+     order, and never recycled, so an id is a stable proxy for its value
+     for the lifetime of the process. *)
+  let tbl : int H.t = H.create 4096
+  let rev = ref (Array.make 4096 (Int 0))
+  let count = ref 0
+  let hit_count = ref 0
+
+  let id v =
+    match H.find_opt tbl v with
+    | Some i ->
+        incr hit_count;
+        i
+    | None ->
+        let i = !count in
+        (if i = Array.length !rev then (
+           let bigger = Array.make (2 * i) (Int 0) in
+           Array.blit !rev 0 bigger 0 i;
+           rev := bigger));
+        !rev.(i) <- v;
+        H.add tbl v i;
+        incr count;
+        i
+
+  let of_id i =
+    if i < 0 || i >= !count then
+      invalid_arg (Printf.sprintf "Value.Intern.of_id: unknown id %d" i)
+    else Array.unsafe_get !rev i
+
+  let compare_ids a b = if a = b then 0 else compare (of_id a) (of_id b)
+  let size () = !count
+  let hits () = !hit_count
+end
 
 module Gen = struct
   type t = int ref

@@ -19,6 +19,8 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+(** Structural hash, allocation-free: tag and payload are mixed directly
+    instead of boxing a [(tag, payload)] tuple per call. *)
 val hash : t -> int
 
 (** [is_invented v] is [true] iff [v] was created by value invention. *)
@@ -40,6 +42,39 @@ val to_string : t -> string
     a quoted string, or a bare symbol. Inverse of [to_string] for
     non-invented values. *)
 val parse : string -> t
+
+(** Process-wide value interning: every constant that enters the
+    relational layer (through {!Tuple.make} and friends) is mapped to a
+    dense integer id. Tuples store ids, so membership, join keys and
+    deduplication reduce to machine-integer comparisons; the value itself
+    is recovered with {!Intern.of_id} only at the boundaries
+    (pretty-printing, substitutions handed back to engines).
+
+    Ids are allocated in first-intern order and never recycled; they are
+    {e not} ordered like values — use {!Intern.compare_ids} (or decode)
+    whenever value order matters. *)
+module Intern : sig
+  type value := t
+
+  (** [id v] is the dense id of [v], interning it on first sight.
+      Idempotent: equal values always receive the same id. *)
+  val id : value -> int
+
+  (** [of_id i] recovers the value interned as [i].
+      @raise Invalid_argument on ids never returned by {!id}. *)
+  val of_id : int -> value
+
+  (** [compare_ids a b] orders two ids by {!Value.compare} on the values
+      they denote (equal ids short-circuit without decoding). *)
+  val compare_ids : int -> int -> int
+
+  (** [size ()] is the number of distinct values interned so far. *)
+  val size : unit -> int
+
+  (** [hits ()] counts [id] calls that found an existing entry — the
+      intern table's hit counter for the observability layer. *)
+  val hits : unit -> int
+end
 
 (** A fresh-value source for Datalog¬new. Counters are independent; the
     engine threads one through a computation so invented values never

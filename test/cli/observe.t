@@ -32,6 +32,8 @@ so they are normalized here:
     fixpoint.delta_total                                6
     fixpoint.rounds                                     4
     fixpoint.tuples_derived                             6
+    intern.hits                                         2
+    intern.values                                       4
     matcher.candidates                                 18
     matcher.runs                                        5
     matcher.substs                                      6

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "datalog-unchained"
     [
       ("relational", Test_relational.suite);
+      ("intern", Test_intern.suite);
       ("algebra-fo", Test_algebra_fo.suite);
       ("parser", Test_parser.suite);
       ("ast", Test_ast.suite);
