@@ -16,8 +16,11 @@ bench:
 # (e2 = naive vs semi-naive transitive closure) to catch perf-path
 # breakage, an interning smoke step (the interned engines must still
 # derive the known TC fact counts, and the CLI must report intern
-# counters), and a trace smoke step: emit a JSONL trace and validate it
-# against the schema with datalog-trace-check
+# counters), a trace smoke step (emit a JSONL trace and validate it
+# against the schema with datalog-trace-check), and a parallel smoke
+# step: run the same program at -j 4, check the output is byte-identical
+# to the sequential run and carries the expected fact count, and run the
+# cross-jobs determinism property suite
 ci:
 	dune build
 	dune runtest
@@ -29,7 +32,13 @@ ci:
 	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --stats | grep -q 'intern.values'
 	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --trace _ci_tc.jsonl > /dev/null
 	dune exec -- datalog-trace-check _ci_tc.jsonl
-	rm -f _ci_tc.dl _ci_tc.jsonl
+	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl > _ci_seq.out
+	dune exec -- datalog-unchained run -s seminaive -j 4 _ci_tc.dl > _ci_par.out
+	cmp _ci_seq.out _ci_par.out
+	grep -c '^T(' _ci_par.out | grep -qx 6
+	dune exec -- datalog-unchained run -s stratified -j 4 _ci_tc.dl --stats | grep -q 'par.domains.*4'
+	dune exec test/test_main.exe -- test parallel
+	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out
 
 clean:
 	dune clean

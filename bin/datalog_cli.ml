@@ -92,6 +92,23 @@ let semantics_arg =
            $(b,noninflationary), $(b,wellfounded), $(b,stable), \
            $(b,invent)")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate with $(docv) parallel domains: per-round rule \
+           instantiations (and independent strata) are partitioned across \
+           a fixed domain pool. Results are identical to sequential \
+           evaluation; $(docv) = 1 (the default) runs the sequential \
+           engine unchanged")
+
+let set_jobs jobs =
+  if jobs < 1 then (
+    Printf.eprintf "jobs must be >= 1\n";
+    exit 2);
+  Parallel.Pool.set_jobs jobs
+
 (* --- observability ------------------------------------------------------ *)
 
 let stats_arg =
@@ -164,7 +181,8 @@ let semantics_name = function
   | `Invent -> "invent"
 
 let run_cmd =
-  let run semantics program facts answer ordered stats trace_path =
+  let run semantics program facts answer ordered stats trace_path jobs =
+    set_jobs jobs;
     let { Datalog.Parser.program = p; _ } = load_program program in
     let inst = load_facts facts in
     let inst = if ordered then Order.adjoin inst else inst in
@@ -231,7 +249,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ semantics_arg $ program_arg $ facts_arg $ answer_arg
-      $ order_arg $ stats_arg $ trace_arg)
+      $ order_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* --- nondet ------------------------------------------------------------- *)
 
@@ -361,7 +379,8 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ lang_arg $ program_arg)
 
 let query_cmd =
-  let run program facts stats trace_path =
+  let run program facts stats trace_path jobs =
+    set_jobs jobs;
     let { Datalog.Parser.program = p; queries } = load_program program in
     let inst = load_facts facts in
     match queries with
@@ -382,7 +401,8 @@ let query_cmd =
   in
   let doc = "Answer ?- queries with magic-set rewriting" in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run $ program_arg $ facts_arg $ stats_arg $ trace_arg)
+    Term.(
+      const run $ program_arg $ facts_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 let main =
   let doc =

@@ -70,59 +70,62 @@ let consequences_signed_db prepared db ~dom =
 let consequences_signed prepared inst ~dom =
   consequences_signed_db prepared (Matcher.Db.of_instance inst) ~dom
 
-let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
-    ~delta_preds ~dom inst =
+(* Per-rule delta predicates, computed once per fixpoint: the positive
+   body predicates that belong to [delta_preds], i.e. the occurrences a
+   semi-naive pass can restrict to the previous round's delta. *)
+let with_delta_preds prepared delta_preds =
+  List.mapi
+    (fun i (rule, plan) ->
+      let dps =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (function
+               | Ast.BPos a when List.mem a.Ast.pred delta_preds ->
+                   Some a.Ast.pred
+               | _ -> None)
+             rule.Ast.body)
+      in
+      (rule, plan, dps, rule_label i rule))
+    prepared
+
+(* Round-fresh accumulator state: per-predicate list of new facts plus a
+   flat hash set for within-round dedup. The delta never takes the shape
+   of a persistent relation — building one costs a path copy per fact,
+   and nothing downstream (indexing, absorbing) needs more than the
+   list. The same shape serves as the global accumulator of both
+   fixpoint paths and as the worker-private buffers of the parallel
+   one. *)
+type fresh_tbl = (string, Tuple.t list ref * unit Matcher.IdTbl.t) Hashtbl.t
+
+let pred_state (tbl : fresh_tbl) p =
+  match Hashtbl.find_opt tbl p with
+  | Some s -> s
+  | None ->
+      let s = (ref [], Matcher.IdTbl.create 256) in
+      Hashtbl.add tbl p s;
+      s
+
+(* drain an accumulator into an assoc list (pred-name order, so round
+   processing stays deterministic) and reset it for the next round *)
+let take_fresh (tbl : fresh_tbl) =
+  let per =
+    Hashtbl.fold (fun p (lst, _) acc -> (p, List.rev !lst) :: acc) tbl []
+  in
+  Hashtbl.reset tbl;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) per
+
+let total_fresh delta =
+  List.fold_left (fun n (_, ts) -> n + List.length ts) 0 delta
+
+let seminaive_seq ~trace ?neg_db ~with_dps ~dom inst =
   (* One Db for the whole fixpoint: each stage feeds its delta back with
      [Db.absorb], so join indexes are built once and extended
      incrementally instead of being rebuilt from the full instance. *)
   let db = Matcher.Db.of_instance ~trace inst in
   let tracing = Observe.Trace.enabled trace in
-  (* per-rule delta predicates, computed once *)
-  let with_dps =
-    List.mapi
-      (fun i (rule, plan) ->
-        let dps =
-          List.sort_uniq String.compare
-            (List.filter_map
-               (function
-                 | Ast.BPos a when List.mem a.Ast.pred delta_preds ->
-                     Some a.Ast.pred
-                 | _ -> None)
-               rule.Ast.body)
-        in
-        (rule, plan, dps, rule_label i rule))
-      prepared
-  in
-  (* Round-fresh accumulator: per-predicate list of new facts plus a flat
-     hash set for within-round dedup. The delta never takes the shape of
-     a persistent relation — building one costs a path copy per fact,
-     and nothing downstream (indexing, absorbing) needs more than the
-     list. *)
-  let fresh_tbl :
-      (string, Tuple.t list ref * unit Matcher.IdTbl.t) Hashtbl.t =
-    Hashtbl.create 4
-  in
-  let pred_state p =
-    match Hashtbl.find_opt fresh_tbl p with
-    | Some s -> s
-    | None ->
-        let s = (ref [], Matcher.IdTbl.create 256) in
-        Hashtbl.add fresh_tbl p s;
-        s
-  in
-  (* drain the accumulator into an assoc list (pred-name order, so round
-     processing stays deterministic) and reset it for the next round *)
-  let take_fresh () =
-    let per =
-      Hashtbl.fold (fun p (lst, _) acc -> (p, List.rev !lst) :: acc) fresh_tbl
-        []
-    in
-    Hashtbl.reset fresh_tbl;
-    List.sort (fun (a, _) (b, _) -> String.compare a b) per
-  in
-  let total_fresh delta =
-    List.fold_left (fun n (_, ts) -> n + List.length ts) 0 delta
-  in
+  let fresh_tbl : fresh_tbl = Hashtbl.create 4 in
+  let pred_state p = pred_state fresh_tbl p in
+  let take_fresh () = take_fresh fresh_tbl in
   (* one firing pass for a rule: fresh positive consequences accumulate
      into the round accumulator (a set, so the unspecified enumeration
      order of [iter_firings] cannot leak) *)
@@ -196,6 +199,190 @@ let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
       loop fresh (stages + 1))
   in
   loop delta0 0
+
+(* Parallel semi-naive rounds. The round structure (and hence the least
+   fixpoint, stage count and every instance-visible result) is the same
+   as [seminaive_seq]: workers only split the *firing* work inside one
+   application of Γ. Each round:
+
+   - the coordinator absorbs the previous delta and cuts the work into
+     tasks — one per rule on round 0, one per (rule, delta-pred,
+     delta-slice) afterwards, so a two-rule program still spreads a
+     large delta over every domain;
+   - workers fire tasks against read-only views of the shared database
+     ([Matcher.prewarm] ran every lazy build up front), deduplicate
+     against the frozen membership sets, and push fresh facts into
+     worker-private accumulators;
+   - at the barrier the coordinator folds the private buffers into the
+     round accumulator in worker order, dropping cross-worker
+     duplicates with one flat hash set per predicate.
+
+   Correctness of slicing: a semi-naive pass is a union over matches
+   with the delta atom ranging over the delta list and every other atom
+   over the full (already absorbed) database, so a union over slices of
+   the delta list is the same set of matches; duplicates across slices
+   collapse in the merge. Derivation-order effects cannot leak: all
+   accumulators are sets, and relations are persistent tries whose
+   printed form is sorted. Trace *counters* are still merged from the
+   workers (sums, gauges by max), but their values can differ from a
+   sequential run — two workers may both derive a fact that the merge
+   then dedups — which is why determinism is asserted on instances, not
+   counters. *)
+let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom inst =
+  let db = Matcher.Db.of_instance ~trace inst in
+  let tracing = Observe.Trace.enabled trace in
+  let nw = Parallel.Pool.size pool in
+  (* force every lazy structure the plans can touch; after this, workers
+     only read the shared hash tables *)
+  List.iter (fun (_rule, plan, _, _) -> Matcher.prewarm ?neg_db plan db) with_dps;
+  let wctx =
+    Array.init nw (fun _ ->
+        if tracing then Observe.Trace.make ~sinks:[] () else Observe.Trace.null)
+  in
+  let wdb = Array.init nw (fun w -> Matcher.Db.with_trace db wctx.(w)) in
+  let wacc : fresh_tbl array = Array.init nw (fun _ -> Hashtbl.create 8) in
+  let fresh_tbl : fresh_tbl = Hashtbl.create 4 in
+  let merge_s = ref 0.0 in
+  (* one firing task on worker [w]: like the sequential [fire_fresh] but
+     accumulating into the worker's private buffer and counting into the
+     worker's private context *)
+  let fire_task w (plan, label, delta) =
+    let vdb = wdb.(w) in
+    let wtr = wctx.(w) in
+    let acc = wacc.(w) in
+    let cur_p = ref "" in
+    let cur_mem = ref None in
+    let cur_state = ref None in
+    let have = ref false in
+    let n =
+      Matcher.iter_firings ?delta ?neg_db ~dom plan vdb (fun ~pos p ids ->
+          if pos then (
+            if not (!have && String.equal !cur_p p) then (
+              have := true;
+              cur_p := p;
+              cur_mem := Some (Matcher.Db.memset vdb p);
+              cur_state := Some (pred_state acc p));
+            if Matcher.Db.memset_mem (Option.get !cur_mem) ids then (
+              if tracing then Observe.Trace.incr wtr "fixpoint.tuples_deduped")
+            else (
+              if tracing then Observe.Trace.incr wtr "fixpoint.tuples_derived";
+              let lst, seen = Option.get !cur_state in
+              if not (Matcher.IdTbl.mem seen ids) then (
+                let t = Tuple.of_ids (Array.copy ids) in
+                Matcher.IdTbl.replace seen (Tuple.ids t) ();
+                lst := t :: !lst))))
+    in
+    if tracing then Observe.Trace.add wtr ("rule_firings." ^ label) n
+  in
+  (* barrier: fold worker buffers into the round accumulator (worker
+     order), dropping facts another worker also derived *)
+  let merge_round () =
+    let t0 = Observe.Trace.now () in
+    Array.iter
+      (fun acc ->
+        if Hashtbl.length acc > 0 then (
+          List.iter
+            (fun (p, ts) ->
+              let glst, gseen = pred_state fresh_tbl p in
+              List.iter
+                (fun t ->
+                  let ids = Tuple.ids t in
+                  if not (Matcher.IdTbl.mem gseen ids) then (
+                    Matcher.IdTbl.replace gseen ids ();
+                    glst := t :: !glst))
+                ts)
+            (take_fresh acc)))
+      wacc;
+    merge_s := !merge_s +. (Observe.Trace.now () -. t0)
+  in
+  let run_tasks tasks =
+    let ntasks = Array.length tasks in
+    if tracing then Observe.Trace.add trace "par.tasks" ntasks;
+    Parallel.Pool.run pool (fun w ->
+        let i = ref w in
+        while !i < ntasks do
+          fire_task w tasks.(!i);
+          i := !i + nw
+        done);
+    merge_round ()
+  in
+  (* cut one delta list into at most [4 * nw] contiguous slices of at
+     least 64 tuples, so small deltas stay one task while large ones
+     feed (and load-balance across) every worker *)
+  let slices dts =
+    let arr = Array.of_list dts in
+    let len = Array.length arr in
+    let nslices = max 1 (min (4 * nw) (len / 64)) in
+    let chunk = (len + nslices - 1) / nslices in
+    List.init nslices (fun s ->
+        let lo = s * chunk in
+        let hi = min len (lo + chunk) in
+        Array.to_list (Array.sub arr lo (hi - lo)))
+  in
+  let round_no = ref 0 in
+  let open_round () =
+    if tracing then (
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int !round_no);
+      Stdlib.incr round_no)
+  in
+  let close_round d =
+    if tracing then (
+      Observe.Trace.incr trace "fixpoint.rounds";
+      Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
+      Observe.Trace.add trace "fixpoint.delta_total" d;
+      Observe.Trace.close_span trace
+        ~fields:[ Observe.Trace.fint "delta" d ]
+        ())
+  in
+  (* stage 1: full evaluation, one task per rule *)
+  open_round ();
+  run_tasks
+    (Array.of_list
+       (List.map (fun (_rule, plan, _, label) -> (plan, label, None)) with_dps));
+  let delta0 = take_fresh fresh_tbl in
+  close_round (total_fresh delta0);
+  let rec loop delta stages =
+    if total_fresh delta = 0 then (Matcher.Db.instance db, stages)
+    else (
+      open_round ();
+      List.iter (fun (p, ts) -> Matcher.Db.absorb_new db p ts) delta;
+      let sliced =
+        List.map (fun (p, ts) -> (p, slices ts)) delta
+      in
+      let tasks =
+        List.concat_map
+          (fun (_rule, plan, dps, label) ->
+            List.concat_map
+              (fun pred ->
+                match List.assoc_opt pred sliced with
+                | None -> []
+                | Some sl ->
+                    List.map (fun s -> (plan, label, Some (pred, s))) sl)
+              dps)
+          with_dps
+      in
+      run_tasks (Array.of_list tasks);
+      let fresh = take_fresh fresh_tbl in
+      close_round (total_fresh fresh);
+      loop fresh (stages + 1))
+  in
+  let result = loop delta0 0 in
+  if tracing then (
+    Observe.Trace.gauge_max trace "par.domains" nw;
+    Observe.Trace.add trace "par.merge_ms"
+      (int_of_float (!merge_s *. 1000.));
+    Array.iter (fun c -> Observe.Trace.merge_counters trace c) wctx);
+  result
+
+let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
+    ~delta_preds ~dom inst =
+  let with_dps = with_delta_preds prepared delta_preds in
+  match Parallel.Pool.acquire () with
+  | Some pool ->
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.release pool)
+        (fun () -> seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom inst)
+  | None -> seminaive_seq ~trace ?neg_db ~with_dps ~dom inst
 
 let naive_fixpoint ?(trace = Observe.Trace.null) prepared ~dom inst =
   let tracing = Observe.Trace.enabled trace in

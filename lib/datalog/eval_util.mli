@@ -75,7 +75,19 @@ val consequences_signed :
     (round [0] is the initial full evaluation), and the counters
     [fixpoint.rounds], [fixpoint.delta_max], [fixpoint.delta_total],
     [fixpoint.tuples_derived], [fixpoint.tuples_deduped] and
-    [rule_firings.<label>] are maintained. *)
+    [rule_firings.<label>] are maintained.
+
+    When the global {!Parallel.Pool} is available (jobs > 1 and not held
+    by an enclosing fixpoint), each round's firing work is partitioned
+    across the pool's domains — per rule on round 0, per (rule,
+    delta-pred, delta-slice) afterwards — with worker-private buffers
+    merged and deduplicated at the round barrier. The round structure is
+    preserved, so the returned instance and stage count are identical to
+    a sequential run; the counters [par.domains] (gauge), [par.tasks]
+    and [par.merge_ms] record the parallel execution, and worker-side
+    counters are folded in at the end (their totals may legitimately
+    differ from a sequential run, e.g. when two workers both derive a
+    fact the merge then dedups). *)
 val seminaive_fixpoint :
   ?trace:Observe.Trace.ctx ->
   ?neg_db:Matcher.Db.t ->

@@ -68,6 +68,18 @@ module Db = struct
 
   let trace db = db.trace
 
+  (* A worker's view of the database: a shallow copy that shares every
+     hash table (pending, memoized indexes, membership sets) but carries
+     a private trace context, so parallel workers can count without
+     contending on one counter table. The view is read-only by
+     convention — the sharing means a lazy index/memset build through a
+     view would race with its siblings, which is why the parallel
+     engines [prewarm] every structure a plan can touch before fanning
+     out. The mutable [inst] field is copied by value and does not track
+     later coordinator-side flushes — a view must not be used through
+     [instance] / [relation]. *)
+  let with_trace db trace = { db with trace }
+
   let flush_pred db p =
     match Hashtbl.find_opt db.pending p with
     | None -> ()
@@ -568,6 +580,31 @@ let check_filter ?neg_db db subst = function
         let _, tup = Ast.ground_atom subst a in
         Some (Db.mem db a.Ast.pred tup)
       else None
+
+(* Force every lazily-built structure a plan can touch — step indexes,
+   membership sets for positive/negative filter probes (the ∀ check
+   re-evaluates the whole body, so every body literal counts), and the
+   head-dedup memsets — so that read-only workers sharing the database
+   never trigger a concurrent build. Called by the parallel engines on
+   the coordinator, between barriers. *)
+let prewarm ?neg_db prepared db =
+  let ndb = Option.value neg_db ~default:db in
+  Array.iter
+    (function
+      | CAtom { apred; key_positions; _ } ->
+          ignore (Db.index db apred key_positions : Tuple.t list KTbl.t)
+      | CDomain _ -> ())
+    prepared.csteps;
+  let warm_filter = function
+    | FPos ca -> ignore (Db.memset db ca.cpred : unit KTbl.t)
+    | FNeg ca -> ignore (Db.memset ndb ca.cpred : unit KTbl.t)
+    | FEq _ | FNeq _ -> ()
+  in
+  Array.iter (List.iter warm_filter) prepared.filters_after;
+  List.iter warm_filter prepared.body_filters;
+  List.iter
+    (fun (_, p, _) -> ignore (Db.memset db p : unit KTbl.t))
+    prepared.cheads
 
 (* The join loop shared by {!run} and {!iter_firings}. [consume] is
    called once per (deduped) match with [tval] reading interned ids out

@@ -37,6 +37,17 @@ module Db : sig
   (** The trace context the database reports to. *)
   val trace : t -> Observe.Trace.ctx
 
+  (** [with_trace db ctx] is a {e view} of [db] reporting to [ctx]: it
+      shares every memoized structure (indexes, membership sets, pending
+      buffer) with [db] but counts into its own context. The parallel
+      engines hand one view per worker so counters never contend. A view
+      is read-only by convention: callers must {!prewarm} every
+      structure their plans touch before sharing views across domains,
+      must not mutate through a view, and must not use it through
+      {!instance}/{!relation} (the underlying-instance pointer is frozen
+      at view-creation time). *)
+  val with_trace : t -> Observe.Trace.ctx -> t
+
   (** [instance db] is the current underlying instance (a persistent
       snapshot; later mutations of [db] do not affect it). *)
   val instance : t -> Instance.t
@@ -148,6 +159,14 @@ val iter_firings :
   Db.t ->
   (pos:bool -> string -> int array -> unit) ->
   int
+
+(** [prewarm prepared db] forces every lazily-built structure the plan
+    can touch — step indexes, membership sets for filter probes and head
+    dedup — so that subsequent read-only uses of [db] (directly or
+    through {!Db.with_trace} views) trigger no builds. The parallel
+    engines call this between barriers, before fanning work out to
+    domains; [neg_db] follows the same convention as {!iter_firings}. *)
+val prewarm : ?neg_db:Db.t -> prepared -> Db.t -> unit
 
 (** [satisfies db subst blits] checks body literals under a full
     substitution (quantifier-free). Used by the nondeterministic engines

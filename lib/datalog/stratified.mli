@@ -20,6 +20,15 @@ type result = {
 (** [eval p inst] evaluates [p] under stratified semantics. [trace]
     wraps each non-empty stratum in a ["stratum"] span (close fields
     [stages], [facts]) containing its round spans.
+
+    When parallel evaluation is on ([Parallel.Pool.jobs () > 1]), a
+    stratum whose rules split across several SCCs of the dependency
+    graph is layered into waves along the component DAG and the
+    independent groups of each wave are evaluated on separate domains
+    (counter [par.waves]); cross-SCC edges within a stratum are positive
+    and acyclic, so the merged result is the stratum's least fixpoint
+    and the final instance is identical to a sequential run. The
+    [stages] tally may differ (each group counts its own rounds).
     @raise Not_stratifiable if [p] has recursion through negation.
     @raise Ast.Check_error if [p] is not Datalog¬ syntax. *)
 val eval : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> result

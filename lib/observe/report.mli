@@ -6,8 +6,10 @@
     One JSON object per line. Every line has a ["type"] key:
 
     - [span_open]: ["id"], ["parent"] (0 at the root), ["kind"],
-      ["name"], ["t_ms"] (open time, process-CPU ms), ["fields"]
-    - [span_close]: ["id"], ["kind"], ["name"], ["dur_ms"], ["fields"]
+      ["name"], ["t_ms"] (open time, monotonic wall-clock milliseconds
+      since process start — see {!Trace.now}), ["fields"]
+    - [span_close]: ["id"], ["kind"], ["name"], ["dur_ms"] (elapsed
+      wall-clock ms), ["fields"]
     - [event]: ["span"] (enclosing span id), ["name"], ["fields"]
     - [summary]: ["counters"] (an object mapping counter name to value);
       written once by [Trace.finish]

@@ -31,15 +31,23 @@ type ctx = {
   mutable next_sid : int;
   mutable stack : span list;
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, unit) Hashtbl.t;
+      (* names registered through [gauge_max]: merged with max, not sum *)
   span_aggs : (string, agg) Hashtbl.t;
   mutable retained : (span * float * fields) list;
   mutable retained_n : int;
 }
 
-(* Process-CPU clock: monotone non-decreasing, no extra dependency. All
-   span times are relative offsets within one run, so the epoch is
-   irrelevant. *)
-let now () = Sys.time ()
+(* Monotonic *wall* clock (clock_gettime(CLOCK_MONOTONIC) via bechamel's
+   stub). [Sys.time] — the previous source — is process-CPU time: it
+   freezes across I/O waits and, under parallel domains, sums the work
+   of every worker, inflating wall durations by up to the domain count.
+   Times are reported in seconds relative to a process-start epoch so
+   downstream millisecond fields stay small. *)
+let epoch = Monotonic_clock.now ()
+
+let now () =
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) epoch) /. 1e9
 
 let default_retain = [ "run"; "stratum"; "phase" ]
 
@@ -52,6 +60,7 @@ let make ?(sinks = []) ?(retain = default_retain) ?(retain_cap = 1024) () =
     next_sid = 1;
     stack = [];
     counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 8;
     span_aggs = Hashtbl.create 16;
     retained = [];
     retained_n = 0;
@@ -66,6 +75,7 @@ let null =
     next_sid = 1;
     stack = [];
     counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
     span_aggs = Hashtbl.create 1;
     retained = [];
     retained_n = 0;
@@ -84,10 +94,11 @@ let add ctx name n =
 let incr ctx name = add ctx name 1
 
 let gauge_max ctx name v =
-  if ctx.enabled then
+  if ctx.enabled then (
+    if not (Hashtbl.mem ctx.gauges name) then Hashtbl.add ctx.gauges name ();
     match Hashtbl.find_opt ctx.counters name with
     | Some r -> if v > !r then r := v
-    | None -> Hashtbl.add ctx.counters name (ref v)
+    | None -> Hashtbl.add ctx.counters name (ref v))
 
 let counter ctx name =
   match Hashtbl.find_opt ctx.counters name with Some r -> !r | None -> 0
@@ -95,6 +106,19 @@ let counter ctx name =
 let counters ctx =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) ctx.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Fold a worker context's counters into the coordinator's: additive
+   counters sum, [gauge_max] gauges take the maximum (a per-round peak
+   observed by one worker is still a peak, not a sum). Only counters
+   travel — spans and sinks stay with the context that opened them. *)
+let merge_counters dst src =
+  if dst.enabled && src.enabled then
+    List.iter
+      (fun (name, v) ->
+        if Hashtbl.mem src.gauges name || Hashtbl.mem dst.gauges name then
+          gauge_max dst name v
+        else add dst name v)
+      (counters src)
 
 (* --- spans ----------------------------------------------------------- *)
 

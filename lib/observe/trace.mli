@@ -7,7 +7,8 @@
 
     - {b hierarchical spans} ([run > stratum > round > rule], plus
       engine-specific kinds such as [phase] for the well-founded
-      alternating fixpoint), timed with a monotone process-CPU clock;
+      alternating fixpoint), timed with a monotonic {e wall} clock
+      (see {!now});
     - {b counters and max-gauges} for hot-path internals (delta sizes,
       tuples derived vs. deduped, index builds vs. memo hits, per-rule
       firings, join selectivity);
@@ -35,8 +36,15 @@ type span = {
   parent : int;  (** parent span id, 0 at the root *)
   kind : string;  (** hierarchy level: run, stratum, round, phase, ... *)
   name : string;
-  t0 : float;  (** open time, seconds on the process-CPU clock *)
+  t0 : float;  (** open time, seconds on the monotonic wall clock of {!now} *)
 }
+
+(** The trace clock: monotonic wall-clock seconds since process start
+    ([clock_gettime(CLOCK_MONOTONIC)] against a fixed epoch). Unlike
+    [Sys.time] — process-CPU time, which ignores I/O waits and sums the
+    work of concurrent domains — this measures elapsed real time, so
+    span durations stay meaningful under parallel evaluation. *)
+val now : unit -> float
 
 (** A sink receives the span/event stream. Close callbacks also receive
     the span duration (seconds) and the fields recorded at close time;
@@ -78,6 +86,14 @@ val counter : ctx -> string -> int
 
 (** All counters, sorted by name. *)
 val counters : ctx -> (string * int) list
+
+(** [merge_counters dst src] folds [src]'s counters into [dst]: additive
+    counters sum, gauges recorded with {!gauge_max} (in either context)
+    merge by maximum. Spans, events and sinks are not transferred. The
+    parallel engines give each worker a private context and merge at the
+    barrier, so workers never contend on one counter table. No-op if
+    either context is disabled. *)
+val merge_counters : ctx -> ctx -> unit
 
 (** {1 Spans and events} *)
 

@@ -1,0 +1,135 @@
+(* A fork–join barrier over a fixed set of domains. Helper domains park
+   on [work_ready] between jobs; [run] publishes a closure under the
+   mutex, bumps the generation counter so every helper sees exactly one
+   wake-up per job, and the caller doubles as worker 0 so a pool of size
+   n costs n-1 domains. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable job : (int -> unit) option;
+  mutable pending : int;
+  mutable errors : (int * exn) list;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size p = p.size
+
+let worker_loop pool w =
+  let gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.generation = !gen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stop then (
+      running := false;
+      Mutex.unlock pool.mutex)
+    else begin
+      gen := pool.generation;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.mutex;
+      let err = (try job w; None with e -> Some e) in
+      Mutex.lock pool.mutex;
+      (match err with
+      | Some e -> pool.errors <- (w, e) :: pool.errors
+      | None -> ());
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create n =
+  if n < 1 then invalid_arg "Parallel.Pool.create: size must be >= 1";
+  let pool =
+    {
+      size = n;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      job = None;
+      pending = 0;
+      errors = [];
+      stop = false;
+      domains = [||];
+    }
+  in
+  pool.domains <-
+    Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let run pool f =
+  if pool.size = 1 then f 0
+  else begin
+    Mutex.lock pool.mutex;
+    pool.job <- Some f;
+    pool.pending <- pool.size - 1;
+    pool.errors <- [];
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    let caller_err = (try f 0; None with e -> Some e) in
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.job <- None;
+    let errs = pool.errors in
+    pool.errors <- [];
+    Mutex.unlock pool.mutex;
+    match caller_err with
+    | Some e -> raise e
+    | None -> (
+        match List.sort (fun (a, _) (b, _) -> Int.compare a b) errs with
+        | (_, e) :: _ -> raise e
+        | [] -> ())
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+(* Process-global pool: sized once by the CLI, checked out per fixpoint.
+   [in_use] is an atomic flag rather than a lock so a nested fixpoint
+   (stratified wave -> semi-naive, well-founded -> semi-naive) observes
+   "busy" and degrades to sequential instead of blocking. *)
+
+let global : t option ref = ref None
+let njobs = ref 1
+let in_use = Atomic.make false
+
+let shutdown_global () =
+  match !global with
+  | Some p ->
+      global := None;
+      shutdown p
+  | None -> ()
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Parallel.Pool.set_jobs: jobs must be >= 1";
+  if Atomic.get in_use then
+    invalid_arg "Parallel.Pool.set_jobs: pool is in use";
+  shutdown_global ();
+  njobs := n;
+  if n > 1 then global := Some (create n)
+
+let jobs () = !njobs
+
+let acquire () =
+  match !global with
+  | None -> None
+  | Some p -> if Atomic.compare_and_set in_use false true then Some p else None
+
+let release _p = Atomic.set in_use false
+let () = at_exit shutdown_global

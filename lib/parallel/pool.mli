@@ -1,0 +1,50 @@
+(** A fixed pool of OCaml 5 domains for data-parallel evaluation.
+
+    The engines use a {e fork–join at a barrier} discipline: the
+    coordinator prepares a read-only snapshot, {!run} hands every worker
+    the same closure (distinguished only by its worker index), and
+    control returns to the coordinator once all workers finished. All
+    mutation of shared engine state happens strictly between {!run}
+    calls, on the coordinator.
+
+    The pool is process-global and sized once per CLI invocation with
+    {!set_jobs}; evaluation code borrows it through {!acquire} /
+    {!release} so that nested fixpoints (a stratum evaluating inside a
+    parallel wave, the well-founded alternation calling semi-naive) find
+    the pool busy and silently fall back to sequential evaluation
+    instead of deadlocking on a second barrier. *)
+
+type t
+
+(** [size p] is the number of workers, including the caller: [run p f]
+    invokes [f w] for every [w] in [0 .. size p - 1]. *)
+val size : t -> int
+
+(** [run p f] executes [f 0 .. f (size p - 1)] concurrently — [f 0] on
+    the calling domain, the rest on the pool's domains — and returns
+    when every call finished. If one or more workers raised, the first
+    exception (in worker order) is re-raised on the caller after the
+    barrier. Not re-entrant: [f] must not call [run] on the same pool. *)
+val run : t -> (int -> unit) -> unit
+
+(** {1 Process-global pool}
+
+    The CLI sets the job count once; evaluation code checks it out for
+    the duration of a fixpoint. *)
+
+(** [set_jobs n] declares that subsequent evaluations may use [n]
+    workers ([n >= 1]; 1 means sequential). Replaces (and shuts down)
+    any previously created pool. Raises [Invalid_argument] on [n < 1].
+    Must not be called while the pool is {!acquire}d. *)
+val set_jobs : int -> unit
+
+(** [jobs ()] is the last value passed to {!set_jobs} (default 1). *)
+val jobs : unit -> int
+
+(** [acquire ()] checks out the global pool: [Some p] iff jobs > 1 and
+    no other computation currently holds it. The caller must {!release}
+    it (use [Fun.protect]). Callers finding [None] run sequentially. *)
+val acquire : unit -> t option
+
+(** [release p] returns the pool checked out by {!acquire}. *)
+val release : t -> unit

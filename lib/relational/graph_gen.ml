@@ -120,11 +120,20 @@ let reference_tc edges =
   let idx : (int, int) Hashtbl.t = Hashtbl.create n in
   Array.iteri (fun i v -> Hashtbl.add idx (Value.Intern.id v) i) vs;
   let reach = Array.make_matrix n n false in
+  let vertex vid =
+    match Hashtbl.find_opt idx vid with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Graph_gen.reference_tc: value %s is not a vertex of the edge \
+              relation"
+             (Value.to_string (Value.Intern.of_id vid)))
+  in
   Relation.unordered_iter
     (fun t ->
       if Tuple.arity t = 2 then
-        let i = Hashtbl.find idx (Tuple.id t 0)
-        and j = Hashtbl.find idx (Tuple.id t 1) in
+        let i = vertex (Tuple.id t 0) and j = vertex (Tuple.id t 1) in
         reach.(i).(j) <- true)
     edges;
   for k = 0 to n - 1 do

@@ -112,7 +112,9 @@ let parse_one_fact lineno stmt i =
             |> List.map (fun s ->
                    let s = String.trim s in
                    if s = "" then fail "empty argument";
-                   Value.parse s)
+                   match Value.parse s with
+                   | v -> v
+                   | exception Invalid_argument msg -> fail msg)
         in
         add_fact name (Tuple.of_list args) i
 

@@ -40,8 +40,15 @@ let to_string v = Format.asprintf "%a" pp v
 let parse s =
   let n = String.length s in
   if n = 0 then invalid_arg "Value.parse: empty string"
-  else if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
-    Str (Scanf.sscanf s "%S" Fun.id)
+  else if s.[0] = '"' then
+    (* [%n] reports how much [%S] consumed: anything left over means the
+       literal had trailing garbage (e.g. ["ab"cd]), which the former
+       first/last-quote guard accepted and silently truncated to [ab]. *)
+    match Scanf.sscanf_opt s "%S%n" (fun v k -> (v, k)) with
+    | Some (v, k) when k = n -> Str v
+    | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "Value.parse: malformed string literal %s" s)
   else
     match int_of_string_opt s with Some i -> Int i | None -> Sym s
 
@@ -55,36 +62,55 @@ module Intern = struct
 
   (* One process-wide table: ids are dense, allocated in first-intern
      order, and never recycled, so an id is a stable proxy for its value
-     for the lifetime of the process. *)
+     for the lifetime of the process.
+
+     Domain safety: the hash table (and hence every [id] call) is
+     guarded by [lock]; readers never touch it. [of_id] is lock-free:
+     the id -> value direction lives in a snapshot array published
+     through the [rev] atomic, and a slot becomes visible only when
+     [count] — written last, read first — covers it. Growing copies
+     into a fresh array and publishes it via [rev] before the new slot
+     is filled; since readers load [count] (acquire) before [rev], an
+     id below the count they observed always lands in a live slot of
+     whichever array they see. *)
+  let lock = Mutex.create ()
   let tbl : int H.t = H.create 4096
-  let rev = ref (Array.make 4096 (Int 0))
-  let count = ref 0
-  let hit_count = ref 0
+  let rev = Atomic.make (Array.make 4096 (Int 0))
+  let count = Atomic.make 0
+  let hit_count = Atomic.make 0
 
   let id v =
+    Mutex.lock lock;
     match H.find_opt tbl v with
     | Some i ->
-        incr hit_count;
+        Atomic.incr hit_count;
+        Mutex.unlock lock;
         i
     | None ->
-        let i = !count in
-        (if i = Array.length !rev then (
-           let bigger = Array.make (2 * i) (Int 0) in
-           Array.blit !rev 0 bigger 0 i;
-           rev := bigger));
-        !rev.(i) <- v;
+        let i = Atomic.get count in
+        let arr = Atomic.get rev in
+        let arr =
+          if i = Array.length arr then (
+            let bigger = Array.make (2 * i) (Int 0) in
+            Array.blit arr 0 bigger 0 i;
+            Atomic.set rev bigger;
+            bigger)
+          else arr
+        in
+        arr.(i) <- v;
         H.add tbl v i;
-        incr count;
+        Atomic.set count (i + 1);
+        Mutex.unlock lock;
         i
 
   let of_id i =
-    if i < 0 || i >= !count then
+    if i < 0 || i >= Atomic.get count then
       invalid_arg (Printf.sprintf "Value.Intern.of_id: unknown id %d" i)
-    else Array.unsafe_get !rev i
+    else Array.unsafe_get (Atomic.get rev) i
 
   let compare_ids a b = if a = b then 0 else compare (of_id a) (of_id b)
-  let size () = !count
-  let hits () = !hit_count
+  let size () = Atomic.get count
+  let hits () = Atomic.get hit_count
 end
 
 module Gen = struct

@@ -40,7 +40,11 @@ val to_string : t -> string
 
 (** [parse s] reads a value back from its surface syntax: an integer literal,
     a quoted string, or a bare symbol. Inverse of [to_string] for
-    non-invented values. *)
+    non-invented values.
+    @raise Invalid_argument on the empty string and on malformed string
+    literals — an input starting with ['"'] must be a complete quoted
+    literal with nothing after the closing quote (["ab"cd] is rejected,
+    not truncated to [ab]). *)
 val parse : string -> t
 
 (** Process-wide value interning: every constant that enters the
@@ -52,7 +56,12 @@ val parse : string -> t
 
     Ids are allocated in first-intern order and never recycled; they are
     {e not} ordered like values — use {!Intern.compare_ids} (or decode)
-    whenever value order matters. *)
+    whenever value order matters.
+
+    The table is domain-safe: [id] serializes writers behind a mutex,
+    while [of_id] / [compare_ids] / [size] are lock-free readers over an
+    immutable snapshot array, so parallel evaluation workers can decode
+    and compare freely while first-interns proceed. *)
 module Intern : sig
   type value := t
 

@@ -22,6 +22,17 @@ Naive agrees:
   T(a, c).
   T(b, c).
 
+Parallel evaluation prints the same answer byte for byte:
+
+  $ datalog-unchained run -s seminaive -j 2 tc.dl -f g.facts -a T
+  T(a, b).
+  T(a, c).
+  T(b, c).
+
+  $ datalog-unchained run -s seminaive -j 0 tc.dl -f g.facts -a T
+  jobs must be >= 1
+  [2]
+
 The win game (Example 3.2) under well-founded semantics:
 
   $ cat > win.dl <<'EOF'

@@ -23,4 +23,5 @@ let () =
       ("properties", Test_properties.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties-sec6", Test_properties2.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,279 @@
+(* Tests for the domain pool and the parallel evaluation paths.
+
+   The contract under test is strong: for every engine and every job
+   count, the computed instances must be byte-identical to a sequential
+   run. Trace counters are explicitly NOT part of that contract (e.g.
+   [fixpoint.tuples_derived] may double-count across workers before the
+   merge dedup), so these tests compare instances only. *)
+
+open Relational
+open Helpers
+
+(* Run [f] with the global pool sized to [j] jobs, restoring the
+   single-job (sequential) configuration afterwards even on failure. *)
+let with_jobs j f =
+  Parallel.Pool.set_jobs j;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_acquire_size () =
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "acquire returned None at jobs=4"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              Alcotest.(check int) "pool size" 4 (Parallel.Pool.size pool)))
+
+let test_pool_sequential_no_acquire () =
+  (* jobs defaults to 1 in tests; there is no pool to acquire. *)
+  Alcotest.(check int) "jobs" 1 (Parallel.Pool.jobs ());
+  match Parallel.Pool.acquire () with
+  | None -> ()
+  | Some pool ->
+      Parallel.Pool.release pool;
+      Alcotest.fail "acquire returned a pool at jobs=1"
+
+let test_pool_nested_acquire () =
+  (* The global pool is exclusive: a nested fixpoint running inside a
+     worker must see it busy and fall back to sequential evaluation. *)
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "outer acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              (match Parallel.Pool.acquire () with
+              | None -> ()
+              | Some p2 ->
+                  Parallel.Pool.release p2;
+                  Alcotest.fail "nested acquire succeeded");
+              (* released pools can be re-acquired *)
+              ());
+          match Parallel.Pool.acquire () with
+          | None -> Alcotest.fail "re-acquire after release failed"
+          | Some p3 -> Parallel.Pool.release p3)
+
+let test_pool_run_covers_workers () =
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              let n = Parallel.Pool.size pool in
+              let hits = Array.make n 0 in
+              Parallel.Pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+              Array.iteri
+                (fun w h ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "worker %d ran once" w)
+                    1 h)
+                hits;
+              (* a second job on the same pool works too *)
+              let total = Atomic.make 0 in
+              Parallel.Pool.run pool (fun _ -> Atomic.incr total);
+              Alcotest.(check int) "second job" n (Atomic.get total)))
+
+let test_pool_exception_propagates () =
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              (match
+                 Parallel.Pool.run pool (fun w ->
+                     if w = 2 then failwith "boom")
+               with
+              | () -> Alcotest.fail "expected the worker exception"
+              | exception Failure msg ->
+                  Alcotest.(check string) "message" "boom" msg);
+              (* the pool survives a failed job *)
+              let total = Atomic.make 0 in
+              Parallel.Pool.run pool (fun _ -> Atomic.incr total);
+              Alcotest.(check int)
+                "pool usable after failure" 4 (Atomic.get total)))
+
+let test_set_jobs_rejects_nonpositive () =
+  match Parallel.Pool.set_jobs 0 with
+  | () -> Alcotest.fail "set_jobs 0 should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine determinism across job counts                          *)
+(* ------------------------------------------------------------------ *)
+
+let job_counts = [ 1; 2; 4; 8 ]
+
+(* Render an engine's full output as a string at each job count and
+   assert byte-identity with the sequential run. *)
+let check_deterministic name render =
+  let baseline = render () in
+  List.iter
+    (fun j ->
+      let out = with_jobs j render in
+      Alcotest.(check string)
+        (Printf.sprintf "%s at -j %d matches sequential" name j)
+        baseline out)
+    job_counts
+
+(* Stratified program with negation on top of recursion: vertices not
+   reaching [bad] via T. *)
+let comp_program =
+  prog
+    {|
+      T(X, Y) :- G(X, Y).
+      T(X, Y) :- G(X, Z), T(Z, Y).
+      Safe(X) :- V(X), !T(X, "n3").
+    |}
+
+(* Two independent recursive SCCs plus a consumer: exercises the
+   stratified wave planner (T1 and T2 are parallel groups, C a later
+   wave). *)
+let wave_program =
+  prog
+    {|
+      T1(X, Y) :- G(X, Y).
+      T1(X, Y) :- G(X, Z), T1(Z, Y).
+      T2(X, Y) :- H(X, Y).
+      T2(X, Y) :- H(X, Z), T2(Z, Y).
+      C(X, Y) :- T1(X, Z), T2(Z, Y).
+    |}
+
+(* Win positions of the pebble game: the canonical well-founded test. *)
+let win_program =
+  prog {|
+      Win(X) :- Moves(X, Y), !Win(Y).
+    |}
+
+let with_vertices inst =
+  (* V(x) for every vertex mentioned by G, so comp_program can guard
+     negation with a positive atom. *)
+  let g = Instance.find "G" inst in
+  let vs =
+    Relation.fold
+      (fun tup acc ->
+        match Tuple.to_list tup with
+        | [ a; b ] -> a :: b :: acc
+        | _ -> acc)
+      g []
+  in
+  let v_rel = Relation.of_rows (List.map (fun x -> [ x ]) vs) in
+  Instance.set "V" v_rel inst
+
+let test_determinism_tc () =
+  List.iter
+    (fun seed ->
+      let inst = Graph_gen.random ~seed 40 100 in
+      check_deterministic
+        (Printf.sprintf "naive tc seed=%d" seed)
+        (fun () -> Instance.to_string (Datalog.Naive.eval tc_program inst).instance);
+      check_deterministic
+        (Printf.sprintf "seminaive tc seed=%d" seed)
+        (fun () ->
+          Instance.to_string (Datalog.Seminaive.eval tc_program inst).instance))
+    [ 7; 21; 42 ]
+
+let test_determinism_stratified () =
+  List.iter
+    (fun seed ->
+      let inst = with_vertices (Graph_gen.random ~seed 30 70) in
+      check_deterministic
+        (Printf.sprintf "stratified comp seed=%d" seed)
+        (fun () ->
+          Instance.to_string (Datalog.Stratified.eval comp_program inst).instance))
+    [ 3; 11 ]
+
+let test_determinism_waves () =
+  (* Distinct edge relations so the two TCs are genuinely independent. *)
+  let g = Graph_gen.random ~seed:5 25 60 in
+  let h = Graph_gen.random ~name:"H" ~seed:6 25 60 in
+  let inst = Instance.union g h in
+  check_deterministic "stratified waves" (fun () ->
+      Instance.to_string (Datalog.Stratified.eval wave_program inst).instance)
+
+let test_determinism_wellfounded () =
+  List.iter
+    (fun seed ->
+      let inst = Graph_gen.random ~name:"Moves" ~seed 20 40 in
+      check_deterministic
+        (Printf.sprintf "wellfounded win seed=%d" seed)
+        (fun () ->
+          let r = Datalog.Wellfounded.eval win_program inst in
+          Instance.to_string r.true_facts ^ "\n---\n"
+          ^ Instance.to_string r.possible))
+    [ 9; 17 ]
+
+(* ------------------------------------------------------------------ *)
+(* Intern-table stress                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern_stress () =
+  (* Many domains race to first-intern the same fresh constants; every
+     domain must observe the same id for the same value, and of_id must
+     round-trip. 8 domains = 7 spawned + the current one. *)
+  let rounds = 20 and per_round = 200 and ndom = 8 in
+  for round = 0 to rounds - 1 do
+    let values =
+      Array.init per_round (fun k ->
+          Value.sym (Printf.sprintf "par_stress_%d_%d" round k))
+    in
+    let ids = Array.make_matrix ndom per_round (-1) in
+    let work d () =
+      Array.iteri (fun k v -> ids.(d).(k) <- Value.Intern.id v) values
+    in
+    let domains =
+      List.init (ndom - 1) (fun i -> Domain.spawn (work (i + 1)))
+    in
+    work 0 ();
+    List.iter Domain.join domains;
+    for d = 1 to ndom - 1 do
+      Alcotest.(check (array int))
+        (Printf.sprintf "round %d: domain %d ids agree" round d)
+        ids.(0) ids.(d)
+    done;
+    Array.iteri
+      (fun k id ->
+        Alcotest.check value
+          (Printf.sprintf "round %d: of_id roundtrip %d" round k)
+          values.(k)
+          (Value.Intern.of_id id))
+      ids.(0);
+    let distinct = List.sort_uniq compare (Array.to_list ids.(0)) in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: ids distinct" round)
+      per_round (List.length distinct)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "pool acquire size" `Quick test_pool_acquire_size;
+    Alcotest.test_case "no pool at jobs=1" `Quick
+      test_pool_sequential_no_acquire;
+    Alcotest.test_case "nested acquire falls back" `Quick
+      test_pool_nested_acquire;
+    Alcotest.test_case "run covers all workers" `Quick
+      test_pool_run_covers_workers;
+    Alcotest.test_case "worker exception propagates" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "set_jobs rejects 0" `Quick
+      test_set_jobs_rejects_nonpositive;
+    Alcotest.test_case "determinism: tc naive+seminaive" `Quick
+      test_determinism_tc;
+    Alcotest.test_case "determinism: stratified negation" `Quick
+      test_determinism_stratified;
+    Alcotest.test_case "determinism: stratified waves" `Quick
+      test_determinism_waves;
+    Alcotest.test_case "determinism: well-founded" `Quick
+      test_determinism_wellfounded;
+    Alcotest.test_case "intern table stress (8 domains)" `Quick
+      test_intern_stress;
+  ]

@@ -21,6 +21,36 @@ let test_value_parse_roundtrip () =
       Alcotest.check value "roundtrip" v (Value.parse (Value.to_string v)))
     [ Value.Int 42; Value.Int (-7); Value.Str "hello world"; Value.Sym "abc" ]
 
+let test_value_parse_reject () =
+  let reject s =
+    match Value.parse s with
+    | w ->
+        Alcotest.failf "parse %S: expected Invalid_argument, got %s" s
+          (Value.to_string w)
+    | exception Invalid_argument _ -> ()
+  in
+  reject "";
+  (* a leading quote commits to a string literal: trailing garbage after
+     the closing quote must not be silently dropped *)
+  reject {|"ab"cd|};
+  reject {|"ab|};
+  reject {|"|};
+  reject {|"a"b"|};
+  (* escaped inner quotes still parse to the full string *)
+  Alcotest.check value "escaped quote" (Value.Str "a\"b")
+    (Value.parse {|"a\"b"|});
+  Alcotest.check value "escaped newline" (Value.Str "a\nb")
+    (Value.parse {|"a\nb"|})
+
+let test_parse_facts_bad_string_literal () =
+  match Instance.parse_facts {|P("ab"cd).|} with
+  | _ -> Alcotest.fail "expected parse_facts to fail on \"ab\"cd"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the line (%s)" msg)
+        true
+        (String.length msg >= 12 && String.equal (String.sub msg 0 12) "facts line 1")
+
 let test_value_gen_distinct () =
   let g = Value.Gen.create () in
   let a = Value.Gen.fresh g and b = Value.Gen.fresh g in
