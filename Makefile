@@ -20,7 +20,9 @@ bench:
 # against the schema with datalog-trace-check), and a parallel smoke
 # step: run the same program at -j 4, check the output is byte-identical
 # to the sequential run and carries the expected fact count, and run the
-# cross-jobs determinism property suite
+# cross-jobs determinism property suite. The FO smoke step answers a
+# negation query through the safe-range compiler and checks that the
+# compiled path (not a fallback) produced it.
 ci:
 	dune build
 	dune runtest
@@ -38,7 +40,9 @@ ci:
 	grep -c '^T(' _ci_par.out | grep -qx 6
 	dune exec -- datalog-unchained run -s stratified -j 4 _ci_tc.dl --stats | grep -q 'par.domains.*4'
 	dune exec test/test_main.exe -- test parallel
-	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out
+	printf 'G(a, b). G(b, c). G(c, d).\n' > _ci_fo.facts
+	dune exec -- datalog-unchained fo -f _ci_fo.facts 'G(X, Y) & !G(Y, d)' --stats | grep -q 'fo.plan.compiled'
+	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts
 
 clean:
 	dune clean

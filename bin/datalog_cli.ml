@@ -404,12 +404,86 @@ let query_cmd =
     Term.(
       const run $ program_arg $ facts_arg $ stats_arg $ trace_arg $ jobs_arg)
 
+(* --- fo ------------------------------------------------------------------ *)
+
+let fo_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "FO formula, e.g. 'exists Z (G(X, Z) & G(Z, Y))'. \
+             Uppercase-initial identifiers are variables; connectives are \
+             $(b,!) $(b,&) $(b,|) $(b,->) $(b,=) $(b,!=) $(b,exists) \
+             $(b,forall) $(b,true) $(b,false)")
+  in
+  let vars_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vars" ] ~docv:"X,Y"
+          ~doc:
+            "Output columns (comma-separated; default: the formula's free \
+             variables in first-occurrence order)")
+  in
+  let naive_arg =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Evaluate with the naive active-domain enumerator instead of \
+             the compiled algebra plan (reference oracle)")
+  in
+  let run query facts vars naive stats trace_path jobs =
+    set_jobs jobs;
+    let f =
+      try Fo_parse.formula_of_string query
+      with Fo_parse.Parse_error msg ->
+        Printf.eprintf "query: %s\n" msg;
+        exit 2
+    in
+    let inst = load_facts facts in
+    let vars =
+      match vars with
+      | None -> Fo.free_vars f
+      | Some s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun v -> v <> "")
+    in
+    try
+      with_observability ~name:"fo" stats trace_path (fun trace ->
+          match vars with
+          | [] ->
+              Format.printf "%b@."
+                (if naive then Fo.sentence_naive inst f
+                 else Fo.sentence ~trace inst f)
+          | vs ->
+              let r =
+                if naive then Fo.eval_naive inst f vs
+                else Fo.eval ~trace inst f vs
+              in
+              Relation.iter
+                (fun t -> Format.printf "%a@." Datalog.Pretty.pp_fact ("ans", t))
+                r)
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let doc =
+    "Answer a first-order (relational calculus) query over a facts file"
+  in
+  Cmd.v (Cmd.info "fo" ~doc)
+    Term.(
+      const run $ query_arg $ facts_arg $ vars_arg $ naive_arg $ stats_arg
+      $ trace_arg $ jobs_arg)
+
 let main =
   let doc =
     "The Datalog Unchained language family: forward-chaining Datalog \
      engines (PODS 2021 Gems reproduction)"
   in
   Cmd.group (Cmd.info "datalog-unchained" ~version:"1.0.0" ~doc)
-    [ run_cmd; nondet_cmd; stratify_cmd; deps_cmd; check_cmd; query_cmd ]
+    [ run_cmd; nondet_cmd; stratify_cmd; deps_cmd; check_cmd; query_cmd; fo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -24,13 +24,13 @@ exception Type_error of string
 
 let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 
-(* --- free variables ------------------------------------------------------ *)
+(* --- free variables / constants ------------------------------------------ *)
+
+(* Both share Fo's hashtable-backed collectors: this module only supplies
+   the traversal over its own (larger) formula type. *)
 
 let free_vars f =
-  let out = ref [] in
-  let note bound x =
-    if (not (List.mem x bound)) && not (List.mem x !out) then out := x :: !out
-  in
+  Fo.collect_free_vars @@ fun note ->
   let term bound = function Var x -> note bound x | Cst _ -> () in
   let rec go bound = function
     | True | False -> ()
@@ -53,15 +53,11 @@ let free_vars f =
            selected valuations) *)
         go bound f
   in
-  go [] f;
-  List.rev !out
-
-(* --- constants ------------------------------------------------------------ *)
+  go [] f
 
 let constants f =
-  let module VSet = Set.Make (Value) in
-  let acc = ref VSet.empty in
-  let term = function Cst v -> acc := VSet.add v !acc | Var _ -> () in
+  Fo.collect_constants @@ fun note ->
+  let term = function Cst v -> note v | Var _ -> () in
   let rec go = function
     | True | False -> ()
     | Atom (_, ts) -> List.iter term ts
@@ -76,8 +72,7 @@ let constants f =
         go fp.body;
         List.iter term ts
   in
-  go f;
-  VSet.elements !acc
+  go f
 
 (* --- witness policies ------------------------------------------------------ *)
 
@@ -94,7 +89,7 @@ let seeded_policy seed site key candidates =
   in
   List.nth candidates (abs h mod List.length candidates)
 
-(* --- evaluation -------------------------------------------------------------- *)
+(* --- naive evaluation (reference oracle) ----------------------------------- *)
 
 (* Assign stable integer ids to Witness nodes (preorder, physical). *)
 let number_witnesses f =
@@ -229,13 +224,26 @@ let make_dom inst f =
        (VSet.of_list (Instance.adom inst))
        (VSet.of_list (constants f)))
 
-let eval ?(policy = first_policy) inst f vars =
-  let fv = free_vars f in
-  List.iter
-    (fun x ->
-      if not (List.mem x vars) then
-        invalid_arg (Printf.sprintf "Fp.eval: free variable %s not listed" x))
-    fv;
+let check_covered what f vars =
+  match List.filter (fun x -> not (List.mem x vars)) (free_vars f) with
+  | [] -> ()
+  | missing ->
+      invalid_arg
+        (Printf.sprintf "Fp.%s: free variable%s %s not in output list" what
+           (if List.length missing = 1 then "" else "s")
+           (String.concat ", " missing))
+
+let check_closed what f =
+  match free_vars f with
+  | [] -> ()
+  | fv ->
+      invalid_arg
+        (Printf.sprintf "Fp.%s: free variable%s %s" what
+           (if List.length fv = 1 then "" else "s")
+           (String.concat ", " fv))
+
+let eval_naive ?(policy = first_policy) inst f vars =
+  check_covered "eval" f vars;
   let dom = make_dom inst f in
   let holds = make_holds ~policy inst f dom in
   let rec enum env = function
@@ -247,13 +255,319 @@ let eval ?(policy = first_policy) inst f vars =
   in
   Relation.of_list (enum [] vars)
 
-let sentence ?(policy = first_policy) inst f =
-  (match free_vars f with
-  | [] -> ()
-  | x :: _ -> invalid_arg (Printf.sprintf "Fp.sentence: free variable %s" x));
+let sentence_naive ?(policy = first_policy) inst f =
+  check_closed "sentence" f;
   let dom = make_dom inst f in
   let holds = make_holds ~policy inst f dom in
   holds [] [] f
+
+(* --- compiled evaluation ---------------------------------------------------- *)
+
+(* The compiled path lowers a fixpoint-logic formula to a plain FO formula
+   over a working instance: each (closed, non-parameterized) IFP/PFP
+   subterm is iterated to its fixpoint relation — the body compiled once
+   with {!Fo.compile} and executed per round — and replaced by an atom
+   over a fresh relation holding the result. Anything the lowering cannot
+   handle ([W], parameterized fixpoints, bodies referencing an enclosing
+   fixpoint's relation) raises [Fallback] and the whole query reverts to
+   the naive oracle above.
+
+   Internal relations live in a reserved "fp#" namespace:
+   - "fp#<n>"        the n-th fixpoint's result;
+   - "fp#<n>@rec"    the bound relation variable during iteration (the
+                     rename keeps a same-named database relation from
+                     leaking through round 0, where the fixpoint relation
+                     is empty and [Instance.set] drops the binding);
+   - "fp#<n>@delta"  the previous round's new tuples (semi-naive);
+   - "fp#dom"        a unary relation holding the whole formula's
+                     constants, so the active domain every compiled
+                     subquery sees equals [make_dom inst f] exactly. *)
+
+exception Fallback
+
+type lctx = {
+  mutable work : Instance.t;
+  trace : Observe.Trace.ctx;
+  mutable next_id : int;
+}
+
+let lower_term = function Var x -> Fo.Var x | Cst v -> Fo.Cst v
+
+let fo_mentions name f =
+  let found = ref false in
+  let rec go = function
+    | Fo.True | Fo.False | Fo.Eq _ -> ()
+    | Fo.Atom (p, _) -> if String.equal p name then found := true
+    | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) -> go f
+    | Fo.And (a, b) | Fo.Or (a, b) | Fo.Implies (a, b) ->
+        go a;
+        go b
+  in
+  go f;
+  !found
+
+(* [rel] occurs only under ∧ / ∨ / ∃ — the fragment where the per-round
+   novelty of the body is exactly covered by the per-occurrence delta
+   derivatives (the semi-naive expansion distributes). ∀ and ¬ above an
+   occurrence break that (a single new tuple can flip a universally
+   quantified subformula), so such bodies iterate by full recompute. *)
+let exist_positive rel f =
+  let ok = ref true in
+  let rec go safe = function
+    | Fo.Atom (p, _) -> if String.equal p rel && not safe then ok := false
+    | Fo.True | Fo.False | Fo.Eq _ -> ()
+    | Fo.And (a, b) | Fo.Or (a, b) ->
+        go safe a;
+        go safe b
+    | Fo.Exists (_, g) -> go safe g
+    | Fo.Not g | Fo.Forall (_, g) -> go false g
+    | Fo.Implies (a, b) ->
+        go false a;
+        go false b
+  in
+  go true f;
+  !ok
+
+let count_occurrences rel f =
+  let n = ref 0 in
+  let rec go = function
+    | Fo.Atom (p, _) -> if String.equal p rel then incr n
+    | Fo.True | Fo.False | Fo.Eq _ -> ()
+    | Fo.Not g | Fo.Exists (_, g) | Fo.Forall (_, g) -> go g
+    | Fo.And (a, b) | Fo.Or (a, b) | Fo.Implies (a, b) ->
+        go a;
+        go b
+  in
+  go f;
+  !n
+
+(* Replace the [i]-th occurrence (preorder, 0-based) of an atom over
+   [rel] with the same atom over [del]. *)
+let substitute_nth rel del i f =
+  let k = ref 0 in
+  let rec go = function
+    | Fo.Atom (p, ts) when String.equal p rel ->
+        let j = !k in
+        incr k;
+        Fo.Atom ((if j = i then del else p), ts)
+    | (Fo.True | Fo.False | Fo.Eq _ | Fo.Atom _) as f -> f
+    | Fo.Not g -> Fo.Not (go g)
+    | Fo.And (a, b) ->
+        let a = go a in
+        Fo.And (a, go b)
+    | Fo.Or (a, b) ->
+        let a = go a in
+        Fo.Or (a, go b)
+    | Fo.Implies (a, b) ->
+        let a = go a in
+        Fo.Implies (a, go b)
+    | Fo.Exists (xs, g) -> Fo.Exists (xs, go g)
+    | Fo.Forall (xs, g) -> Fo.Forall (xs, go g)
+  in
+  go f
+
+let rec or_branches = function
+  | Fo.Or (a, b) -> or_branches a @ or_branches b
+  | f -> [ f ]
+
+(* Drop top-level disjuncts of a derivative that mention no delta atom:
+   from round 2 on, their satisfactions were already produced — by round
+   1's full body evaluation (delta-free branches) or by the derivative
+   whose delta sits in that branch — and would only be diffed away. *)
+let prune_derivative del d =
+  match List.filter (fo_mentions del) (or_branches d) with
+  | [] -> Fo.False
+  | f :: rest -> List.fold_left (fun a b -> Fo.Or (a, b)) f rest
+
+(* Evaluate one plan per derivative; with several derivatives and a free
+   pool, spread them over the domains (workers get private trace
+   contexts, merged at the barrier). *)
+let eval_plans ~trace inst plans =
+  match plans with
+  | [] -> []
+  | [ p ] -> [ Fo.run_plan ~trace inst p ]
+  | _ -> (
+      match Parallel.Pool.acquire () with
+      | None -> List.map (Fo.run_plan ~trace inst) plans
+      | Some pool ->
+          Fun.protect ~finally:(fun () -> Parallel.Pool.release pool)
+          @@ fun () ->
+          let arr = Array.of_list plans in
+          let out = Array.make (Array.length arr) Relation.empty in
+          let nw = Parallel.Pool.size pool in
+          let traces =
+            Array.init nw (fun w ->
+                if w = 0 || not (Observe.Trace.enabled trace) then trace
+                else Observe.Trace.make ())
+          in
+          Parallel.Pool.run pool (fun w ->
+              let i = ref w in
+              while !i < Array.length arr do
+                out.(!i) <- Fo.run_plan ~trace:traces.(w) inst arr.(!i);
+                i := !i + nw
+              done);
+          for w = 1 to nw - 1 do
+            Observe.Trace.merge_counters trace traces.(w)
+          done;
+          Array.to_list out)
+
+let run_ifp ctx recname delname vars body =
+  let trace = ctx.trace in
+  let body_plan = Fo.compile ~trace body vars in
+  if exist_positive recname body then begin
+    (* semi-naive differential iteration: round 1 evaluates the full body
+       against the empty fixpoint relation; later rounds evaluate one
+       derivative per occurrence of the relation, each substituting the
+       delta at that occurrence, and keep what round n hadn't derived *)
+    let m = count_occurrences recname body in
+    let dplans =
+      List.init m (fun i ->
+          prune_derivative delname (substitute_nth recname delname i body))
+      |> List.sort_uniq compare
+      |> List.map (fun d -> Fo.compile ~trace d vars)
+    in
+    Observe.Trace.incr trace "fp.rounds";
+    let j = ref (Fo.run_plan ~trace ctx.work body_plan) in
+    let delta = ref !j in
+    while not (Relation.is_empty !delta) do
+      Observe.Trace.incr trace "fp.rounds";
+      let inst =
+        Instance.set delname !delta (Instance.set recname !j ctx.work)
+      in
+      let derived =
+        List.fold_left Relation.union Relation.empty
+          (eval_plans ~trace inst dplans)
+      in
+      let d = Relation.diff derived !j in
+      j := Relation.union !j d;
+      delta := d
+    done;
+    !j
+  end
+  else
+    let rec loop j =
+      Observe.Trace.incr trace "fp.rounds";
+      let next =
+        Relation.union j
+          (Fo.run_plan ~trace (Instance.set recname j ctx.work) body_plan)
+      in
+      if Relation.equal next j then j else loop next
+    in
+    loop Relation.empty
+
+let run_pfp ctx recname rel vars body =
+  let trace = ctx.trace in
+  let plan = Fo.compile ~trace body vars in
+  let module RSet = Set.Make (Relation) in
+  let rec loop j seen =
+    Observe.Trace.incr trace "fp.rounds";
+    let next = Fo.run_plan ~trace (Instance.set recname j ctx.work) plan in
+    if Relation.equal next j then j
+    else if RSet.mem next seen then
+      raise (Undefined (Printf.sprintf "PFP %s cycles without converging" rel))
+    else loop next (RSet.add next seen)
+  in
+  loop Relation.empty RSet.empty
+
+let rec lower ctx bound f =
+  match f with
+  | True -> Fo.True
+  | False -> Fo.False
+  | Atom (p, ts) ->
+      let p =
+        match List.assoc_opt p bound with Some r -> r | None -> p
+      in
+      Fo.Atom (p, List.map lower_term ts)
+  | Eq (a, b) -> Fo.Eq (lower_term a, lower_term b)
+  | Not f -> Fo.Not (lower ctx bound f)
+  | And (a, b) -> Fo.And (lower ctx bound a, lower ctx bound b)
+  | Or (a, b) -> Fo.Or (lower ctx bound a, lower ctx bound b)
+  | Implies (a, b) -> Fo.Implies (lower ctx bound a, lower ctx bound b)
+  | Exists (xs, f) -> Fo.Exists (xs, lower ctx bound f)
+  | Forall (xs, f) -> Fo.Forall (xs, lower ctx bound f)
+  | Witness _ -> raise Fallback
+  | (Ifp (fp, ts) | Pfp (fp, ts)) as node ->
+      if List.length ts <> List.length fp.vars then
+        type_error "fixpoint %s: %d arguments for arity %d" fp.rel
+          (List.length ts) (List.length fp.vars);
+      (* a parameterized fixpoint (body free variables beyond the column
+         variables) is a different relation per outer valuation *)
+      if
+        List.exists
+          (fun x -> not (List.mem x fp.vars))
+          (free_vars fp.body)
+      then raise Fallback;
+      let n = ctx.next_id in
+      ctx.next_id <- n + 1;
+      let recname = Printf.sprintf "fp#%d@rec" n in
+      let delname = Printf.sprintf "fp#%d@delta" n in
+      let body = lower ctx ((fp.rel, recname) :: bound) fp.body in
+      (* a nested fixpoint whose body references an enclosing fixpoint's
+         relation would need re-evaluation per enclosing round *)
+      if
+        List.exists
+          (fun (r, rn) -> (not (String.equal r fp.rel)) && fo_mentions rn body)
+          bound
+      then raise Fallback;
+      let j =
+        match node with
+        | Ifp _ -> run_ifp ctx recname delname fp.vars body
+        | _ -> run_pfp ctx recname fp.rel fp.vars body
+      in
+      let resname = Printf.sprintf "fp#%d" n in
+      ctx.work <- Instance.set resname j ctx.work;
+      Fo.Atom (resname, List.map lower_term ts)
+
+let reserved name =
+  String.length name >= 3 && String.equal (String.sub name 0 3) "fp#"
+
+let uses_reserved_names inst f =
+  List.exists reserved (Instance.names inst)
+  ||
+  let found = ref false in
+  let rec go = function
+    | True | False | Eq _ -> ()
+    | Atom (p, _) -> if reserved p then found := true
+    | Not f | Exists (_, f) | Forall (_, f) | Witness (_, f) -> go f
+    | And (a, b) | Or (a, b) | Implies (a, b) ->
+        go a;
+        go b
+    | Ifp (fp, _) | Pfp (fp, _) ->
+        if reserved fp.rel then found := true;
+        go fp.body
+  in
+  go f;
+  !found
+
+let lower_query trace inst f =
+  if uses_reserved_names inst f then raise Fallback;
+  let work =
+    match constants f with
+    | [] -> inst
+    | cs ->
+        Instance.set "fp#dom"
+          (Relation.of_list (List.map (fun v -> Tuple.of_list [ v ]) cs))
+          inst
+  in
+  let ctx = { work; trace; next_id = 0 } in
+  let lf = lower ctx [] f in
+  (ctx.work, lf)
+
+let eval ?(policy = first_policy) ?(trace = Observe.Trace.null) inst f vars =
+  check_covered "eval" f vars;
+  match lower_query trace inst f with
+  | work, lf -> Fo.eval ~trace work lf vars
+  | exception Fallback ->
+      Observe.Trace.incr trace "fp.fallback";
+      eval_naive ~policy inst f vars
+
+let sentence ?(policy = first_policy) ?(trace = Observe.Trace.null) inst f =
+  check_closed "sentence" f;
+  match lower_query trace inst f with
+  | work, lf -> Fo.sentence ~trace work lf
+  | exception Fallback ->
+      Observe.Trace.incr trace "fp.fallback";
+      sentence_naive ~policy inst f
 
 (* Enumerate all outcomes: DFS over the tree of witness decisions. A path
    is a list of chosen indices in decision order; choices beyond the path

@@ -19,6 +19,20 @@
     unsatisfiable); [W x̄ φ] holds exactly of the selected
     valuations, so the witness variables stay free in the formula.
 
+    {b Evaluation} compiles to {!Relational.Algebra} plans: each
+    non-parameterized IFP/PFP subterm is iterated to its fixpoint
+    relation with its body compiled once via {!Relational.Fo.compile}
+    and executed per round ([fp.rounds] counts rounds); bodies whose
+    recursive relation occurs only under ∧/∨/∃ iterate {e
+    semi-naively} — per-occurrence delta derivatives, evaluated in
+    parallel on the {!Parallel.Pool} when it is free. Formulas the
+    lowering cannot handle — [W], parameterized fixpoints (body free
+    variables beyond the column variables), a nested fixpoint reading an
+    enclosing fixpoint's relation — fall back to the naive enumerators,
+    which survive as [eval_naive] / [sentence_naive] reference oracles
+    (the fallback ticks the [fp.fallback] counter). Relation names
+    starting with ["fp#"] are reserved by the compiled path.
+
     The partial fixpoint is undefined when the stage sequence cycles
     without converging (the flip-flop); evaluation reports this as
     {!Undefined}. Witness choices are resolved by a seeded deterministic
@@ -57,8 +71,12 @@ exception Undefined of string
 exception Type_error of string
 
 (** [free_vars f] — the fixpoint column variables [x̄] are bound inside
-    fixpoint bodies; [W]'s variables stay free (see above). *)
+    fixpoint bodies; [W]'s variables stay free (see above). Shares
+    {!Relational.Fo.collect_free_vars} with the FO layer. *)
 val free_vars : formula -> string list
+
+(** [constants f] lists the constants mentioned by [f], sorted. *)
+val constants : formula -> Value.t list
 
 (** A choice policy resolves witness selections: given the call-site id,
     the outer valuation, and the (non-empty, sorted) candidate tuples,
@@ -72,18 +90,35 @@ val seeded_policy : int -> policy
     skolemization). *)
 val first_policy : policy
 
-(** [eval ?policy inst f vars] evaluates [f] with output columns [vars]
-    over the active domain of [inst] (plus [f]'s constants). Without
+(** [eval ?policy ?trace inst f vars] evaluates [f] with output columns
+    [vars] over the active domain of [inst] (plus [f]'s constants),
+    through the compiled path where possible (see above). Without
     [Witness] subformulas the result is deterministic and [policy] is
     irrelevant (default {!first_policy}).
     @raise Undefined on diverging PFP
     @raise Type_error on arity mismatches
-    @raise Invalid_argument if [vars] misses a free variable *)
+    @raise Invalid_argument listing {e all} free variables missing from
+    [vars] *)
 val eval :
+  ?policy:policy ->
+  ?trace:Observe.Trace.ctx ->
+  Instance.t ->
+  formula ->
+  string list ->
+  Relation.t
+
+(** [eval_naive] — the pre-compilation active-domain enumerator, kept as
+    the reference oracle for the compiled path. *)
+val eval_naive :
   ?policy:policy -> Instance.t -> formula -> string list -> Relation.t
 
-(** [sentence ?policy inst f] decides a closed formula. *)
-val sentence : ?policy:policy -> Instance.t -> formula -> bool
+(** [sentence ?policy ?trace inst f] decides a closed formula.
+    @raise Invalid_argument listing all free variables if [f] is open. *)
+val sentence :
+  ?policy:policy -> ?trace:Observe.Trace.ctx -> Instance.t -> formula -> bool
+
+(** [sentence_naive] — reference oracle for {!sentence}. *)
+val sentence_naive : ?policy:policy -> Instance.t -> formula -> bool
 
 (** [outcomes ?max_outcomes inst f vars] enumerates the results of [eval]
     over {e all} choice functions, deduplicated (default cap 10_000

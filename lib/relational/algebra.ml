@@ -17,10 +17,58 @@ type expr =
   | Union of expr * expr
   | Diff of expr * expr
   | Inter of expr * expr
+  | Semijoin of (int * int) list * expr * expr
+  | Antijoin of (int * int) list * expr * expr
+  | Adom
+  | Complement of int * expr * expr
 
 exception Type_error of string
 
-let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+let rec pp_cond ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Col_eq_col (i, j) -> Format.fprintf ppf "$%d = $%d" i j
+  | Col_eq_const (i, v) -> Format.fprintf ppf "$%d = %a" i Value.pp v
+  | Col_lt_col (i, j) -> Format.fprintf ppf "$%d < $%d" i j
+  | Not c -> Format.fprintf ppf "\xc2\xac(%a)" pp_cond c
+  | And (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa7 %a)" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa8 %a)" pp_cond a pp_cond b
+
+let pp_pairs ppf pairs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    (fun ppf (i, j) -> Format.fprintf ppf "%d=%d" i j)
+    ppf pairs
+
+let rec pp ppf = function
+  | Rel n -> Format.pp_print_string ppf n
+  | Const r -> Format.fprintf ppf "const%a" Relation.pp r
+  | Project (cols, e) ->
+      Format.fprintf ppf "\xcf\x80[%a](%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        cols pp e
+  | Select (c, e) -> Format.fprintf ppf "\xcf\x83[%a](%a)" pp_cond c pp e
+  | Product (l, r) -> Format.fprintf ppf "(%a \xc3\x97 %a)" pp l pp r
+  | Join (pairs, l, r) ->
+      Format.fprintf ppf "(%a \xe2\x8b\x88[%a] %a)" pp l pp_pairs pairs pp r
+  | Union (l, r) -> Format.fprintf ppf "(%a \xe2\x88\xaa %a)" pp l pp r
+  | Diff (l, r) -> Format.fprintf ppf "(%a \xe2\x88\x92 %a)" pp l pp r
+  | Inter (l, r) -> Format.fprintf ppf "(%a \xe2\x88\xa9 %a)" pp l pp r
+  | Semijoin (pairs, l, r) ->
+      Format.fprintf ppf "(%a \xe2\x8b\x89[%a] %a)" pp l pp_pairs pairs pp r
+  | Antijoin (pairs, l, r) ->
+      Format.fprintf ppf "(%a \xe2\x96\xb7[%a] %a)" pp l pp_pairs pairs pp r
+  | Adom -> Format.pp_print_string ppf "adom"
+  | Complement (k, dom, e) ->
+      Format.fprintf ppf "\xe2\x88\x81%d[%a](%a)" k pp dom pp e
+
+(* Every type error names the offending sub-expression, so a failure
+   deep inside a compiled plan is attributable without a debugger. *)
+let type_error e fmt =
+  Format.kasprintf
+    (fun s -> raise (Type_error (Format.asprintf "%s in %a" s pp e)))
+    fmt
 
 let rec cond_max_col = function
   | True -> -1
@@ -29,43 +77,60 @@ let rec cond_max_col = function
   | Not c -> cond_max_col c
   | And (a, b) | Or (a, b) -> max (cond_max_col a) (cond_max_col b)
 
+let check_pairs err pairs al ar =
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= al then
+        err (Printf.sprintf "join column %d out of left range (arity %d)" i al);
+      if j < 0 || j >= ar then
+        err
+          (Printf.sprintf "join column %d out of right range (arity %d)" j ar))
+    pairs
+
 let rec arity schema e =
   match e with
   | Rel name -> (
       match Schema.find name schema with
       | Some r -> r.Schema.arity
-      | None -> type_error "unknown relation %s" name)
+      | None -> type_error e "unknown relation %s" name)
   | Const r -> ( match Relation.arity r with Some a -> a | None -> 0)
-  | Project (cols, e) ->
-      let a = arity schema e in
+  | Project (cols, e0) ->
+      let a = arity schema e0 in
       List.iter
         (fun c ->
           if c < 0 || c >= a then
-            type_error "projection column %d out of range (arity %d)" c a)
+            type_error e "projection column %d out of range (arity %d)" c a)
         cols;
       List.length cols
-  | Select (c, e) ->
-      let a = arity schema e in
+  | Select (c, e0) ->
+      let a = arity schema e0 in
       if cond_max_col c >= a then
-        type_error "selection column %d out of range (arity %d)"
+        type_error e "selection column %d out of range (arity %d)"
           (cond_max_col c) a;
       a
   | Product (l, r) -> arity schema l + arity schema r
   | Join (pairs, l, r) ->
       let al = arity schema l and ar = arity schema r in
-      List.iter
-        (fun (i, j) ->
-          if i < 0 || i >= al then
-            type_error "join column %d out of left range (arity %d)" i al;
-          if j < 0 || j >= ar then
-            type_error "join column %d out of right range (arity %d)" j ar)
-        pairs;
+      check_pairs (fun s -> type_error e "%s" s) pairs al ar;
       al + ar
+  | Semijoin (pairs, l, r) | Antijoin (pairs, l, r) ->
+      let al = arity schema l and ar = arity schema r in
+      check_pairs (fun s -> type_error e "%s" s) pairs al ar;
+      al
   | Union (l, r) | Diff (l, r) | Inter (l, r) ->
       let al = arity schema l and ar = arity schema r in
-      if al <> ar then
-        type_error "set operation on arities %d and %d" al ar;
+      if al <> ar then type_error e "set operation on arities %d and %d" al ar;
       al
+  | Adom -> 1
+  | Complement (k, dome, e0) ->
+      if k < 0 then type_error e "complement of negative arity %d" k;
+      let ad = arity schema dome in
+      if ad <> 1 && ad <> 0 then
+        type_error e "complement domain has arity %d, expected 1" ad;
+      let a0 = arity schema e0 in
+      if a0 <> k then
+        type_error e "complement of arity-%d operand at arity %d" a0 k;
+      k
 
 let rec holds_cond c t =
   match c with
@@ -94,82 +159,412 @@ module KTbl = Hashtbl.Make (struct
   let hash = Tuple.hash_ids
 end)
 
-(* Hash join on the given column pairs. *)
-let equijoin pairs left right =
-  let key cols t = Array.map (fun c -> Tuple.id t c) cols in
+let key cols t = Array.map (fun c -> Tuple.id t c) cols
+
+(* Single-int keys for one- and two-column keys: interned ids are dense
+   table indices far below 2^31, so a pair packs reversibly into one int
+   on 64-bit hosts — no array allocation per probe or emitted tuple. *)
+let can_pack = Sys.int_size >= 63
+let pack2 a b = (a lsl 31) lor b
+let unpack2_hi k = k lsr 31
+let unpack2_lo k = k land 0x7FFFFFFF
+
+module ITbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash x =
+    let h = x * 0x9E3779B1 in
+    (h lxor (h lsr 29)) land max_int
+end)
+
+(* Deduplicating collector for bulk-built results: id arrays go through a
+   hash set, the relation is constructed in one [of_distinct] pass. *)
+let dedup_to_relation collect =
+  let seen : unit KTbl.t = KTbl.create 256 in
+  collect (fun ids -> KTbl.replace seen ids ());
+  Relation.of_distinct
+    (KTbl.fold (fun ids () acc -> Tuple.of_ids ids :: acc) seen [])
+
+(* A deduplicated set of projected join outputs, represented by output
+   arity. Probing answers membership without building a relation (see
+   the complement fusion in [eval]). *)
+type idset =
+  | Packed1 of unit ITbl.t
+  | Packed2 of unit ITbl.t
+  | Keyed of unit KTbl.t
+
+let idset_mem s ids =
+  match s with
+  | Packed1 t -> ITbl.mem t ids.(0)
+  | Packed2 t -> ITbl.mem t (pack2 ids.(0) ids.(1))
+  | Keyed t -> KTbl.mem t ids
+
+let idset_tuples s =
+  match s with
+  | Packed1 t -> ITbl.fold (fun k () acc -> Tuple.of_ids [| k |] :: acc) t []
+  | Packed2 t ->
+      ITbl.fold
+        (fun k () acc -> Tuple.of_ids [| unpack2_hi k; unpack2_lo k |] :: acc)
+        t []
+  | Keyed t -> KTbl.fold (fun ids () acc -> Tuple.of_ids ids :: acc) t []
+
+(* Hash join on the given column pairs, indexing the smaller operand and
+   probing with the larger. Single-column keys go through a plain int
+   table. Builds the index once and returns an iterator over matching
+   (left, right) tuple pairs. *)
+let join_matches ~trace pairs left right =
   let lcols = Array.of_list (List.map fst pairs)
   and rcols = Array.of_list (List.map snd pairs) in
-  let index : Tuple.t list KTbl.t = KTbl.create 64 in
-  Relation.unordered_iter
-    (fun t ->
-      let k = key rcols t in
-      KTbl.replace index k (t :: (try KTbl.find index k with Not_found -> [])))
-    right;
-  Relation.unordered_fold
-    (fun lt acc ->
-      match KTbl.find_opt index (key lcols lt) with
-      | None -> acc
-      | Some rts ->
-          List.fold_left
-            (fun acc rt -> Relation.add (Tuple.concat lt rt) acc)
-            acc rts)
-    left Relation.empty
+  let swap = Relation.cardinal left < Relation.cardinal right in
+  let icols, pcols, indexed, probed =
+    if swap then (lcols, rcols, left, right) else (rcols, lcols, right, left)
+  in
+  Observe.Trace.add trace "ra.join.probes" (Relation.cardinal probed);
+  let find =
+    if Array.length icols = 1 then (
+      let c = icols.(0) and pc = pcols.(0) in
+      let index : Tuple.t list ITbl.t = ITbl.create 64 in
+      Relation.unordered_iter
+        (fun t ->
+          let k = Tuple.id t c in
+          ITbl.replace index k
+            (t :: (try ITbl.find index k with Not_found -> [])))
+        indexed;
+      fun pt -> try ITbl.find index (Tuple.id pt pc) with Not_found -> [])
+    else (
+      let index : Tuple.t list KTbl.t = KTbl.create 64 in
+      Relation.unordered_iter
+        (fun t ->
+          let k = key icols t in
+          KTbl.replace index k
+            (t :: (try KTbl.find index k with Not_found -> [])))
+        indexed;
+      fun pt -> try KTbl.find index (key pcols pt) with Not_found -> [])
+  in
+  fun f ->
+    Relation.unordered_iter
+      (fun pt ->
+        List.iter (fun it -> if swap then f it pt else f pt it) (find pt))
+      probed
 
-let rec eval inst e =
+(* Dense-universe variant of [join_matches] for a single-pair join whose
+   indexed keys all lie below [b]: the index is a plain array, one load
+   per probe instead of a hash lookup. Returns [None] (caller falls back
+   to the hash join) when a key escapes the universe. *)
+let dense_join_matches ~trace ~b (lc, rc) left right =
+  let swap = Relation.cardinal left < Relation.cardinal right in
+  let ic, pc, indexed, probed =
+    if swap then (lc, rc, left, right) else (rc, lc, right, left)
+  in
+  let ok = ref true in
+  Relation.unordered_iter (fun t -> if Tuple.id t ic >= b then ok := false)
+    indexed;
+  if not !ok then None
+  else begin
+    let index = Array.make (max b 1) [] in
+    Relation.unordered_iter
+      (fun t ->
+        let k = Tuple.id t ic in
+        index.(k) <- t :: index.(k))
+      indexed;
+    Observe.Trace.add trace "ra.join.probes" (Relation.cardinal probed);
+    Some
+      (fun f ->
+        Relation.unordered_iter
+          (fun pt ->
+            let k = Tuple.id pt pc in
+            if k < b then
+              List.iter (fun it -> if swap then f it pt else f pt it) index.(k))
+          probed)
+  end
+
+(* Projection fused into the join's probe loop, deduplicated into an
+   [idset]; [cols] indexes the concatenation of left and right. The
+   full-width join result is never materialized, and for outputs of one
+   or two columns neither are per-tuple key arrays. *)
+let join_col ~al lt rt c =
+  if c < al then Tuple.id lt c else Tuple.id rt (c - al)
+
+let join_set ~trace ~al pairs cols left right =
+  let each = join_matches ~trace pairs left right in
+  let k = Array.length cols in
+  let get = join_col ~al in
+  if can_pack && k = 1 then (
+    let s = ITbl.create 256 in
+    let c0 = cols.(0) in
+    each (fun lt rt -> ITbl.replace s (get lt rt c0) ());
+    Packed1 s)
+  else if can_pack && k = 2 then (
+    let s = ITbl.create 256 in
+    let c0 = cols.(0) and c1 = cols.(1) in
+    each (fun lt rt -> ITbl.replace s (pack2 (get lt rt c0) (get lt rt c1)) ());
+    Packed2 s)
+  else (
+    let s = KTbl.create 256 in
+    each (fun lt rt -> KTbl.replace s (Array.map (get lt rt) cols) ());
+    Keyed s)
+
+let equijoin ?(trace = Observe.Trace.null) ?proj pairs left right =
+  match proj with
+  | None ->
+      (* distinct (lt, rt) pairs concatenate to distinct tuples *)
+      let each = join_matches ~trace pairs left right in
+      let out = ref [] in
+      each (fun lt rt -> out := Tuple.concat lt rt :: !out);
+      Relation.of_distinct !out
+  | Some cols ->
+      let al = match Relation.arity left with Some a -> a | None -> 0 in
+      Relation.of_distinct
+        (idset_tuples (join_set ~trace ~al pairs cols left right))
+
+(* Hash semi/antijoin: index the right side's key projection as a set,
+   keep the left tuples that do (resp. do not) find a match. An empty
+   pair list projects every right tuple onto the same empty key, so the
+   semijoin degenerates into "left if right non-empty" — the compiled
+   guard for quantifiers over variables absent from their body. *)
+let semi ?(trace = Observe.Trace.null) ~anti pairs left right =
+  let lcols = Array.of_list (List.map fst pairs)
+  and rcols = Array.of_list (List.map snd pairs) in
+  let index : unit KTbl.t = KTbl.create 64 in
+  Relation.unordered_iter (fun t -> KTbl.replace index (key rcols t) ()) right;
+  Observe.Trace.add trace "ra.join.probes" (Relation.cardinal left);
+  Relation.filter (fun lt -> KTbl.mem index (key lcols lt) <> anti) left
+
+let adom_rel inst =
+  Relation.of_distinct
+    (List.map (fun v -> Tuple.of_list [ v ]) (Instance.adom inst))
+
+(* [identity_pairs pairs k]: the pairs equate column i with column i for
+   every i < k — the join key is the whole tuple on both sides, so semi-
+   and antijoins of arity-k operands degenerate to set operations. *)
+let identity_pairs pairs k =
+  List.length pairs = k
+  && List.for_all (fun (i, j) -> i = j) pairs
+  && List.sort_uniq Int.compare (List.map fst pairs) = List.init k Fun.id
+
+let dom_id_array dom =
+  Array.of_list (Relation.fold (fun t acc -> Tuple.id t 0 :: acc) dom [])
+
+(* Binary complements over a small id universe skip hash probing
+   entirely: members mark a [b × b] bitset (a few KB — it stays in
+   cache), candidates test one bit each. [mark] receives the setter;
+   ids outside the universe can never be dom² candidates and are
+   ignored. *)
+let dense_bound = 4096
+
+let complement2_bitset ~ids ~b ~mark =
+  let bits = Bytes.make ((b * b) / 8 + 1) '\000' in
+  let set x y =
+    if x < b && y < b then (
+      let i = (x * b) + y in
+      Bytes.unsafe_set bits (i lsr 3)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get bits (i lsr 3)) lor (1 lsl (i land 7)))))
+  in
+  mark set;
+  let out = ref [] in
+  Array.iter
+    (fun x ->
+      Array.iter
+        (fun y ->
+          let i = (x * b) + y in
+          if
+            Char.code (Bytes.unsafe_get bits (i lsr 3)) land (1 lsl (i land 7))
+            = 0
+          then out := Tuple.of_ids [| x; y |] :: !out)
+        ids)
+    ids;
+  Relation.of_distinct !out
+
+(* dom^k minus a membership predicate, enumerated with a reusable id
+   buffer and one probe per candidate — never materializing dom^k when
+   the predicate already covers it. *)
+let complement_probe k dom pred =
+  let ids = dom_id_array dom in
+  let n = Array.length ids in
+  if k > 0 && n = 0 then Relation.empty
+  else
+    let buf = Array.make k 0 in
+    let out = ref [] in
+    let rec fill pos =
+      if pos = k then (
+        if not (pred buf) then out := Tuple.of_ids (Array.copy buf) :: !out)
+      else
+        for i = 0 to n - 1 do
+          buf.(pos) <- ids.(i);
+          fill (pos + 1)
+        done
+    in
+    fill 0;
+    Relation.of_distinct !out
+
+(* Compose a chain of projections into a single column list over the
+   first non-projection operand, validating each step. *)
+let rec flatten_project orig cols e0 =
+  match e0 with
+  | Project (inner, e1) ->
+      let n = List.length inner in
+      List.iter
+        (fun c ->
+          if c < 0 || c >= n then
+            type_error orig "projection column %d out of range (arity %d)" c n)
+        cols;
+      flatten_project orig (List.map (List.nth inner) cols) e1
+  | _ -> (cols, e0)
+
+let check_proj_cols orig cols a =
+  List.iter
+    (fun c ->
+      if c < 0 || c >= a then
+        type_error orig "projection column %d out of range (arity %d)" c a)
+    cols
+
+(* [e] as a (flattened) projection over a join with [k] output columns —
+   the shape the complement fusion in [eval] evaluates without ever
+   building the join's result relation. *)
+let projected_join e k =
   match e with
-  | Rel name -> Instance.find name inst
-  | Const r -> r
-  | Project (cols, e) ->
-      let r = eval inst e in
-      (match Relation.arity r with
-      | Some a ->
-          List.iter
-            (fun c ->
-              if c < 0 || c >= a then
-                type_error "projection column %d out of range (arity %d)" c a)
-            cols
-      | None -> ());
-      Relation.map (fun t -> Tuple.project t cols) r
-  | Select (c, e) -> Relation.filter (holds_cond c) (eval inst e)
-  | Product (l, r) ->
-      let rl = eval inst l and rr = eval inst r in
-      Relation.fold
-        (fun lt acc ->
-          Relation.fold
-            (fun rt acc -> Relation.add (Tuple.concat lt rt) acc)
-            rr acc)
-        rl Relation.empty
-  | Join (pairs, l, r) -> equijoin pairs (eval inst l) (eval inst r)
-  | Union (l, r) -> Relation.union (eval inst l) (eval inst r)
-  | Diff (l, r) -> Relation.diff (eval inst l) (eval inst r)
-  | Inter (l, r) -> Relation.inter (eval inst l) (eval inst r)
+  | Project (pcols, p0) -> (
+      match flatten_project e pcols p0 with
+      | cols, Join (pairs, l, r) when List.length cols = k ->
+          Some (cols, pairs, l, r)
+      | _ -> None)
+  | _ -> None
 
-let rec pp_cond ppf = function
-  | True -> Format.pp_print_string ppf "true"
-  | Col_eq_col (i, j) -> Format.fprintf ppf "$%d = $%d" i j
-  | Col_eq_const (i, v) -> Format.fprintf ppf "$%d = %a" i Value.pp v
-  | Col_lt_col (i, j) -> Format.fprintf ppf "$%d < $%d" i j
-  | Not c -> Format.fprintf ppf "\xc2\xac(%a)" pp_cond c
-  | And (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa7 %a)" pp_cond a pp_cond b
-  | Or (a, b) -> Format.fprintf ppf "(%a \xe2\x88\xa8 %a)" pp_cond a pp_cond b
-
-let rec pp ppf = function
-  | Rel n -> Format.pp_print_string ppf n
-  | Const r -> Format.fprintf ppf "const%a" Relation.pp r
-  | Project (cols, e) ->
-      Format.fprintf ppf "\xcf\x80[%a](%a)"
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-           Format.pp_print_int)
-        cols pp e
-  | Select (c, e) -> Format.fprintf ppf "\xcf\x83[%a](%a)" pp_cond c pp e
-  | Product (l, r) -> Format.fprintf ppf "(%a \xc3\x97 %a)" pp l pp r
-  | Join (pairs, l, r) ->
-      Format.fprintf ppf "(%a \xe2\x8b\x88[%a] %a)" pp l
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-           (fun ppf (i, j) -> Format.fprintf ppf "%d=%d" i j))
-        pairs pp r
-  | Union (l, r) -> Format.fprintf ppf "(%a \xe2\x88\xaa %a)" pp l pp r
-  | Diff (l, r) -> Format.fprintf ppf "(%a \xe2\x88\x92 %a)" pp l pp r
-  | Inter (l, r) -> Format.fprintf ppf "(%a \xe2\x88\xa9 %a)" pp l pp r
+let eval ?(trace = Observe.Trace.null) inst e =
+  let rec ev e =
+    match e with
+    | Rel name -> Instance.find name inst
+    | Const r -> r
+    | Project (cols, e0) -> ev_project e cols e0
+    | Select (c, e0) -> Relation.filter (holds_cond c) (ev e0)
+    | Product (l, r) -> (
+        let rl = ev l and rr = ev r in
+        match (Relation.arity rl, Relation.arity rr) with
+        | None, _ | _, None -> Relation.empty
+        | Some 0, _ -> rr (* {()} × r = r *)
+        | _, Some 0 -> rl
+        | Some _, Some _ ->
+            let out = ref [] in
+            Relation.unordered_iter
+              (fun lt ->
+                Relation.unordered_iter
+                  (fun rt -> out := Tuple.concat lt rt :: !out)
+                  rr)
+              rl;
+            Relation.of_distinct !out)
+    | Join (pairs, l, r) -> equijoin ~trace pairs (ev l) (ev r)
+    | Semijoin (pairs, l, r) -> (
+        let rl = ev l and rr = ev r in
+        match (Relation.arity rl, Relation.arity rr) with
+        | Some k, Some kr when kr = k && identity_pairs pairs k ->
+            Relation.inter rl rr
+        | _ -> semi ~trace ~anti:false pairs rl rr)
+    | Antijoin (pairs, (Complement (k, dome, e0) as c), r)
+      when identity_pairs pairs k -> (
+        (* (dom^k − e) ▷ r over all columns is dom^k − (e ∪ r): one probe
+           pass emitting only the surviving tuples, never the complement.
+           When r is a projected join, the probe hits the join's dedup
+           set directly and the join result relation is never built. *)
+        let base = ev e0 in
+        (match Relation.arity base with
+        | Some a when a <> k ->
+            type_error c "complement of arity-%d operand at arity %d" a k
+        | _ -> ());
+        match projected_join r k with
+        | Some (cols, jpairs, jl, jr) -> (
+            let rl = ev jl and rr = ev jr in
+            match (Relation.arity rl, Relation.arity rr) with
+            | Some al, Some ar -> (
+                check_proj_cols r cols (al + ar);
+                let dom = ev_dom c dome in
+                let ids = dom_id_array dom in
+                let b = Array.fold_left max (-1) ids + 1 in
+                let cols = Array.of_list cols in
+                if can_pack && k = 2 && b <= dense_bound then (
+                  let c0 = cols.(0) and c1 = cols.(1) in
+                  complement2_bitset ~ids ~b ~mark:(fun set ->
+                      Relation.unordered_iter
+                        (fun t -> set (Tuple.id t 0) (Tuple.id t 1))
+                        base;
+                      let each =
+                        match jpairs with
+                        | [ pair ] -> (
+                            match dense_join_matches ~trace ~b pair rl rr with
+                            | Some each -> each
+                            | None -> join_matches ~trace jpairs rl rr)
+                        | _ -> join_matches ~trace jpairs rl rr
+                      in
+                      each (fun lt rt ->
+                          set (join_col ~al lt rt c0) (join_col ~al lt rt c1))))
+                else
+                  let set = join_set ~trace ~al jpairs cols rl rr in
+                  complement_probe k dom (fun buf ->
+                      Relation.mem_ids buf base || idset_mem set buf))
+            | _ -> ev_complement c k dome base (* empty join *))
+        | None -> (
+            let rr = ev r in
+            match Relation.arity rr with
+            | None -> ev_complement c k dome base
+            | Some a when a = k ->
+                ev_complement_probe c k dome (fun buf ->
+                    Relation.mem_ids buf base || Relation.mem_ids buf rr)
+            | Some _ ->
+                semi ~trace ~anti:true pairs (ev_complement c k dome base) rr))
+    | Antijoin (pairs, l, r) -> (
+        let rl = ev l and rr = ev r in
+        match (Relation.arity rl, Relation.arity rr) with
+        | Some k, Some kr when kr = k && identity_pairs pairs k ->
+            Relation.diff rl rr
+        | _ -> semi ~trace ~anti:true pairs rl rr)
+    | Union (l, r) -> Relation.union (ev l) (ev r)
+    | Diff (l, r) -> Relation.diff (ev l) (ev r)
+    | Inter (l, r) -> Relation.inter (ev l) (ev r)
+    | Adom -> adom_rel inst
+    | Complement (k, dome, e0) -> ev_complement e k dome (ev e0)
+  and ev_dom orig dome =
+    let dom = ev dome in
+    (match Relation.arity dom with
+    | Some a when a <> 1 ->
+        type_error orig "complement domain has arity %d, expected 1" a
+    | _ -> ());
+    dom
+  and ev_complement_probe orig k dome pred =
+    complement_probe k (ev_dom orig dome) pred
+  and ev_complement orig k dome r =
+    let dom = ev_dom orig dome in
+    (match Relation.arity r with
+    | Some a when a <> k ->
+        type_error orig "complement of arity-%d operand at arity %d" a k
+    | _ -> ());
+    complement_probe k dom (fun buf -> Relation.mem_ids buf r)
+  (* Projection, normalized before evaluation: chains compose into one
+     column list, and a projection over a join runs fused inside the
+     probe loop — the full-width join result is never built. *)
+  and ev_project orig cols e0 =
+    let cols, e0 = flatten_project orig cols e0 in
+    match e0 with
+    | Join (pairs, l, r) -> (
+        let rl = ev l and rr = ev r in
+        match (Relation.arity rl, Relation.arity rr) with
+        | Some al, Some ar ->
+            check_proj_cols orig cols (al + ar);
+            equijoin ~trace ~proj:(Array.of_list cols) pairs rl rr
+        | _ -> Relation.empty)
+    | _ ->
+        let r = ev e0 in
+        (match Relation.arity r with
+        | Some a ->
+            check_proj_cols orig cols a;
+            if cols = List.init a Fun.id then r (* identity *)
+            else
+              let cols = Array.of_list cols in
+              dedup_to_relation (fun emit ->
+                  Relation.unordered_iter
+                    (fun t -> emit (Array.map (fun c -> Tuple.id t c) cols))
+                    r)
+        | None -> Relation.empty)
+  in
+  ev e

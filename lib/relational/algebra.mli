@@ -5,7 +5,12 @@
     perspective: columns are 0-based indices; renaming is a column
     permutation; the natural join is expressed as an equijoin on explicit
     column pairs followed by projection. These are the standard equivalences
-    between the named and unnamed algebras. *)
+    between the named and unnamed algebras.
+
+    On top of the classical operators, the safe-range compiler
+    ({!Fo.compile}) needs semijoin/antijoin, an active-domain leaf, and
+    complement-within-domain; all joins execute as hash joins keyed on
+    projected interned-id vectors. *)
 
 (** Selection conditions: conjunctions/disjunctions of (in)equalities
     between columns and/or constants. *)
@@ -32,20 +37,39 @@ type expr =
   | Union of expr * expr
   | Diff of expr * expr
   | Inter of expr * expr
+  | Semijoin of (int * int) list * expr * expr
+      (** ⋉: left tuples with at least one right match on the pairs. An
+          empty pair list keeps the left operand iff the right is
+          non-empty (every tuple matches on the empty key). *)
+  | Antijoin of (int * int) list * expr * expr
+      (** ▷: left tuples with no right match on the pairs — the compiled
+          form of safe negation. An empty pair list keeps the left
+          operand iff the right is empty. *)
+  | Adom
+      (** the unary active-domain relation of the evaluated instance
+          (memoized per instance, see {!Instance.adom}) *)
+  | Complement of int * expr * expr
+      (** [Complement (k, dom, e)]: [dom^k] minus [e], where [dom] is a
+          unary domain expression — negation bounded by active-domain
+          expansion, [k] columns wide. [e] must have arity [k]. *)
 
 exception Type_error of string
 
 (** [arity schema e] computes the output arity, checking column references
     and operand compatibility. @raise Type_error on ill-typed expressions
     (unknown relation, column out of range, arity mismatch in set
-    operations). *)
+    operations); the message names the offending sub-expression via
+    {!pp}. *)
 val arity : Schema.t -> expr -> int
 
-(** [eval inst e] evaluates [e] against [inst]. Relations absent from
-    [inst] are empty; in that case column references cannot be checked
-    dynamically, so use {!arity} with a schema for static checking.
-    @raise Type_error on dynamically detected arity violations. *)
-val eval : Instance.t -> expr -> Relation.t
+(** [eval ?trace inst e] evaluates [e] against [inst]. Relations absent
+    from [inst] are empty; in that case column references cannot be
+    checked dynamically, so use {!arity} with a schema for static
+    checking. When [trace] is enabled, every hash-join probe pass
+    accumulates into the [ra.join.probes] counter.
+    @raise Type_error on dynamically detected arity violations (message
+    names the offending sub-expression). *)
+val eval : ?trace:Observe.Trace.ctx -> Instance.t -> expr -> Relation.t
 
 (** [holds_cond c t] evaluates a condition on one tuple. *)
 val holds_cond : cond -> Tuple.t -> bool

@@ -1,0 +1,12 @@
+(** Surface syntax for FO queries (the CLI's [fo] subcommand).
+
+    [formula_of_string "exists Z (G(X, Z) & G(Z, Y))"] parses the obvious
+    formula. Identifiers starting with an uppercase letter or underscore
+    are variables (the Datalog surface convention); other identifiers,
+    integers and quoted strings are constants read by {!Value.parse}.
+    Connectives: [!]/[not], [&]/[and], [|]/[or], [->] (right-associative),
+    [=], [!=], [exists X, Y (...)], [forall X (...)], [true], [false]. *)
+
+exception Parse_error of string
+
+val formula_of_string : string -> Fo.formula

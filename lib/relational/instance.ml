@@ -1,15 +1,23 @@
 module SMap = Map.Make (String)
 module VSet = Set.Make (Value)
 
-type t = Relation.t SMap.t
+(* An instance pairs the name -> relation map with a memoized active
+   domain, the same order-on-demand view pattern as [Relation]'s sorted
+   list: [adom_memo] is [None] until [adom] is first asked for, and every
+   constructor/mutator produces a record with the memo reset. The memo
+   write is a benign race under parallel evaluation — concurrent readers
+   compute the same list and a single pointer store is atomic. *)
+type t = { rels : Relation.t SMap.t; mutable adom_memo : Value.t list option }
 
-let empty = SMap.empty
+let make rels = { rels; adom_memo = None }
+let empty = { rels = SMap.empty; adom_memo = Some [] }
 
 let find name i =
-  match SMap.find_opt name i with None -> Relation.empty | Some r -> r
+  match SMap.find_opt name i.rels with None -> Relation.empty | Some r -> r
 
 let set name r i =
-  if Relation.is_empty r then SMap.remove name i else SMap.add name r i
+  make (if Relation.is_empty r then SMap.remove name i.rels
+        else SMap.add name r i.rels)
 
 let add_fact name tup i = set name (Relation.add tup (find name i)) i
 let add_all name tups i = set name (Relation.add_all tups (find name i)) i
@@ -22,48 +30,58 @@ let of_list bindings =
       set name (Relation.union (Relation.of_rows rows) (find name i)) i)
     empty bindings
 
-let names i = List.map fst (SMap.bindings i)
+let names i = List.map fst (SMap.bindings i.rels)
 
 let restrict keep i =
-  SMap.filter (fun name _ -> List.mem name keep) i
+  make (SMap.filter (fun name _ -> List.mem name keep) i.rels)
 
-let drop names i = SMap.filter (fun name _ -> not (List.mem name names)) i
+let drop names i =
+  make (SMap.filter (fun name _ -> not (List.mem name names)) i.rels)
 
 let union a b =
-  SMap.union (fun _ ra rb -> Some (Relation.union ra rb)) a b
+  make (SMap.union (fun _ ra rb -> Some (Relation.union ra rb)) a.rels b.rels)
 
 let diff a b =
-  SMap.filter_map
-    (fun name ra ->
-      let r = Relation.diff ra (find name b) in
-      if Relation.is_empty r then None else Some r)
-    a
+  make
+    (SMap.filter_map
+       (fun name ra ->
+         let r = Relation.diff ra (find name b) in
+         if Relation.is_empty r then None else Some r)
+       a.rels)
 
 let subset a b =
-  SMap.for_all (fun name ra -> Relation.subset ra (find name b)) a
+  SMap.for_all (fun name ra -> Relation.subset ra (find name b)) a.rels
 
-let equal a b = SMap.equal Relation.equal a b
-let compare a b = SMap.compare Relation.compare a b
-let total_facts i = SMap.fold (fun _ r acc -> acc + Relation.cardinal r) i 0
+let equal a b = SMap.equal Relation.equal a.rels b.rels
+let compare a b = SMap.compare Relation.compare a.rels b.rels
+
+let total_facts i =
+  SMap.fold (fun _ r acc -> acc + Relation.cardinal r) i.rels 0
 
 let adom i =
-  let s =
-    SMap.fold
-      (fun _ r acc ->
-        List.fold_left (fun acc v -> VSet.add v acc) acc (Relation.values r))
-      i VSet.empty
-  in
-  VSet.elements s
+  match i.adom_memo with
+  | Some vs -> vs
+  | None ->
+      let s =
+        SMap.fold
+          (fun _ r acc ->
+            List.fold_left
+              (fun acc v -> VSet.add v acc)
+              acc (Relation.values r))
+          i.rels VSet.empty
+      in
+      let vs = VSet.elements s in
+      i.adom_memo <- Some vs;
+      vs
 
-let fold f i acc = SMap.fold f i acc
+let fold f i acc = SMap.fold f i.rels acc
 
 let map_values f i =
-  SMap.map
-    (fun r ->
-      Relation.map
-        (fun t -> Tuple.make (Array.map f (Tuple.values t)))
-        r)
-    i
+  make
+    (SMap.map
+       (fun r ->
+         Relation.map (fun t -> Tuple.make (Array.map f (Tuple.values t))) r)
+       i.rels)
 
 let schema i =
   SMap.fold
@@ -71,7 +89,7 @@ let schema i =
       match Relation.arity r with
       | None -> acc
       | Some a -> Schema.add (Schema.rel name a) acc)
-    i Schema.empty
+    i.rels Schema.empty
 
 let pp ppf i =
   let first = ref true in
@@ -86,7 +104,7 @@ let pp ppf i =
                Value.pp)
             (Tuple.to_list t))
         r)
-    i
+    i.rels
 
 let to_string i = Format.asprintf "%a" pp i
 

@@ -61,7 +61,11 @@ val compare : t -> t -> int
 val total_facts : t -> int
 
 (** [adom i] is the active domain: every value occurring in some fact,
-    sorted, without duplicates. *)
+    sorted, without duplicates. Memoized per instance value (the same
+    order-on-demand pattern as {!Relation}'s sorted view): the scan over
+    all relations runs at most once per instance, and every mutation
+    ({!set}, {!add_fact}, {!remove_fact}, ...) yields a fresh instance
+    whose memo is recomputed on first use. *)
 val adom : t -> Value.t list
 
 (** [fold f i acc] folds over [(name, relation)] bindings in name order. *)

@@ -114,6 +114,66 @@ let check_homogeneous ts =
    repeated [add]s would produce) Patricia trie top-down by in-place
    partition on the branching bit — allocating exactly the final nodes
    instead of one root-to-leaf path copy per insertion. *)
+(* Sort tuples by their cached hash through a parallel int-key array: the
+   comparisons read a contiguous int array instead of chasing a pointer
+   per element, which dominates bulk construction at scale. Hashes are
+   avalanche-mixed (see {!Tuple.hash_ids}), so median-of-3 pivots face no
+   adversarial orderings. *)
+let sort_by_hash arr =
+  let n = Array.length arr in
+  let hs = Array.make n 0 in
+  for i = 0 to n - 1 do
+    hs.(i) <- Tuple.hash (Array.unsafe_get arr i)
+  done;
+  let swap i j =
+    if i <> j then (
+      let th = hs.(i) in
+      hs.(i) <- hs.(j);
+      hs.(j) <- th;
+      let tt = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tt)
+  in
+  (* [lo, hi) *)
+  let rec qs lo hi =
+    if hi - lo <= 16 then
+      for i = lo + 1 to hi - 1 do
+        let h = hs.(i) and t = arr.(i) in
+        let j = ref i in
+        while !j > lo && hs.(!j - 1) > h do
+          hs.(!j) <- hs.(!j - 1);
+          arr.(!j) <- arr.(!j - 1);
+          decr j
+        done;
+        hs.(!j) <- h;
+        arr.(!j) <- t
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* median of three into position [lo] *)
+      if hs.(mid) < hs.(lo) then swap mid lo;
+      if hs.(hi - 1) < hs.(lo) then swap (hi - 1) lo;
+      if hs.(hi - 1) < hs.(mid) then swap (hi - 1) mid;
+      let p = hs.(mid) in
+      let i = ref lo and j = ref (hi - 1) in
+      while !i <= !j do
+        while hs.(!i) < p do
+          incr i
+        done;
+        while hs.(!j) > p do
+          decr j
+        done;
+        if !i <= !j then (
+          swap !i !j;
+          incr i;
+          decr j)
+      done;
+      qs lo (!j + 1);
+      qs !i hi
+    end
+  in
+  qs 0 n
+
 let of_distinct ts =
   match ts with
   | [] -> empty
@@ -121,7 +181,7 @@ let of_distinct ts =
       check_homogeneous ts;
       let arr = Array.of_list ts in
       let n = Array.length arr in
-      Array.sort (fun a b -> Int.compare (Tuple.hash a) (Tuple.hash b)) arr;
+      sort_by_hash arr;
       let keys = Array.make n 0 and buckets = Array.make n [] in
       let m = ref 0 in
       Array.iter

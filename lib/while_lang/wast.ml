@@ -26,15 +26,20 @@ let assigned_relations p =
 
 let check p =
   let check_query r { formula; vars } =
-    List.iter
-      (fun x ->
-        if not (List.mem x vars) then
-          invalid_arg
-            (Printf.sprintf
-               "While: free variable %s of the query assigned to %s is not \
-                an output column"
-               x r))
-      (Fo.free_vars formula)
+    match
+      List.filter (fun x -> not (List.mem x vars)) (Fo.free_vars formula)
+    with
+    | [] -> ()
+    | missing ->
+        invalid_arg
+          (Printf.sprintf
+             "While: free variable%s %s of the query assigned to %s %s not \
+              output column%s"
+             (if List.length missing = 1 then "" else "s")
+             (String.concat ", " missing)
+             r
+             (if List.length missing = 1 then "is" else "are")
+             (if List.length missing = 1 then "" else "s"))
   in
   let rec go = function
     | Assign (r, q) | Cumulate (r, q) -> check_query r q
@@ -42,9 +47,11 @@ let check p =
     | While (cond, body) ->
         (match Fo.free_vars cond with
         | [] -> ()
-        | x :: _ ->
+        | fv ->
             invalid_arg
-              (Printf.sprintf "While: loop condition has free variable %s" x));
+              (Printf.sprintf "While: loop condition has free variable%s %s"
+                 (if List.length fv = 1 then "" else "s")
+                 (String.concat ", " fv)));
         List.iter go body
   in
   List.iter go p

@@ -136,6 +136,143 @@ let test_fo_de_morgan () =
   let rhs = Fo.And (Fo.Not phi, Fo.Not psi) in
   check_rel "de morgan" (Fo.eval inst lhs [ "x" ]) (Fo.eval inst rhs [ "x" ])
 
+(* --- the safe-range compiler --------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_semijoin_antijoin () =
+  check_rel "semijoin: G restricted to P-targets"
+    (pairs [ ("b", "c"); ("c", "c") ])
+    (Algebra.eval inst
+       (Algebra.Semijoin ([ (1, 0) ], Algebra.Rel "G", Algebra.Rel "P")));
+  check_rel "antijoin: G minus P-targets"
+    (pairs [ ("a", "b") ])
+    (Algebra.eval inst
+       (Algebra.Antijoin ([ (1, 0) ], Algebra.Rel "G", Algebra.Rel "P")));
+  (* the empty pair list gates on the right side being (non)empty *)
+  check_rel "nullary semijoin keeps all"
+    (Instance.find "G" inst)
+    (Algebra.eval inst (Algebra.Semijoin ([], Algebra.Rel "G", Algebra.Rel "P")));
+  check_rel "nullary antijoin drops all" Relation.empty
+    (Algebra.eval inst (Algebra.Antijoin ([], Algebra.Rel "G", Algebra.Rel "P")))
+
+let test_adom_complement () =
+  check_rel "adom leaf" (unary [ "a"; "b"; "c" ]) (Algebra.eval inst Algebra.Adom);
+  check_rel "unary complement" (unary [ "b" ])
+    (Algebra.eval inst (Algebra.Complement (1, Algebra.Adom, Algebra.Rel "P")));
+  Alcotest.(check int) "binary complement size" ((3 * 3) - 3)
+    (Relation.cardinal
+       (Algebra.eval inst (Algebra.Complement (2, Algebra.Adom, Algebra.Rel "G"))));
+  Alcotest.(check int) "adom arity" 1 (Algebra.arity schema Algebra.Adom);
+  Alcotest.(check int) "complement arity" 2
+    (Algebra.arity schema (Algebra.Complement (2, Algebra.Adom, Algebra.Rel "G")))
+
+let test_type_error_names_subexpression () =
+  match Algebra.arity schema (Algebra.Project ([ 5 ], Algebra.Rel "G")) with
+  | exception Algebra.Type_error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the expression: %s" msg)
+        true
+        (contains ~sub:" in " msg && contains ~sub:"G" msg)
+  | _ -> Alcotest.fail "expected type error"
+
+let test_compiled_equals_naive () =
+  let x = Fo.Var "x" and y = Fo.Var "y" in
+  let cases =
+    [
+      Fo.Atom ("G", [ x; y ]);
+      Fo.And (Fo.Atom ("G", [ x; y ]), Fo.Not (Fo.Atom ("P", [ y ])));
+      Fo.Not (Fo.Or (Fo.Atom ("G", [ x; y ]), Fo.Atom ("G", [ y; x ])));
+      Fo.Implies (Fo.Atom ("P", [ x ]), Fo.Atom ("G", [ x; y ]));
+      Fo.Forall
+        ([ "z" ], Fo.Implies (Fo.Atom ("P", [ Fo.Var "z" ]), Fo.Eq (x, y)));
+      Fo.And (Fo.Eq (x, Fo.Cst (v "q")), Fo.Not (Fo.Eq (x, y)));
+      Fo.Exists ([ "z" ], Fo.And (Fo.Atom ("G", [ x; Fo.Var "z" ]), Fo.Eq (x, y)));
+    ]
+  in
+  List.iteri
+    (fun k f ->
+      check_rel
+        (Printf.sprintf "case %d" k)
+        (Fo.eval_naive inst f [ "x"; "y" ])
+        (Fo.eval inst f [ "x"; "y" ]))
+    cases
+
+let test_full_free_var_list () =
+  let f =
+    Fo.And
+      ( Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "y" ]),
+        Fo.Atom ("P", [ Fo.Var "z" ]) )
+  in
+  match Fo.eval inst f [ "x" ] with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "lists every missing variable"
+        "Fo.eval: free variables y, z not in output list" msg
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_plan_counters () =
+  let trace = Observe.Trace.make () in
+  (* a formula no other test compiles: the unique constant forces a cache
+     miss on the first call, and only the first *)
+  let f =
+    Fo.And
+      ( Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "y" ]),
+        Fo.Exists
+          ( [ "z" ],
+            Fo.And
+              ( Fo.Atom ("G", [ Fo.Var "y"; Fo.Var "z" ]),
+                Fo.Not (Fo.Eq (Fo.Var "z", Fo.Cst (v "counter-probe"))) ) ) )
+  in
+  ignore (Fo.eval ~trace inst f [ "x"; "y" ]);
+  Alcotest.(check int) "one compilation" 1
+    (Observe.Trace.counter trace "fo.plan.compiled");
+  Alcotest.(check bool) "joins probed" true
+    (Observe.Trace.counter trace "ra.join.probes" > 0);
+  ignore (Fo.eval ~trace inst f [ "x"; "y" ]);
+  Alcotest.(check int) "second run hits the memo" 1
+    (Observe.Trace.counter trace "fo.plan.compiled");
+  (* an unsafe equality pays bounded per-variable domain expansion *)
+  let unsafe = Fo.Eq (Fo.Var "x", Fo.Cst (v "fallback-probe")) in
+  let trace2 = Observe.Trace.make () in
+  ignore (Fo.eval ~trace:trace2 inst unsafe [ "x"; "w" ]);
+  Alcotest.(check bool) "fallback vars counted" true
+    (Observe.Trace.counter trace2 "fo.plan.fallback_vars" > 0)
+
+let test_shared_collectors () =
+  (* the hashtable-backed collector dedups and preserves first-occurrence
+     order, honoring the bound stack handed to [note] *)
+  let got =
+    Fo.collect_free_vars (fun note ->
+        note [] "b";
+        note [ "a" ] "a";
+        note [] "c";
+        note [] "b";
+        note [ "c" ] "a")
+  in
+  Alcotest.(check (list string)) "dedup, order, binding" [ "b"; "c"; "a" ] got;
+  Alcotest.(check (list string))
+    "free_vars goes through the collector" [ "b"; "a" ]
+    (Fo.free_vars
+       (Fo.And
+          ( Fo.Atom ("G", [ Fo.Var "b"; Fo.Var "a" ]),
+            Fo.Exists ([ "b" ], Fo.Atom ("P", [ Fo.Var "b" ])) )))
+
+let test_arity_mismatch_plan () =
+  (* a plan compiled against one arity stays correct when the instance
+     disagrees: such atoms are uniformly false under naive semantics *)
+  let f =
+    Fo.Or
+      ( Fo.Atom ("P", [ Fo.Var "x"; Fo.Var "x" ]),
+        Fo.Atom ("G", [ Fo.Var "x"; Fo.Var "x" ]) )
+  in
+  check_rel "mismatched atom is false"
+    (Fo.eval_naive inst f [ "x" ])
+    (Fo.eval inst f [ "x" ]);
+  check_rel "self-loops only" (unary [ "c" ]) (Fo.eval inst f [ "x" ])
+
 (* algebra and FO agree on a joint query: π0(σ(G ⋈ G)) vs ∃-formula *)
 let test_algebra_fo_agree () =
   let via_algebra =
@@ -177,4 +314,17 @@ let suite =
     Alcotest.test_case "FO De Morgan" `Quick test_fo_de_morgan;
     Alcotest.test_case "algebra = calculus on a join query" `Quick
       test_algebra_fo_agree;
+    Alcotest.test_case "semijoin/antijoin" `Quick test_semijoin_antijoin;
+    Alcotest.test_case "adom leaf and complement" `Quick test_adom_complement;
+    Alcotest.test_case "Type_error names the sub-expression" `Quick
+      test_type_error_names_subexpression;
+    Alcotest.test_case "compiled = naive evaluator" `Quick
+      test_compiled_equals_naive;
+    Alcotest.test_case "all missing free variables reported" `Quick
+      test_full_free_var_list;
+    Alcotest.test_case "plan counters and memoization" `Quick
+      test_plan_counters;
+    Alcotest.test_case "shared syntax collectors" `Quick test_shared_collectors;
+    Alcotest.test_case "plans survive arity mismatches" `Quick
+      test_arity_mismatch_plan;
   ]

@@ -151,6 +151,89 @@ let test_arity_errors () =
   | exception Fp.Type_error _ -> ()
   | _ -> Alcotest.fail "expected Type_error"
 
+(* --- the compiled path ----------------------------------------------------- *)
+
+let test_compiled_equals_naive_fp () =
+  (* the semi-naive fragment (TC), a non-monotone body (rec under ¬ —
+     full-recompute iteration), and a converging PFP *)
+  let nonmono =
+    Fp.ifp ~rel:"T" ~vars:[ "x"; "y" ]
+      (Fp.Or
+         ( g "x" "y",
+           Fp.And
+             ( g "y" "x",
+               Fp.Not (Fp.Atom ("T", [ Fp.Var "x"; Fp.Var "x" ])) ) ))
+      [ Fp.Var "u"; Fp.Var "v" ]
+  in
+  let pfp_tc =
+    Fp.pfp ~rel:"T" ~vars:[ "x"; "y" ]
+      (Fp.Or
+         ( Fp.Atom ("T", [ Fp.Var "x"; Fp.Var "y" ]),
+           Fp.Or
+             ( g "x" "y",
+               Fp.Exists
+                 ( [ "z" ],
+                   Fp.And (g "x" "z", Fp.Atom ("T", [ Fp.Var "z"; Fp.Var "y" ]))
+                 ) ) ))
+      [ Fp.Var "u"; Fp.Var "v" ]
+  in
+  List.iter
+    (fun seed ->
+      let inst = Graph_gen.random ~seed 6 10 in
+      List.iteri
+        (fun k f ->
+          check_rel
+            (Printf.sprintf "seed %d case %d" seed k)
+            (Fp.eval_naive inst f [ "u"; "v" ])
+            (Fp.eval inst f [ "u"; "v" ]))
+        [ tc_formula; nonmono; pfp_tc ])
+    [ 11; 12; 13 ]
+
+let test_fp_rounds_counter () =
+  let trace = Observe.Trace.make () in
+  let inst = Graph_gen.chain 5 in
+  ignore (Fp.eval ~trace inst tc_formula [ "u"; "v" ]);
+  Alcotest.(check bool) "rounds counted" true
+    (Observe.Trace.counter trace "fp.rounds" >= 3);
+  Alcotest.(check int) "no fallback" 0
+    (Observe.Trace.counter trace "fp.fallback")
+
+let test_fp_fallback_counter () =
+  let trace = Observe.Trace.make () in
+  let w = Fp.Witness ([ "x" ], Fp.Atom ("e", [ Fp.Var "x" ])) in
+  let inst = facts "e(a). e(b)." in
+  let r = Fp.eval ~trace inst w [ "x" ] in
+  Alcotest.(check int) "witness forces the naive path" 1
+    (Observe.Trace.counter trace "fp.fallback");
+  check_rel "fallback result = naive" (Fp.eval_naive inst w [ "x" ]) r
+
+let test_parameterized_fixpoint_falls_back () =
+  (* reachable-from-p: the body's free parameter p makes the fixpoint
+     per-valuation — the compiled path must detect it and agree anyway *)
+  let f =
+    Fp.ifp ~rel:"R" ~vars:[ "x" ]
+      (Fp.Or
+         ( Fp.Eq (Fp.Var "x", Fp.Var "p"),
+           Fp.Exists
+             ( [ "z" ],
+               Fp.And (Fp.Atom ("R", [ Fp.Var "z" ]), g "z" "x") ) ))
+      [ Fp.Var "u" ]
+  in
+  let inst = facts "G(a,b). G(b,c). G(d,d)." in
+  let trace = Observe.Trace.make () in
+  check_rel "parameterized reachability"
+    (Fp.eval_naive inst f [ "u"; "p" ])
+    (Fp.eval ~trace inst f [ "u"; "p" ]);
+  Alcotest.(check int) "fell back" 1
+    (Observe.Trace.counter trace "fp.fallback")
+
+let test_fp_full_free_var_list () =
+  match Fp.eval (facts "G(a,b).") tc_formula [] with
+  | exception Invalid_argument msg ->
+      Alcotest.(check string) "lists every missing variable"
+        "Fp.eval: free variables u, v not in output list" msg
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
 let suite =
   [
     Alcotest.test_case "IFP computes TC" `Quick test_ifp_tc;
@@ -170,4 +253,13 @@ let suite =
     Alcotest.test_case "W inside IFP (FO+IFP+W)" `Quick
       test_witness_inside_ifp;
     Alcotest.test_case "fixpoint arity errors" `Quick test_arity_errors;
+    Alcotest.test_case "compiled = naive (IFP/PFP, non-monotone)" `Quick
+      test_compiled_equals_naive_fp;
+    Alcotest.test_case "fp.rounds counter" `Quick test_fp_rounds_counter;
+    Alcotest.test_case "witness falls back to naive" `Quick
+      test_fp_fallback_counter;
+    Alcotest.test_case "parameterized fixpoint falls back" `Quick
+      test_parameterized_fixpoint_falls_back;
+    Alcotest.test_case "all missing free variables reported" `Quick
+      test_fp_full_free_var_list;
   ]
