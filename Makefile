@@ -22,7 +22,9 @@ bench:
 # to the sequential run and carries the expected fact count, and run the
 # cross-jobs determinism property suite. The FO smoke step answers a
 # negation query through the safe-range compiler and checks that the
-# compiled path (not a fallback) produced it.
+# compiled path (not a fallback) produced it. The demand smoke step
+# answers a point query twice through the demand compiler and checks
+# that plans were compiled and the repeat was a cache hit.
 ci:
 	dune build
 	dune runtest
@@ -42,7 +44,10 @@ ci:
 	dune exec test/test_main.exe -- test parallel
 	printf 'G(a, b). G(b, c). G(c, d).\n' > _ci_fo.facts
 	dune exec -- datalog-unchained fo -f _ci_fo.facts 'G(X, Y) & !G(Y, d)' --stats | grep -q 'fo.plan.compiled'
-	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts
+	dune exec -- datalog-unchained query _ci_tc.dl -q 'T(a, Y)' -q 'T(a, d)' --demand --stats > _ci_demand.out
+	grep -q 'demand.plan.compiled' _ci_demand.out
+	grep -q 'demand.cache.hits *1' _ci_demand.out
+	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts _ci_demand.out
 
 clean:
 	dune clean

@@ -180,12 +180,57 @@ let semantics_name = function
   | `Stable -> "stable"
   | `Invent -> "invent"
 
+(* [run --demand -a PRED] answers the all-free query PRED(X1, ..., Xk)
+   through the demand pipeline instead of materializing the fixpoint —
+   same output as [-s seminaive -a PRED] restricted to that predicate. *)
+let run_demand p inst answer stats trace_path =
+  let pred =
+    match answer with
+    | Some pred -> pred
+    | None ->
+        Printf.eprintf "--demand requires --answer PRED\n";
+        exit 2
+  in
+  let arity =
+    List.find_map
+      (fun (r : Datalog.Ast.rule) ->
+        match r.Datalog.Ast.head with
+        | [ Datalog.Ast.HPos h ] when h.Datalog.Ast.pred = pred ->
+            Some (List.length h.Datalog.Ast.args)
+        | _ -> None)
+      p
+  in
+  match arity with
+  | None ->
+      Printf.eprintf "--demand: %s is not an idb predicate\n" pred;
+      exit 2
+  | Some k -> (
+      let query =
+        Datalog.Ast.atom pred
+          (List.init k (fun i -> Datalog.Ast.var (Printf.sprintf "X%d" i)))
+      in
+      try
+        with_observability ~name:"demand" stats trace_path (fun trace ->
+            let rel = Datalog.Demand.answer ~trace p inst query in
+            Relation.iter
+              (fun t -> Format.printf "%a@." Datalog.Pretty.pp_fact (pred, t))
+              rel)
+      with Datalog.Ast.Check_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+
 let run_cmd =
-  let run semantics program facts answer ordered stats trace_path jobs =
+  let run semantics program facts answer ordered demand stats trace_path jobs =
     set_jobs jobs;
     let { Datalog.Parser.program = p; _ } = load_program program in
     let inst = load_facts facts in
     let inst = if ordered then Order.adjoin inst else inst in
+    if demand then (
+      if semantics <> `Seminaive then (
+        Printf.eprintf "--demand only supports the default seminaive semantics\n";
+        exit 2);
+      run_demand p inst answer stats trace_path)
+    else
     with_observability ~name:(semantics_name semantics) stats trace_path
       (fun trace ->
         match semantics with
@@ -245,11 +290,21 @@ let run_cmd =
             | Datalog.Invent.Out_of_fuel { stages; _ } ->
                 Format.printf "%% out of fuel after %d stages@." stages))
   in
+  let demand_arg =
+    Arg.(
+      value & flag
+      & info [ "demand" ]
+          ~doc:
+            "Answer the $(b,--answer) predicate demand-driven (magic sets \
+             compiled to algebra plans) instead of materializing the full \
+             fixpoint; requires $(b,-a) and the default seminaive \
+             semantics")
+  in
   let doc = "Evaluate a program under a chosen semantics" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ semantics_arg $ program_arg $ facts_arg $ answer_arg
-      $ order_arg $ stats_arg $ trace_arg $ jobs_arg)
+      $ order_arg $ demand_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* --- nondet ------------------------------------------------------------- *)
 
@@ -378,31 +433,72 @@ let check_cmd =
   let doc = "Validate a program against a language fragment" in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ lang_arg $ program_arg)
 
+let parse_query_atom s =
+  try Datalog.Parser.parse_atom s with
+  | Datalog.Parser.Parse_error (_, msg) ->
+      Printf.eprintf "query '%s': parse error: %s\n" s msg;
+      exit 2
+  | Datalog.Lexer.Lex_error (_, msg) ->
+      Printf.eprintf "query '%s': lex error: %s\n" s msg;
+      exit 2
+
+let query_atom_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "query"; "q" ] ~docv:"ATOM"
+        ~doc:
+          "Query atom, e.g. 'T(a, Y)' (repeatable; appended to the \
+           program's ?- directives)")
+
+let demand_arg =
+  Arg.(
+    value & flag
+    & info [ "demand" ]
+        ~doc:
+          "Answer through the demand-driven compiler: the magic-rewritten \
+           program is lowered to algebra plans seeded by the demand \
+           relation, and answered patterns are kept in a subsumptive \
+           cache ($(b,demand.*) counters under $(b,--stats))")
+
 let query_cmd =
-  let run program facts stats trace_path jobs =
+  let run program facts query_args demand stats trace_path jobs =
     set_jobs jobs;
     let { Datalog.Parser.program = p; queries } = load_program program in
     let inst = load_facts facts in
-    match queries with
+    match queries @ List.map parse_query_atom query_args with
     | [] ->
-        Printf.eprintf "no ?- query directive in program\n";
+        Printf.eprintf
+          "no query: pass -q ATOM or add a ?- directive to the program\n";
         exit 2
-    | qs ->
-        with_observability ~name:"magic" stats trace_path (fun trace ->
-            List.iter
-              (fun q ->
-                let rel = Datalog.Magic.answer ~trace p inst q in
-                Relation.iter
-                  (fun t ->
-                    Format.printf "%a@." Datalog.Pretty.pp_fact
-                      (q.Datalog.Ast.pred, t))
-                  rel)
-              qs)
+    | qs -> (
+        let print q rel =
+          Relation.iter
+            (fun t ->
+              Format.printf "%a@." Datalog.Pretty.pp_fact
+                (q.Datalog.Ast.pred, t))
+            rel
+        in
+        try
+          with_observability ~name:(if demand then "demand" else "magic")
+            stats trace_path (fun trace ->
+              if demand then (
+                let cache = Datalog.Demand.Cache.create () in
+                List.iter
+                  (fun q ->
+                    print q (Datalog.Demand.answer ~trace ~cache p inst q))
+                  qs)
+              else
+                let s = Datalog.Magic.session ~trace p inst in
+                List.iter (fun q -> print q (Datalog.Magic.ask s q)) qs)
+        with Datalog.Ast.Check_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2)
   in
-  let doc = "Answer ?- queries with magic-set rewriting" in
+  let doc = "Answer queries with magic-set rewriting" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const run $ program_arg $ facts_arg $ stats_arg $ trace_arg $ jobs_arg)
+      const run $ program_arg $ facts_arg $ query_atom_arg $ demand_arg
+      $ stats_arg $ trace_arg $ jobs_arg)
 
 (* --- fo ------------------------------------------------------------------ *)
 

@@ -1,0 +1,424 @@
+open Relational
+
+(* Demand-driven compilation: the magic-rewritten program is lowered,
+   rule by rule, to Algebra plans through the same safe-range compiler
+   ({!Fo.compile}) the fixpoint logic uses. The rewriting puts every
+   rule's magic guard first in the body, and [Fo.compile_and] seeds its
+   join accumulator with the first conjunct — so the compiled plans
+   start from the (small) demand relation and radiate outward through
+   semijoins and index probes, never touching the part of the database
+   the query cannot reach. Plans depend only on (program, predicate,
+   adornment): the query's constants live in the magic seed fact alone,
+   so one compilation serves every query with the same binding
+   pattern. *)
+
+(* Reserved relation name for the per-round delta of a semi-naive pass;
+   '$' cannot appear in a user predicate. *)
+let delta_rel = "demand$delta"
+
+(* How one head position is filled from a plan's output tuple. *)
+type slot = Slot of int | Fixed of int
+
+type rule_plan = {
+  head_pred : string;
+  head : slot array;
+  full : Fo.plan;  (** body in rewriting order — guard first *)
+  deltas : (string * Fo.plan) list;
+      (** per idb body occurrence: that atom renamed to [delta_rel] and
+          moved first, so the round's delta seeds the join *)
+}
+
+type compiled = {
+  rules : rule_plan list;
+  query_pred : string;
+  seed_pred : string;
+}
+
+let term_of_arg = function
+  | Ast.Var x -> Fo.Var x
+  | Ast.Cst v -> Fo.Cst v
+
+let formula_of_atom (a : Ast.atom) =
+  Fo.Atom (a.Ast.pred, List.map term_of_arg a.Ast.args)
+
+let distinct_vars args =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (function
+      | Ast.Cst _ -> None
+      | Ast.Var x ->
+          if Hashtbl.mem seen x then None
+          else (
+            Hashtbl.add seen x ();
+            Some x))
+    args
+
+let compile_rule ~trace idb (r : Ast.rule) =
+  let head =
+    match r.Ast.head with
+    | [ Ast.HPos h ] -> h
+    | _ -> assert false (* pure Datalog: checked by Magic.rewrite *)
+  in
+  let atoms =
+    List.map
+      (function Ast.BPos a -> a | _ -> assert false (* pure Datalog *))
+      r.Ast.body
+  in
+  let hvars = distinct_vars head.Ast.args in
+  let slot_of x =
+    let rec go i = function
+      | [] -> assert false (* safety: head vars are body-bound *)
+      | y :: rest -> if String.equal x y then i else go (i + 1) rest
+    in
+    go 0 hvars
+  in
+  let head_slots =
+    Array.of_list
+      (List.map
+         (function
+           | Ast.Var x -> Slot (slot_of x)
+           | Ast.Cst v -> Fixed (Value.Intern.id v))
+         head.Ast.args)
+  in
+  let compile_body body =
+    Fo.compile ~trace (Fo.conj (List.map formula_of_atom body)) hvars
+  in
+  let deltas =
+    List.concat
+      (List.mapi
+         (fun i (a : Ast.atom) ->
+           if List.mem a.Ast.pred idb then
+             let renamed = Ast.atom delta_rel a.Ast.args in
+             let rest = List.filteri (fun j _ -> j <> i) atoms in
+             [ (a.Ast.pred, compile_body (renamed :: rest)) ]
+           else [])
+         atoms)
+  in
+  { head_pred = head.Ast.pred; head = head_slots; full = compile_body atoms; deltas }
+
+let compile_program ~trace p (query : Ast.atom) =
+  let rw = Magic.rewrite p query in
+  let idb = Ast.idb rw.Magic.program in
+  {
+    rules = List.map (compile_rule ~trace idb) rw.Magic.program;
+    query_pred = rw.Magic.query_pred;
+    seed_pred = fst rw.Magic.seed;
+  }
+
+(* --- semi-naive fixpoint over compiled plans ----------------------------- *)
+
+let solve ~trace compiled inst =
+  let tracing = Observe.Trace.enabled trace in
+  let cur = ref inst in
+  (* id-keyed membership sets, built lazily per head predicate at first
+     emission (adorned and magic relations start empty, so this is
+     usually a no-op seed) *)
+  let mems : (string, unit Matcher.IdTbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let memset p =
+    match Hashtbl.find_opt mems p with
+    | Some m -> m
+    | None ->
+        let m = Matcher.IdTbl.create 64 in
+        Relation.unordered_iter
+          (fun t -> Matcher.IdTbl.replace m (Tuple.ids t) ())
+          (Instance.find p !cur);
+        Hashtbl.add mems p m;
+        m
+  in
+  let fresh : (string, Tuple.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let fresh_total = ref 0 in
+  let emit rp t =
+    let ids =
+      Array.map (function Slot i -> Tuple.id t i | Fixed id -> id) rp.head
+    in
+    let m = memset rp.head_pred in
+    if not (Matcher.IdTbl.mem m ids) then (
+      Matcher.IdTbl.replace m ids ();
+      (match Hashtbl.find_opt fresh rp.head_pred with
+      | Some l -> l := Tuple.of_ids ids :: !l
+      | None -> Hashtbl.add fresh rp.head_pred (ref [ Tuple.of_ids ids ]));
+      incr fresh_total)
+  in
+  let take_fresh () =
+    let per = Hashtbl.fold (fun p l acc -> (p, List.rev !l) :: acc) fresh [] in
+    Hashtbl.reset fresh;
+    fresh_total := 0;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) per
+  in
+  let rounds = ref 1 in
+  let derived = ref 0 in
+  (* round 0: every rule in full *)
+  List.iter
+    (fun rp -> Relation.unordered_iter (emit rp) (Fo.run_plan ~trace !cur rp.full))
+    compiled.rules;
+  let rec loop delta =
+    let n = List.fold_left (fun n (_, ts) -> n + List.length ts) 0 delta in
+    derived := !derived + n;
+    if n > 0 then (
+      (* absorb first: non-delta occurrences must see the whole round *)
+      List.iter (fun (p, ts) -> cur := Instance.add_all p ts !cur) delta;
+      List.iter
+        (fun (p, ts) ->
+          let dinst = Instance.set delta_rel (Relation.of_distinct ts) !cur in
+          List.iter
+            (fun rp ->
+              List.iter
+                (fun (dp, plan) ->
+                  if String.equal dp p then
+                    Relation.unordered_iter (emit rp) (Fo.run_plan ~trace dinst plan))
+                rp.deltas)
+            compiled.rules)
+        delta;
+      incr rounds;
+      loop (take_fresh ()))
+  in
+  loop (take_fresh ());
+  if tracing then (
+    Observe.Trace.add trace "demand.rounds" !rounds;
+    Observe.Trace.add trace "demand.tuples_derived" !derived);
+  !cur
+
+(* --- query shape --------------------------------------------------------- *)
+
+let adorn (query : Ast.atom) =
+  String.concat ""
+    (List.map
+       (function Ast.Cst _ -> "b" | Ast.Var _ -> "f")
+       query.Ast.args)
+
+(* (position, interned id) at each constant position of the query — the
+   demand pattern's bound values. *)
+let bound_ids (query : Ast.atom) =
+  Array.of_list
+    (List.concat
+       (List.mapi
+          (fun i -> function
+            | Ast.Cst v -> [ (i, Value.Intern.id v) ]
+            | Ast.Var _ -> [])
+          query.Ast.args))
+
+let matches_bound bound t =
+  Array.for_all (fun (i, id) -> Tuple.id t i = id) bound
+
+(* Positions the query constrains beyond the demand pattern: repeated
+   variables must be pairwise equal (T(X, X) is the diagonal of T). *)
+let repeat_groups (query : Ast.atom) =
+  let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iteri
+    (fun i -> function
+      | Ast.Cst _ -> ()
+      | Ast.Var x -> (
+          match Hashtbl.find_opt groups x with
+          | Some ps -> ps := i :: !ps
+          | None -> Hashtbl.add groups x (ref [ i ])))
+    query.Ast.args;
+  Hashtbl.fold
+    (fun _ ps acc ->
+      match !ps with _ :: _ :: _ -> Array.of_list !ps :: acc | _ -> acc)
+    groups []
+
+let restrict_repeats groups rel =
+  if groups = [] then rel
+  else
+    Relation.filter
+      (fun t ->
+        List.for_all
+          (fun ps ->
+            let v = Tuple.id t ps.(0) in
+            Array.for_all (fun p -> Tuple.id t p = v) ps)
+          groups)
+      rel
+
+(* --- subsumptive demand cache -------------------------------------------- *)
+
+module Cache = struct
+  type entry = {
+    e_ad : string;
+    e_bound : (int * int) array;
+    e_answers : Relation.t;
+    mutable e_used : int;
+  }
+
+  type plans_slot = { ps : compiled; mutable ps_used : int }
+
+  type t = {
+    plan_cap : int;
+    answer_cap : int;
+    plans : (Ast.program * string * string, plans_slot) Hashtbl.t;
+    answers : (string, entry list ref) Hashtbl.t;
+    mutable n_answers : int;
+    mutable tick : int;
+    mutable stamp : (Ast.program * Instance.t) option;
+    lock : Mutex.t;
+  }
+
+  let create ?(plan_cap = 256) ?(answer_cap = 512) () =
+    if plan_cap < 1 || answer_cap < 1 then
+      invalid_arg "Demand.Cache.create: caps must be >= 1";
+    {
+      plan_cap;
+      answer_cap;
+      plans = Hashtbl.create 16;
+      answers = Hashtbl.create 16;
+      n_answers = 0;
+      tick = 0;
+      stamp = None;
+      lock = Mutex.create ();
+    }
+
+  let tick c =
+    c.tick <- c.tick + 1;
+    c.tick
+
+  (* Answers were computed against the stamped (program, instance);
+     serve from the cache only while both still apply, flushing
+     conservatively otherwise. Plans are instance-independent and keyed
+     by program, so they survive the flush. *)
+  let validate c p inst =
+    (match c.stamp with
+    | Some (p0, i0) when i0 == inst && (p0 == p || p0 = p) -> ()
+    | _ ->
+        Hashtbl.reset c.answers;
+        c.n_answers <- 0);
+    c.stamp <- Some (p, inst)
+
+  (* A cached pattern subsumes the query iff each of its bound positions
+     is bound in the query to the same value — its answer relation then
+     contains every tuple the (more specific) query demands. *)
+  let find_subsumed c pred ad bound =
+    match Hashtbl.find_opt c.answers pred with
+    | None -> None
+    | Some entries ->
+        let k = String.length ad in
+        let qb = Array.make (max k 1) min_int in
+        Array.iter (fun (i, id) -> qb.(i) <- id) bound;
+        List.find_opt
+          (fun e ->
+            String.length e.e_ad = k
+            && Array.for_all (fun (i, id) -> qb.(i) = id) e.e_bound)
+          !entries
+
+  let evict_lru ~trace c =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun pred entries ->
+        List.iter
+          (fun e ->
+            match !victim with
+            | Some (_, v) when v.e_used <= e.e_used -> ()
+            | _ -> victim := Some (pred, e))
+          !entries)
+      c.answers;
+    match !victim with
+    | None -> ()
+    | Some (pred, v) ->
+        let entries = Hashtbl.find c.answers pred in
+        entries := List.filter (fun e -> e != v) !entries;
+        if !entries = [] then Hashtbl.remove c.answers pred;
+        c.n_answers <- c.n_answers - 1;
+        Observe.Trace.incr trace "demand.evictions"
+
+  let store ~trace c pred ad bound answers =
+    let entries =
+      match Hashtbl.find_opt c.answers pred with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add c.answers pred l;
+          l
+    in
+    let same e = e.e_ad = ad && e.e_bound = bound in
+    if List.exists same !entries then
+      entries :=
+        List.map
+          (fun e ->
+            if same e then
+              { e with e_answers = answers; e_used = tick c }
+            else e)
+          !entries
+    else (
+      if c.n_answers >= c.answer_cap then evict_lru ~trace c;
+      entries :=
+        { e_ad = ad; e_bound = bound; e_answers = answers; e_used = tick c }
+        :: !entries;
+      c.n_answers <- c.n_answers + 1)
+
+  let evict_plan_lru ~trace c =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !victim with
+        | Some (_, v) when v.ps_used <= slot.ps_used -> ()
+        | _ -> victim := Some (key, slot))
+      c.plans;
+    match !victim with
+    | None -> ()
+    | Some (key, _) ->
+        Hashtbl.remove c.plans key;
+        Observe.Trace.incr trace "demand.evictions"
+
+  let plans_for ~trace c p pred ad query =
+    let key = (p, pred, ad) in
+    match Hashtbl.find_opt c.plans key with
+    | Some slot ->
+        slot.ps_used <- tick c;
+        Observe.Trace.incr trace "demand.plan.hits";
+        slot.ps
+    | None ->
+        let compiled = compile_program ~trace p query in
+        Observe.Trace.add trace "demand.plan.compiled"
+          (List.length compiled.rules);
+        if Hashtbl.length c.plans >= c.plan_cap then evict_plan_lru ~trace c;
+        Hashtbl.add c.plans key { ps = compiled; ps_used = tick c };
+        compiled
+end
+
+let answer ?(trace = Observe.Trace.null) ?cache p inst (query : Ast.atom) =
+  let c = match cache with Some c -> c | None -> Cache.create () in
+  let ad = adorn query in
+  let bound = bound_ids query in
+  let groups = repeat_groups query in
+  Mutex.lock c.Cache.lock;
+  match
+    Cache.validate c p inst;
+    Cache.find_subsumed c query.Ast.pred ad bound
+  with
+  | Some entry ->
+      entry.Cache.e_used <- Cache.tick c;
+      Mutex.unlock c.Cache.lock;
+      Observe.Trace.incr trace "demand.cache.hits";
+      (* the cached pattern may be strictly more general: re-apply the
+         query's constants, then its repeated-variable constraints *)
+      restrict_repeats groups
+        (if Array.length bound = 0 then entry.Cache.e_answers
+         else Relation.filter (matches_bound bound) entry.Cache.e_answers)
+  | None ->
+      Observe.Trace.incr trace "demand.cache.misses";
+      let compiled =
+        match Cache.plans_for ~trace c p query.Ast.pred ad query with
+        | compiled ->
+            Mutex.unlock c.Cache.lock;
+            compiled
+        | exception e ->
+            Mutex.unlock c.Cache.lock;
+            raise e
+      in
+      let seed =
+        Tuple.of_list
+          (List.filter_map
+             (function Ast.Cst v -> Some v | Ast.Var _ -> None)
+             query.Ast.args)
+      in
+      let start = Instance.add_fact compiled.seed_pred seed inst in
+      let final = solve ~trace compiled start in
+      (* cache the full demand pattern (constants only); the
+         repeated-variable refinement is per-query, not per-pattern *)
+      let pattern =
+        let rel = Instance.find compiled.query_pred final in
+        if Array.length bound = 0 then rel
+        else Relation.filter (matches_bound bound) rel
+      in
+      Mutex.lock c.Cache.lock;
+      Cache.store ~trace c query.Ast.pred ad bound pattern;
+      Mutex.unlock c.Cache.lock;
+      restrict_repeats groups pattern

@@ -117,11 +117,12 @@ let take_fresh (tbl : fresh_tbl) =
 let total_fresh delta =
   List.fold_left (fun n (_, ts) -> n + List.length ts) 0 delta
 
-let seminaive_seq ~trace ?neg_db ~with_dps ~dom inst =
-  (* One Db for the whole fixpoint: each stage feeds its delta back with
-     [Db.absorb], so join indexes are built once and extended
-     incrementally instead of being rebuilt from the full instance. *)
-  let db = Matcher.Db.of_instance ~trace inst in
+(* One Db for the whole fixpoint: each stage feeds its delta back with
+   [Db.absorb], so join indexes are built once and extended
+   incrementally instead of being rebuilt from the full instance. The db
+   is a parameter so long-lived callers (Magic sessions) can thread the
+   same database through many fixpoints. *)
+let seminaive_seq ~trace ?neg_db ~with_dps ~dom db =
   let tracing = Observe.Trace.enabled trace in
   let fresh_tbl : fresh_tbl = Hashtbl.create 4 in
   let pred_state p = pred_state fresh_tbl p in
@@ -228,8 +229,7 @@ let seminaive_seq ~trace ?neg_db ~with_dps ~dom inst =
    sequential run — two workers may both derive a fact that the merge
    then dedups — which is why determinism is asserted on instances, not
    counters. *)
-let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom inst =
-  let db = Matcher.Db.of_instance ~trace inst in
+let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db =
   let tracing = Observe.Trace.enabled trace in
   let nw = Parallel.Pool.size pool in
   (* force every lazy structure the plans can touch; after this, workers
@@ -374,15 +374,20 @@ let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom inst =
     Array.iter (fun c -> Observe.Trace.merge_counters trace c) wctx);
   result
 
-let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
-    ~delta_preds ~dom inst =
+let seminaive_fixpoint_db ?(trace = Observe.Trace.null) ?neg_db prepared
+    ~delta_preds ~dom db =
   let with_dps = with_delta_preds prepared delta_preds in
   match Parallel.Pool.acquire () with
   | Some pool ->
       Fun.protect
         ~finally:(fun () -> Parallel.Pool.release pool)
-        (fun () -> seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom inst)
-  | None -> seminaive_seq ~trace ?neg_db ~with_dps ~dom inst
+        (fun () -> seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db)
+  | None -> seminaive_seq ~trace ?neg_db ~with_dps ~dom db
+
+let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
+    ~delta_preds ~dom inst =
+  seminaive_fixpoint_db ~trace ?neg_db prepared ~delta_preds ~dom
+    (Matcher.Db.of_instance ~trace inst)
 
 let naive_fixpoint ?(trace = Observe.Trace.null) prepared ~dom inst =
   let tracing = Observe.Trace.enabled trace in

@@ -97,6 +97,20 @@ val seminaive_fixpoint :
   Instance.t ->
   Instance.t * int
 
+(** [seminaive_fixpoint_db] is {!seminaive_fixpoint} against an existing
+    {!Matcher.Db} — the db keeps its indexes and membership sets, and
+    the fixpoint's derived facts are absorbed into it, so a long-lived
+    caller (a {!Magic} query session) pays index construction once and
+    each later fixpoint re-derives nothing it already holds. *)
+val seminaive_fixpoint_db :
+  ?trace:Observe.Trace.ctx ->
+  ?neg_db:Matcher.Db.t ->
+  prepared ->
+  delta_preds:string list ->
+  dom:Value.t list ->
+  Matcher.Db.t ->
+  Instance.t * int
+
 (** [naive_fixpoint prepared ~dom inst] is the same fixpoint computed by
     full re-evaluation at every stage — the reference strategy. [trace]
     records the same ["round"] spans and [fixpoint.*] counters as

@@ -109,26 +109,115 @@ let rewrite p (query : Ast.atom) =
     query_pred = adorned_name query.Ast.pred query_adornment;
   }
 
+(* Keep only the tuples of the (full-arity) answer relation that match
+   the query atom: equal constants at constant positions, and equal
+   values wherever the query repeats a variable — T(X, X) selects the
+   diagonal, not all of T. *)
+let restrict_to_query (query : Ast.atom) rel =
+  let args = Array.of_list query.Ast.args in
+  let consts = ref [] and groups : (string, int list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  Array.iteri
+    (fun i arg ->
+      match arg with
+      | Ast.Cst c -> consts := (i, c) :: !consts
+      | Ast.Var x -> (
+          match Hashtbl.find_opt groups x with
+          | Some ps -> ps := i :: !ps
+          | None -> Hashtbl.add groups x (ref [ i ])))
+    args;
+  let consts = !consts in
+  let repeats =
+    Hashtbl.fold
+      (fun _ ps acc -> match !ps with _ :: _ :: _ -> !ps :: acc | _ -> acc)
+      groups []
+  in
+  if consts = [] && repeats = [] then rel
+  else
+    Relation.filter
+      (fun t ->
+        List.for_all (fun (i, c) -> Value.equal c (Tuple.get t i)) consts
+        && List.for_all
+             (function
+               | p0 :: ps ->
+                   let v = Tuple.get t p0 in
+                   List.for_all (fun p -> Value.equal v (Tuple.get t p)) ps
+               | [] -> true)
+             repeats)
+      rel
+
+(* --- query sessions ------------------------------------------------------ *)
+
+(* A session holds the evaluation state across queries: one persistent
+   [Matcher.Db] accumulating magic and adorned facts, plus memoized
+   rewrites keyed by (predicate, adornment) — the rewritten program
+   depends only on the binding pattern, never on the query's constants
+   (those live in the seed fact alone). Reuse across queries is sound:
+   adorned facts are genuine facts of their predicate (guards only
+   restrict which instantiations fire), so earlier queries leave behind
+   a valid partial fixpoint that later fixpoints extend incrementally —
+   a repeat or overlapping query re-derives nothing it already holds. *)
+type session = {
+  sprogram : Ast.program;
+  db : Matcher.Db.t;
+  strace : Observe.Trace.ctx;
+  dom : Value.t list;
+  rewrites : (string * string, rewritten * Eval_util.prepared) Hashtbl.t;
+}
+
+let session ?(trace = Observe.Trace.null) p inst =
+  Ast.check_datalog p;
+  {
+    sprogram = p;
+    db = Matcher.Db.of_instance ~trace inst;
+    strace = trace;
+    dom = Eval_util.program_dom p inst;
+    rewrites = Hashtbl.create 8;
+  }
+
+let ask s (query : Ast.atom) =
+  let tracing = Observe.Trace.enabled s.strace in
+  if tracing then Observe.Trace.incr s.strace "magic.queries";
+  let ad = adorn [] query in
+  let key = (query.Ast.pred, ad) in
+  let rw, prepared =
+    match Hashtbl.find_opt s.rewrites key with
+    | Some cached ->
+        if tracing then Observe.Trace.incr s.strace "magic.rewrite_memo_hits";
+        cached
+    | None ->
+        let rw = rewrite s.sprogram query in
+        if tracing then (
+          Observe.Trace.add s.strace "magic.rewritten_rules"
+            (List.length rw.program);
+          Observe.Trace.event s.strace "magic.rewrite"
+            ~fields:
+              [
+                Observe.Trace.fstr "query_pred" rw.query_pred;
+                Observe.Trace.fint "rules" (List.length rw.program);
+              ]);
+        let cached = (rw, Eval_util.prepare rw.program) in
+        Hashtbl.add s.rewrites key cached;
+        cached
+  in
+  (* the seed carries this query's constants; the memoized program is
+     constant-free *)
+  let seed_tup =
+    Tuple.of_list
+      (List.map
+         (function Ast.Cst v -> v | Ast.Var _ -> assert false)
+         (bound_args ad query))
+  in
+  ignore (Matcher.Db.insert s.db (fst rw.seed) seed_tup);
+  let res, _stages =
+    Eval_util.seminaive_fixpoint_db ~trace:s.strace prepared
+      ~delta_preds:(Ast.idb rw.program) ~dom:s.dom s.db
+  in
+  let answers = restrict_to_query query (Instance.find rw.query_pred res) in
+  if tracing then
+    Observe.Trace.add s.strace "magic.answer_tuples" (Relation.cardinal answers);
+  answers
+
 let answer ?(trace = Observe.Trace.null) p inst (query : Ast.atom) =
-  let { program; seed = seed_pred, seed_tup; query_pred } = rewrite p query in
-  if Observe.Trace.enabled trace then (
-    Observe.Trace.add trace "magic.rewritten_rules" (List.length program);
-    Observe.Trace.event trace "magic.rewrite"
-      ~fields:
-        [
-          Observe.Trace.fstr "query_pred" query_pred;
-          Observe.Trace.fint "rules" (List.length program);
-        ]);
-  let inst = Instance.add_fact seed_pred seed_tup inst in
-  let res = Seminaive.eval ~trace program inst in
-  let rel = Instance.find query_pred res.Seminaive.instance in
-  (* keep only tuples matching the query's constants *)
-  Relation.filter
-    (fun t ->
-      List.for_all2
-        (fun arg v ->
-          match arg with
-          | Ast.Cst c -> Value.equal c v
-          | Ast.Var _ -> true)
-        query.Ast.args (Tuple.to_list t))
-    rel
+  ask (session ~trace p inst) query

@@ -35,11 +35,30 @@ type rewritten = {
     predicate is not an idb predicate of [p]. *)
 val rewrite : Ast.program -> Ast.atom -> rewritten
 
-(** [answer p inst query] evaluates [query] via magic rewriting +
-    semi-naive evaluation and returns the tuples of the query's predicate
-    matching the query's constants (full original arity, so the result is
-    directly comparable with unrewritten evaluation). [trace] records the
-    counter [magic.rewritten_rules] and a [magic.rewrite] event before
-    receiving the semi-naive run's spans and counters. *)
+(** A query session: one persistent {!Matcher.Db} plus rewrites memoized
+    per (predicate, adornment). Each {!ask} inserts the query's seed and
+    resumes semi-naive evaluation on the shared database, so indexes and
+    previously derived magic/adorned facts are reused across queries —
+    a repeat or overlapping query re-derives nothing it already holds. *)
+type session
+
+(** [session p inst] opens a query session over program [p] and instance
+    [inst]. [trace] receives, per {!ask}: the counters [magic.queries],
+    [magic.rewrite_memo_hits], [magic.rewritten_rules] and
+    [magic.answer_tuples], a [magic.rewrite] event on each fresh
+    rewrite, and the semi-naive run's spans and counters.
+    @raise Ast.Check_error if [p] is not pure Datalog. *)
+val session :
+  ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> session
+
+(** [ask s query] answers [query] within session [s]: the tuples of the
+    query's predicate matching the query's constants and repeated
+    variables (full original arity, so the result is directly comparable
+    with unrewritten evaluation).
+    @raise Ast.Check_error if [query]'s predicate is not idb. *)
+val ask : session -> Ast.atom -> Relation.t
+
+(** [answer p inst query] is [ask (session p inst) query] — a one-shot
+    session. *)
 val answer :
   ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> Ast.atom -> Relation.t

@@ -320,17 +320,36 @@ let equijoin ?(trace = Observe.Trace.null) ?proj pairs left right =
         (idset_tuples (join_set ~trace ~al pairs cols left right))
 
 (* Hash semi/antijoin: index the right side's key projection as a set,
-   keep the left tuples that do (resp. do not) find a match. An empty
-   pair list projects every right tuple onto the same empty key, so the
-   semijoin degenerates into "left if right non-empty" — the compiled
-   guard for quantifiers over variables absent from their body. *)
+   keep the left tuples that do (resp. do not) find a match. One- and
+   two-column keys go through packed single-int tables, so the common
+   demand-guard semijoins (bound positions of an adorned predicate)
+   probe without allocating a key array per tuple. An empty pair list
+   projects every right tuple onto the same empty key, so the semijoin
+   degenerates into "left if right non-empty" — the compiled guard for
+   quantifiers over variables absent from their body. *)
 let semi ?(trace = Observe.Trace.null) ~anti pairs left right =
   let lcols = Array.of_list (List.map fst pairs)
   and rcols = Array.of_list (List.map snd pairs) in
-  let index : unit KTbl.t = KTbl.create 64 in
-  Relation.unordered_iter (fun t -> KTbl.replace index (key rcols t) ()) right;
   Observe.Trace.add trace "ra.join.probes" (Relation.cardinal left);
-  Relation.filter (fun lt -> KTbl.mem index (key lcols lt) <> anti) left
+  if can_pack && Array.length rcols = 1 then (
+    let rc = rcols.(0) and lc = lcols.(0) in
+    let index : unit ITbl.t = ITbl.create 64 in
+    Relation.unordered_iter (fun t -> ITbl.replace index (Tuple.id t rc) ()) right;
+    Relation.filter (fun lt -> ITbl.mem index (Tuple.id lt lc) <> anti) left)
+  else if can_pack && Array.length rcols = 2 then (
+    let rc0 = rcols.(0) and rc1 = rcols.(1) in
+    let lc0 = lcols.(0) and lc1 = lcols.(1) in
+    let index : unit ITbl.t = ITbl.create 64 in
+    Relation.unordered_iter
+      (fun t -> ITbl.replace index (pack2 (Tuple.id t rc0) (Tuple.id t rc1)) ())
+      right;
+    Relation.filter
+      (fun lt -> ITbl.mem index (pack2 (Tuple.id lt lc0) (Tuple.id lt lc1)) <> anti)
+      left)
+  else (
+    let index : unit KTbl.t = KTbl.create 64 in
+    Relation.unordered_iter (fun t -> KTbl.replace index (key rcols t) ()) right;
+    Relation.filter (fun lt -> KTbl.mem index (key lcols lt) <> anti) left)
 
 let adom_rel inst =
   Relation.of_distinct

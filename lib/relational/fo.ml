@@ -404,7 +404,11 @@ and compile_eq ctx a b =
   | Var x, Cst c | Cst c, Var x -> const_singleton ctx x c
 
 (* Natural join: equijoin on the shared columns, then project away the
-   right copy of each shared column. Joining with the trivial nullary
+   right copy of each shared column. When the right operand adds no
+   columns at all it is a pure filter on the accumulator, so the plan
+   gets a semijoin instead of a join-then-project — the demand-driven
+   engine relies on this to turn magic guards into semijoins against
+   the (small) demand relations. Joining with the trivial nullary
    relation is the identity — the physical-equality check recognizes the
    [nullary_true] accumulator that seeds conjunctions. *)
 and natural_join acc ce =
@@ -414,21 +418,25 @@ and natural_join acc ce =
     let shared = List.filter (fun v -> List.mem v acc.cols) ce.cols in
     if shared = [] then
       { e = A.Product (acc.e, ce.e); cols = acc.cols @ ce.cols }
-  else
-    let pairs =
-      List.map (fun v -> (idx acc.cols v, idx ce.cols v)) shared
-    in
-    let la = List.length acc.cols in
-    let keep_right =
-      List.filter (fun v -> not (List.mem v acc.cols)) ce.cols
-    in
-    let proj =
-      List.init la Fun.id @ List.map (fun v -> la + idx ce.cols v) keep_right
-    in
-    {
-      e = A.Project (proj, A.Join (pairs, acc.e, ce.e));
-      cols = acc.cols @ keep_right;
-    }
+    else
+      let pairs =
+        List.map (fun v -> (idx acc.cols v, idx ce.cols v)) shared
+      in
+      let keep_right =
+        List.filter (fun v -> not (List.mem v acc.cols)) ce.cols
+      in
+      if keep_right = [] then
+        { e = A.Semijoin (pairs, acc.e, ce.e); cols = acc.cols }
+      else
+        let la = List.length acc.cols in
+        let proj =
+          List.init la Fun.id
+          @ List.map (fun v -> la + idx ce.cols v) keep_right
+        in
+        {
+          e = A.Project (proj, A.Join (pairs, acc.e, ce.e));
+          cols = acc.cols @ keep_right;
+        }
 
 and compile_and ctx conjs =
   let positives = ref [] and eqs = ref [] and negs = ref [] in

@@ -1,0 +1,106 @@
+Query answering: ?- directives, -q command-line atoms, and the
+demand-driven compiler.
+
+  $ cat > tc.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- T(X, Z), G(Z, Y).
+  > EOF
+  $ cat > g.facts <<'EOF'
+  > G(a, b). G(b, c). G(c, d). G(x, y).
+  > EOF
+
+A query atom on the command line, no directive needed:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)'
+  T(a, b).
+  T(a, c).
+  T(a, d).
+
+The ?- directive path still works, and -q atoms append to it:
+
+  $ cat > directed.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- T(X, Z), G(Z, Y).
+  > ?- T(b, Y).
+  > EOF
+  $ datalog-unchained query directed.dl -f g.facts
+  T(b, c).
+  T(b, d).
+  $ datalog-unchained query directed.dl -f g.facts -q 'T(x, Y)'
+  T(b, c).
+  T(b, d).
+  T(x, y).
+
+No query at all is an error, exit status 2:
+
+  $ datalog-unchained query tc.dl -f g.facts
+  no query: pass -q ATOM or add a ?- directive to the program
+  [2]
+
+So is an unparsable atom or a non-idb predicate:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a,'
+  query 'T(a,': parse error: expected a term, found end of input
+  [2]
+  $ datalog-unchained query tc.dl -f g.facts -q 'G(a, Y)'
+  Magic.rewrite: G is not an idb predicate
+  [2]
+
+A repeated variable constrains the answer (the diagonal of T is empty
+on an acyclic graph):
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(X, X)'
+
+--demand lowers the magic-rewritten program to algebra plans; answers
+are identical:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --demand
+  T(a, b).
+  T(a, c).
+  T(a, d).
+
+Under --stats the demand counters show the pipeline at work: one
+compiled plan set, a cache miss for the first pattern, and a hit for
+the subsumed repeat T(a, c) — served from the cache, no new rounds:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' -q 'T(a, c)' \
+  >   --demand --stats | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g'
+  T(a, b).
+  T(a, c).
+  T(a, d).
+  T(a, c).
+  == run report ==
+  spans:
+    run      demand                         _ ms
+  counters:
+    demand.cache.hits                                   1
+    demand.cache.misses                                 1
+    demand.plan.compiled                                3
+    demand.rounds                                       4
+    demand.tuples_derived                               3
+    fo.plan.compiled                                    7
+    fo.plan.fallback_vars                               0
+    intern.hits                                         7
+    intern.values                                       6
+    ra.join.probes                                     19
+
+run --demand answers the all-free query for the -a predicate without
+materializing anything else:
+
+  $ datalog-unchained run tc.dl -f g.facts -a T --demand
+  T(a, b).
+  T(a, c).
+  T(a, d).
+  T(b, c).
+  T(b, d).
+  T(c, d).
+  T(x, y).
+  $ datalog-unchained run tc.dl -f g.facts --demand
+  --demand requires --answer PRED
+  [2]
+  $ datalog-unchained run tc.dl -f g.facts -a G --demand
+  --demand: G is not an idb predicate
+  [2]
+  $ datalog-unchained run -s naive tc.dl -f g.facts -a T --demand
+  --demand only supports the default seminaive semantics
+  [2]

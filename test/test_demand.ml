@@ -1,0 +1,211 @@
+(* The demand-driven compiler: three-engine agreement (demand ≡ magic ≡
+   filtered semi-naive) on random programs × random queries, the
+   subsumptive cache, and memo-table eviction. *)
+open Relational
+open Helpers
+module Q = QCheck
+
+let count = 100
+
+let prop name arb f = QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name arb f)
+
+(* Random positive programs over edb g/2, e/1 with idb t, s, d (binary)
+   and p (unary): left/right/doubly recursive closures, a diagonal
+   selection, a projection chained through recursion. *)
+let rule_pool =
+  [|
+    "t(X, Y) :- g(X, Y).";
+    "t(X, Y) :- t(X, Z), g(Z, Y).";
+    "s(X, Y) :- g(X, Y).";
+    "s(X, Y) :- g(X, Z), s(Z, Y).";
+    "d(X, Y) :- t(X, Y).";
+    "d(X, Z) :- d(X, Y), d(Y, Z).";
+    "p(X) :- t(X, X).";
+    "p(Y) :- g(X, Y), p(X).";
+    "p(X) :- e(X).";
+  |]
+
+let arities = [ ("t", 2); ("s", 2); ("d", 2); ("p", 1) ]
+
+(* One scenario: a sampled sub-program, a small random instance, and a
+   query atom mixing constants (sometimes outside the graph), variables,
+   and repeated variables. *)
+let scenario_gen =
+  Q.Gen.(
+    let* mask = list_repeat (Array.length rule_pool) bool in
+    let chosen =
+      List.concat (List.mapi (fun i k -> if k then [ rule_pool.(i) ] else []) mask)
+    in
+    let* n = 1 -- 6 in
+    let* edges = 0 -- 10 in
+    let* seed = 0 -- 10_000 in
+    let g = Graph_gen.random ~name:"g" ~seed n edges in
+    let* ne = 0 -- n in
+    let inst =
+      Instance.set "e"
+        (Relation.of_rows (List.init ne (fun i -> [ Graph_gen.vertex i ])))
+        g
+    in
+    let p = prog (String.concat "\n" chosen) in
+    let idb = Datalog.Ast.idb p in
+    let queryable = List.filter (fun (q, _) -> List.mem q idb) arities in
+    match queryable with
+    | [] -> return (p, inst, None)
+    | _ ->
+        let* pred, arity = oneofl queryable in
+        let* args =
+          list_repeat arity
+            (frequency
+               [
+                 (2, map (fun x -> Datalog.Ast.var x) (oneofl [ "X"; "Y" ]));
+                 ( 1,
+                   map
+                     (fun i -> Datalog.Ast.cst (Graph_gen.vertex i))
+                     (0 -- (n + 1)) );
+               ])
+        in
+        return (p, inst, Some (Datalog.Ast.atom pred args)))
+
+let scenario_arb =
+  Q.make
+    ~print:(fun (p, i, q) ->
+      Printf.sprintf "program:\n%s\ninstance:\n%s\nquery: %s"
+        (Datalog.Pretty.program_to_string p)
+        (Instance.to_string i)
+        (match q with
+        | None -> "<none>"
+        | Some q -> Datalog.Pretty.rule_to_string (Datalog.Ast.rule q [])))
+    scenario_gen
+
+(* Does a tuple of the query predicate's full relation satisfy the query
+   atom — equal constants, consistent (possibly repeated) variables? *)
+let matches_query (q : Datalog.Ast.atom) tup =
+  let seen = Hashtbl.create 4 in
+  let rec go i = function
+    | [] -> true
+    | Datalog.Ast.Cst c :: rest ->
+        Value.equal c (Tuple.get tup i) && go (i + 1) rest
+    | Datalog.Ast.Var x :: rest ->
+        (match Hashtbl.find_opt seen x with
+        | Some v0 -> Value.equal v0 (Tuple.get tup i)
+        | None ->
+            Hashtbl.add seen x (Tuple.get tup i);
+            true)
+        && go (i + 1) rest
+  in
+  go 0 q.Datalog.Ast.args
+
+let oracle p inst (q : Datalog.Ast.atom) =
+  Relation.filter (matches_query q)
+    (Datalog.Seminaive.answer p inst q.Datalog.Ast.pred)
+
+let bytes_of rel = Format.asprintf "%a" Relation.pp rel
+
+(* demand ≡ Magic.answer ≡ filtered unrewritten semi-naive, byte for
+   byte (PR 4/5 oracle discipline) *)
+let prop_three_engines_agree =
+  prop "demand = magic = filtered semi-naive" scenario_arb (fun (p, i, q) ->
+      Q.assume (q <> None);
+      let q = Option.get q in
+      let expected = bytes_of (oracle p i q) in
+      String.equal expected (bytes_of (Datalog.Demand.answer p i q))
+      && String.equal expected (bytes_of (Datalog.Magic.answer p i q)))
+
+(* a shared cache across random queries of one scenario never changes
+   answers (subsumption serving = recomputation) *)
+let prop_cache_transparent =
+  prop "cached answers = fresh answers" scenario_arb (fun (p, i, q) ->
+      Q.assume (q <> None);
+      let q = Option.get q in
+      let cache = Datalog.Demand.Cache.create () in
+      (* all-free first, so the specific query is served by subsumption *)
+      let free_args =
+        List.mapi
+          (fun j _ -> Datalog.Ast.var (Printf.sprintf "F%d" j))
+          q.Datalog.Ast.args
+      in
+      let qfree = Datalog.Ast.atom q.Datalog.Ast.pred free_args in
+      ignore (Datalog.Demand.answer ~cache p i qfree);
+      String.equal
+        (bytes_of (oracle p i q))
+        (bytes_of (Datalog.Demand.answer ~cache p i q)))
+
+(* --- subsumption: tc(a, ?) then tc(a, b) hits the cache ----------------- *)
+
+let test_subsumption_hit () =
+  let p = tc_program in
+  let inst = Graph_gen.chain 6 in
+  let trace = Observe.Trace.make ~sinks:[] () in
+  let cache = Datalog.Demand.Cache.create () in
+  let q pred args = Datalog.Ast.atom pred args in
+  let a = Graph_gen.vertex 0 and b = Graph_gen.vertex 3 in
+  let first =
+    Datalog.Demand.answer ~trace ~cache p inst
+      (q "T" [ Datalog.Ast.cst a; Datalog.Ast.var "Y" ])
+  in
+  Alcotest.(check int) "miss recorded" 1
+    (Observe.Trace.counter trace "demand.cache.misses");
+  let point =
+    Datalog.Demand.answer ~trace ~cache p inst
+      (q "T" [ Datalog.Ast.cst a; Datalog.Ast.cst b ])
+  in
+  Alcotest.(check int) "point query served from cache" 1
+    (Observe.Trace.counter trace "demand.cache.hits");
+  check_rel "point answer" (Relation.of_rows [ [ a; b ] ]) point;
+  let again =
+    Datalog.Demand.answer ~trace ~cache p inst
+      (q "T" [ Datalog.Ast.cst a; Datalog.Ast.var "Z" ])
+  in
+  Alcotest.(check int) "repeat hits too" 2
+    (Observe.Trace.counter trace "demand.cache.hits");
+  Alcotest.(check string) "identical tuples" (bytes_of first) (bytes_of again)
+
+(* --- eviction ------------------------------------------------------------ *)
+
+let test_eviction () =
+  let p = tc_program in
+  let inst = Graph_gen.chain 8 in
+  let trace = Observe.Trace.make ~sinks:[] () in
+  let cache = Datalog.Demand.Cache.create ~plan_cap:1 ~answer_cap:2 () in
+  let point i =
+    Datalog.Ast.atom "T" [ Datalog.Ast.cst (Graph_gen.vertex i); Datalog.Ast.var "Y" ]
+  in
+  (* four distinct demand patterns against answer_cap = 2 *)
+  List.iter
+    (fun i -> ignore (Datalog.Demand.answer ~trace ~cache p inst (point i)))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "answer entries evicted" true
+    (Observe.Trace.counter trace "demand.evictions" >= 2);
+  (* a second adornment against plan_cap = 1 evicts the first plan set *)
+  ignore
+    (Datalog.Demand.answer ~trace ~cache p inst
+       (Datalog.Ast.atom "T" [ Datalog.Ast.var "X"; Datalog.Ast.var "Y" ]));
+  let evictions = Observe.Trace.counter trace "demand.evictions" in
+  Alcotest.(check bool) "plan entry evicted" true (evictions >= 3);
+  (* evicted patterns still answer correctly (recomputed, not stale) *)
+  check_rel "re-query after eviction"
+    (oracle p inst (point 0))
+    (Datalog.Demand.answer ~trace ~cache p inst (point 0))
+
+let test_cache_flush_on_new_instance () =
+  let p = tc_program in
+  let cache = Datalog.Demand.Cache.create () in
+  let q =
+    Datalog.Ast.atom "T" [ Datalog.Ast.cst (Graph_gen.vertex 0); Datalog.Ast.var "Y" ]
+  in
+  let short = Graph_gen.chain 3 and long = Graph_gen.chain 5 in
+  let r1 = Datalog.Demand.answer ~cache p short q in
+  let r2 = Datalog.Demand.answer ~cache p long q in
+  check_rel "first instance" (oracle p short q) r1;
+  check_rel "second instance not served stale" (oracle p long q) r2
+
+let suite =
+  [
+    prop_three_engines_agree;
+    prop_cache_transparent;
+    Alcotest.test_case "subsumption: tc(a,?) then tc(a,b) hits" `Quick
+      test_subsumption_hit;
+    Alcotest.test_case "LRU eviction of plans and answers" `Quick test_eviction;
+    Alcotest.test_case "cache flushes on instance change" `Quick
+      test_cache_flush_on_new_instance;
+  ]

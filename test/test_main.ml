@@ -21,6 +21,7 @@ let () =
       ("trees-ontology", Test_trees_ontology.suite);
       ("observe", Test_observe.suite);
       ("properties", Test_properties.suite);
+      ("demand", Test_demand.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties-sec6", Test_properties2.suite);
       ("parallel", Test_parallel.suite);
