@@ -24,13 +24,20 @@ bench:
 # negation query through the safe-range compiler and checks that the
 # compiled path (not a fallback) produced it. The demand smoke step
 # answers a point query twice through the demand compiler and checks
-# that plans were compiled and the repeat was a cache hit.
+# that plans were compiled and the repeat was a cache hit. The explain
+# smoke step runs --explain on a demand TC query and checks the
+# annotated tree shows a join operator with an actual rows-out figure.
+# The bench-diff step compares the freshly regenerated e2 rows against
+# the committed BENCH_engines.json — informational only (machines
+# differ), hence the trailing "|| true"; drop it to enforce the 5%
+# regression budget.
 ci:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- e2 --json _ci_bench.json
 	grep -q '"case": "random-300x900".*"engine": "seminaive".*"facts": 79230' _ci_bench.json
 	grep -q '"case": "chain-160".*"engine": "seminaive".*"facts": 12720' _ci_bench.json
+	dune exec -- datalog-bench-diff BENCH_engines.json _ci_bench.json || true
 	rm -f _ci_bench.json
 	printf 'T(X, Y) :- G(X, Y).\nT(X, Y) :- G(X, Z), T(Z, Y).\nG(a, b). G(b, c). G(c, d).\n' > _ci_tc.dl
 	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --stats | grep -q 'intern.values'
@@ -47,7 +54,9 @@ ci:
 	dune exec -- datalog-unchained query _ci_tc.dl -q 'T(a, Y)' -q 'T(a, d)' --demand --stats > _ci_demand.out
 	grep -q 'demand.plan.compiled' _ci_demand.out
 	grep -q 'demand.cache.hits *1' _ci_demand.out
-	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts _ci_demand.out
+	dune exec -- datalog-unchained query _ci_tc.dl -q 'T(a, Y)' --demand --explain > _ci_explain.out
+	grep -qE 'join\[[0-9]+=[0-9]+\].* rows_out=[0-9]+' _ci_explain.out
+	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts _ci_demand.out _ci_explain.out
 
 clean:
 	dune clean

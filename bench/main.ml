@@ -18,6 +18,8 @@
      e15 Datalog± restricted chase and certain answers (§6)
      e16 parallel evaluation: domain-pool jobs sweep on semi-naive TC
      e17 safe-range compilation: FO calculus and while, naive vs compiled
+     e18 demand-driven compilation vs full materialization
+     e19 operator-profiling overhead, disabled vs enabled
 
    `dune exec bench/main.exe` runs everything; pass experiment ids to
    select, or `bechamel` for the micro-benchmark kernels. *)
@@ -91,12 +93,26 @@ let collect_metrics f =
   let ctx = Observe.Trace.make ~sinks:[] () in
   ignore (f ctx);
   Observe.Trace.finish ctx;
-  List.filter_map
-    (fun k ->
-      match Observe.Trace.counter ctx k with
-      | 0 -> None
-      | v -> Some (k, v))
-    metric_keys
+  let counters =
+    List.filter_map
+      (fun k ->
+        match Observe.Trace.counter ctx k with
+        | 0 -> None
+        | v -> Some (k, v))
+      metric_keys
+  in
+  (* latency histograms ride along as p50/p99 (ns) so a perf diff can
+     see distribution shifts, not just totals *)
+  let hists =
+    List.concat_map
+      (fun (k, d) ->
+        if d.Observe.Trace.n = 0 then []
+        else
+          [ (k ^ ".p50_ns", d.Observe.Trace.p50);
+            (k ^ ".p99_ns", d.Observe.Trace.p99) ])
+      (Observe.Trace.histograms ctx)
+  in
+  counters @ hists
 
 let write_json path =
   let oc = open_out path in
@@ -1089,6 +1105,62 @@ let e18 () =
        cone only;\n  the cache-hit repeat is a filter over the recorded \
        answer relation\n"
 
+(* ---------------------------------------------------------------- E19 *)
+
+(* Profiling overhead: the per-operator hooks in Algebra.eval must cost
+   nothing when disabled (?profile defaults to None: one option match per
+   node execution) and stay cheap enabled (a clock read, a frame push and
+   a hashtable bump per node). Times the demand-driven TC point query —
+   the deepest Algebra plan stack in the repo — with profiling off vs on.
+   The disabled path's absolute budget is the separate acceptance check:
+   tools/bench_diff of a fresh e2 run against the committed
+   BENCH_engines.json. *)
+let e19 () =
+  header "E19 | operator profiling overhead (Algebra plans, demand TC)";
+  let tc_program =
+    prog {|
+      T(X, Y) :- G(X, Y).
+      T(X, Y) :- T(X, Z), G(Z, Y).
+    |}
+  in
+  row "  %-18s | %10s %10s | %8s | %8s\n" "graph" "off ms" "on ms"
+    "overhead" "|answer|";
+  List.iter
+    (fun (name, n, inst, src) ->
+      let query =
+        Datalog.Ast.atom "T" [ Datalog.Ast.sym src; Datalog.Ast.var "Y" ]
+      in
+      let off, t_off =
+        time (fun () ->
+            Datalog.Demand.answer
+              ~cache:(Datalog.Demand.Cache.create ())
+              tc_program inst query)
+      in
+      let on, t_on =
+        time (fun () ->
+            Datalog.Demand.answer
+              ~profile:(Algebra.profile ())
+              ~cache:(Datalog.Demand.Cache.create ())
+              tc_program inst query)
+      in
+      assert (Relation.equal off on);
+      record ~experiment:"e19" ~case:name ~n ~engine:"demand-noprofile"
+        ~wall_ms:(1000. *. t_off) ~stages:0 ~facts:(Relation.cardinal off) ();
+      record ~experiment:"e19" ~case:name ~n ~engine:"demand-profile"
+        ~wall_ms:(1000. *. t_on) ~stages:0 ~facts:(Relation.cardinal on) ();
+      row "  %-18s | %s %s | %+7.1f%% | %8d\n" name (ms t_off) (ms t_on)
+        (100. *. (t_on -. t_off) /. t_off)
+        (Relation.cardinal off))
+    [
+      ("chain-300", 300, Graph_gen.chain 300, "n20");
+      ("random-120x300", 120, Graph_gen.random ~seed:41 120 300, "n0");
+      ("random-300x900", 300, Graph_gen.random ~seed:12 300 900, "n0");
+    ];
+  row
+    "  overhead is per-operator-execution, so it concentrates in plans \
+     with many\n  cheap executions (fixpoint deltas); EXPERIMENTS.md E19 \
+     records the numbers\n"
+
 (* ---------------------------------------------------- bechamel kernels *)
 
 let bechamel_kernels () =
@@ -1162,7 +1234,7 @@ let all =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
   ]
 
 let () =
@@ -1209,7 +1281,7 @@ let () =
           match List.assoc_opt id all with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e18, bechamel)\n" id;
+              Printf.eprintf "unknown experiment %s (e1..e19, bechamel)\n" id;
               exit 2)
         ids);
   match json_file with None -> () | Some file -> write_json file

@@ -129,11 +129,24 @@ let trace_arg =
           "Write a JSON-lines trace of the run to $(docv) (span_open / \
            span_close / event / summary lines; see lib/observe)")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "After the answers, print the compiled plan(s) as an annotated \
+           operator tree: per executed operator, rows in/out, execution \
+           count, selectivity and self/total wall time. With $(b,--demand), \
+           one tree per (rule, adornment) plan of the magic-rewritten \
+           program plus the demand cache hit/miss breakdown")
+
 (* Build the trace context the flags ask for, run [f] inside a "run" span,
    then flush: the JSONL file is closed even on exceptions, and the stats
-   report prints only after a completed run. *)
-let with_observability ~name stats trace_path f =
-  if (not stats) && trace_path = None then f Observe.Trace.null
+   report prints only after a completed run. [force] creates an enabled
+   context even without --stats/--trace (the --explain paths read
+   counters from it) but prints nothing extra. *)
+let with_observability ~name ?(force = false) stats trace_path f =
+  if (not stats) && (not force) && trace_path = None then f Observe.Trace.null
   else
     let oc, sinks =
       match trace_path with
@@ -180,10 +193,35 @@ let semantics_name = function
   | `Stable -> "stable"
   | `Invent -> "invent"
 
+(* --explain (demand): per (rule, adornment) plan of the magic-rewritten
+   program, the annotated operator tree, then the cache breakdown read
+   back from the trace counters. [Demand.plans] returns the memoized
+   plans the preceding [answer] calls executed, so the profile recorded
+   there annotates exactly these trees. *)
+let print_demand_explain ~trace ~cache ~profile p inst qs =
+  List.iter
+    (fun q ->
+      Format.printf "%% explain %a@." Datalog.Pretty.pp_atom q;
+      List.iter
+        (fun pi ->
+          Format.printf "%% plan %s [%s]@." pi.Datalog.Demand.pi_head
+            pi.Datalog.Demand.pi_role;
+          print_string
+            (Explain.text ~inst ~profile
+               (Fo.plan_expr pi.Datalog.Demand.pi_plan)))
+        (Datalog.Demand.plans ~trace ~cache p q))
+    qs;
+  let c name = Observe.Trace.counter trace name in
+  Format.printf
+    "%% demand cache: %d answer hit(s), %d miss(es); %d plan(s) compiled, %d \
+     plan memo hit(s)@."
+    (c "demand.cache.hits") (c "demand.cache.misses")
+    (c "demand.plan.compiled") (c "demand.plan.hits")
+
 (* [run --demand -a PRED] answers the all-free query PRED(X1, ..., Xk)
    through the demand pipeline instead of materializing the fixpoint —
    same output as [-s seminaive -a PRED] restricted to that predicate. *)
-let run_demand p inst answer stats trace_path =
+let run_demand p inst answer explain stats trace_path =
   let pred =
     match answer with
     | Some pred -> pred
@@ -210,26 +248,41 @@ let run_demand p inst answer stats trace_path =
           (List.init k (fun i -> Datalog.Ast.var (Printf.sprintf "X%d" i)))
       in
       try
-        with_observability ~name:"demand" stats trace_path (fun trace ->
-            let rel = Datalog.Demand.answer ~trace p inst query in
+        with_observability ~name:"demand" ~force:explain stats trace_path
+          (fun trace ->
+            let cache = Datalog.Demand.Cache.create () in
+            let profile =
+              if explain then Some (Algebra.profile ()) else None
+            in
+            let rel =
+              Datalog.Demand.answer ~trace ~cache ?profile p inst query
+            in
             Relation.iter
               (fun t -> Format.printf "%a@." Datalog.Pretty.pp_fact (pred, t))
-              rel)
+              rel;
+            Option.iter
+              (fun profile ->
+                print_demand_explain ~trace ~cache ~profile p inst [ query ])
+              profile)
       with Datalog.Ast.Check_error msg ->
         Printf.eprintf "%s\n" msg;
         exit 2)
 
 let run_cmd =
-  let run semantics program facts answer ordered demand stats trace_path jobs =
+  let run semantics program facts answer ordered demand explain stats
+      trace_path jobs =
     set_jobs jobs;
     let { Datalog.Parser.program = p; _ } = load_program program in
     let inst = load_facts facts in
     let inst = if ordered then Order.adjoin inst else inst in
+    if explain && not demand then (
+      Printf.eprintf "--explain requires --demand on this subcommand\n";
+      exit 2);
     if demand then (
       if semantics <> `Seminaive then (
         Printf.eprintf "--demand only supports the default seminaive semantics\n";
         exit 2);
-      run_demand p inst answer stats trace_path)
+      run_demand p inst answer explain stats trace_path)
     else
     with_observability ~name:(semantics_name semantics) stats trace_path
       (fun trace ->
@@ -304,7 +357,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ semantics_arg $ program_arg $ facts_arg $ answer_arg
-      $ order_arg $ demand_arg $ stats_arg $ trace_arg $ jobs_arg)
+      $ order_arg $ demand_arg $ explain_arg $ stats_arg $ trace_arg
+      $ jobs_arg)
 
 (* --- nondet ------------------------------------------------------------- *)
 
@@ -461,10 +515,13 @@ let demand_arg =
            cache ($(b,demand.*) counters under $(b,--stats))")
 
 let query_cmd =
-  let run program facts query_args demand stats trace_path jobs =
+  let run program facts query_args demand explain stats trace_path jobs =
     set_jobs jobs;
     let { Datalog.Parser.program = p; queries } = load_program program in
     let inst = load_facts facts in
+    if explain && not demand then (
+      Printf.eprintf "--explain requires --demand on this subcommand\n";
+      exit 2);
     match queries @ List.map parse_query_atom query_args with
     | [] ->
         Printf.eprintf
@@ -480,13 +537,21 @@ let query_cmd =
         in
         try
           with_observability ~name:(if demand then "demand" else "magic")
-            stats trace_path (fun trace ->
+            ~force:explain stats trace_path (fun trace ->
               if demand then (
                 let cache = Datalog.Demand.Cache.create () in
+                let profile =
+                  if explain then Some (Algebra.profile ()) else None
+                in
                 List.iter
                   (fun q ->
-                    print q (Datalog.Demand.answer ~trace ~cache p inst q))
-                  qs)
+                    print q
+                      (Datalog.Demand.answer ~trace ~cache ?profile p inst q))
+                  qs;
+                Option.iter
+                  (fun profile ->
+                    print_demand_explain ~trace ~cache ~profile p inst qs)
+                  profile)
               else
                 let s = Datalog.Magic.session ~trace p inst in
                 List.iter (fun q -> print q (Datalog.Magic.ask s q)) qs)
@@ -498,7 +563,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ program_arg $ facts_arg $ query_atom_arg $ demand_arg
-      $ stats_arg $ trace_arg $ jobs_arg)
+      $ explain_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* --- fo ------------------------------------------------------------------ *)
 
@@ -531,7 +596,7 @@ let fo_cmd =
             "Evaluate with the naive active-domain enumerator instead of \
              the compiled algebra plan (reference oracle)")
   in
-  let run query facts vars naive stats trace_path jobs =
+  let run query facts vars naive explain stats trace_path jobs =
     set_jobs jobs;
     let f =
       try Fo_parse.formula_of_string query
@@ -547,21 +612,34 @@ let fo_cmd =
           String.split_on_char ',' s |> List.map String.trim
           |> List.filter (fun v -> v <> "")
     in
+    if explain && naive then (
+      Printf.eprintf "--explain needs the compiled path (drop --naive)\n";
+      exit 2);
     try
-      with_observability ~name:"fo" stats trace_path (fun trace ->
-          match vars with
+      with_observability ~name:"fo" ~force:explain stats trace_path
+        (fun trace ->
+          let profile = if explain then Some (Algebra.profile ()) else None in
+          (match vars with
           | [] ->
               Format.printf "%b@."
                 (if naive then Fo.sentence_naive inst f
-                 else Fo.sentence ~trace inst f)
+                 else Fo.sentence ~trace ?profile inst f)
           | vs ->
               let r =
                 if naive then Fo.eval_naive inst f vs
-                else Fo.eval ~trace inst f vs
+                else Fo.eval ~trace ?profile inst f vs
               in
               Relation.iter
                 (fun t -> Format.printf "%a@." Datalog.Pretty.pp_fact ("ans", t))
-                r)
+                r);
+          (* plans are memoized: recompiling returns the same physical
+             plan the evaluation just profiled *)
+          Option.iter
+            (fun profile ->
+              let plan = Fo.compile ~trace f vars in
+              Format.printf "%% explain@.";
+              print_string (Explain.text ~inst ~profile (Fo.plan_expr plan)))
+            profile)
     with Invalid_argument msg ->
       Printf.eprintf "%s\n" msg;
       exit 2
@@ -571,8 +649,8 @@ let fo_cmd =
   in
   Cmd.v (Cmd.info "fo" ~doc)
     Term.(
-      const run $ query_arg $ facts_arg $ vars_arg $ naive_arg $ stats_arg
-      $ trace_arg $ jobs_arg)
+      const run $ query_arg $ facts_arg $ vars_arg $ naive_arg $ explain_arg
+      $ stats_arg $ trace_arg $ jobs_arg)
 
 let main =
   let doc =

@@ -107,7 +107,7 @@ let compile_program ~trace p (query : Ast.atom) =
 
 (* --- semi-naive fixpoint over compiled plans ----------------------------- *)
 
-let solve ~trace compiled inst =
+let solve ~trace ?profile compiled inst =
   let tracing = Observe.Trace.enabled trace in
   let cur = ref inst in
   (* id-keyed membership sets, built lazily per head predicate at first
@@ -149,7 +149,9 @@ let solve ~trace compiled inst =
   let derived = ref 0 in
   (* round 0: every rule in full *)
   List.iter
-    (fun rp -> Relation.unordered_iter (emit rp) (Fo.run_plan ~trace !cur rp.full))
+    (fun rp ->
+      Relation.unordered_iter (emit rp)
+        (Fo.run_plan ~trace ?profile !cur rp.full))
     compiled.rules;
   let rec loop delta =
     let n = List.fold_left (fun n (_, ts) -> n + List.length ts) 0 delta in
@@ -165,7 +167,8 @@ let solve ~trace compiled inst =
               List.iter
                 (fun (dp, plan) ->
                   if String.equal dp p then
-                    Relation.unordered_iter (emit rp) (Fo.run_plan ~trace dinst plan))
+                    Relation.unordered_iter (emit rp)
+                      (Fo.run_plan ~trace ?profile dinst plan))
                 rp.deltas)
             compiled.rules)
         delta;
@@ -373,7 +376,34 @@ module Cache = struct
         compiled
 end
 
-let answer ?(trace = Observe.Trace.null) ?cache p inst (query : Ast.atom) =
+(* --- plan inspection (EXPLAIN) ------------------------------------------- *)
+
+type plan_info = { pi_head : string; pi_role : string; pi_plan : Fo.plan }
+
+let plans ?(trace = Observe.Trace.null) ?cache p (query : Ast.atom) =
+  let c = match cache with Some c -> c | None -> Cache.create () in
+  let ad = adorn query in
+  Mutex.lock c.Cache.lock;
+  let compiled =
+    match Cache.plans_for ~trace c p query.Ast.pred ad query with
+    | compiled ->
+        Mutex.unlock c.Cache.lock;
+        compiled
+    | exception e ->
+        Mutex.unlock c.Cache.lock;
+        raise e
+  in
+  List.concat_map
+    (fun rp ->
+      { pi_head = rp.head_pred; pi_role = "full"; pi_plan = rp.full }
+      :: List.map
+           (fun (dp, plan) ->
+             { pi_head = rp.head_pred; pi_role = "delta:" ^ dp; pi_plan = plan })
+           rp.deltas)
+    compiled.rules
+
+let answer ?(trace = Observe.Trace.null) ?cache ?profile p inst
+    (query : Ast.atom) =
   let c = match cache with Some c -> c | None -> Cache.create () in
   let ad = adorn query in
   let bound = bound_ids query in
@@ -410,7 +440,7 @@ let answer ?(trace = Observe.Trace.null) ?cache p inst (query : Ast.atom) =
              query.Ast.args)
       in
       let start = Instance.add_fact compiled.seed_pred seed inst in
-      let final = solve ~trace compiled start in
+      let final = solve ~trace ?profile compiled start in
       (* cache the full demand pattern (constants only); the
          repeated-variable refinement is per-query, not per-pattern *)
       let pattern =

@@ -50,12 +50,36 @@ end
     and repeated variables — byte-identical to filtering the full
     semi-naive fixpoint, and to {!Magic.answer}. [cache] (default: a
     fresh cache) carries plans and answered patterns across calls.
+    [profile] is threaded into every plan execution
+    ({!Fo.run_plan}), so one profile accumulates per-operator row and
+    time statistics across all of the query's rule plans — pair it with
+    {!plans} to render an annotated EXPLAIN tree.
     @raise Ast.Check_error if [p] is not pure Datalog or the query's
     predicate is not idb. *)
 val answer :
   ?trace:Observe.Trace.ctx ->
   ?cache:Cache.t ->
+  ?profile:Algebra.profile ->
   Ast.program ->
   Instance.t ->
   Ast.atom ->
   Relation.t
+
+(** One compiled plan of the magic-rewritten program: [pi_head] is the
+    rewritten rule's head predicate — adorned ([T__bf]) or magic
+    ([magic_T__bf]) — and [pi_role] is ["full"] (the whole body, run in
+    round 0) or ["delta:<pred>"] (the semi-naive derivative seeded by
+    that predicate's round delta). *)
+type plan_info = { pi_head : string; pi_role : string; pi_plan : Fo.plan }
+
+(** [plans p query] lists the compiled rule plans for [query]'s
+    (program, predicate, adornment), in rewriting order. With the same
+    [cache] as a preceding {!answer} call this returns the {e same}
+    (memoized) plans that call executed, so a profile recorded there
+    annotates these plan trees (profiles key on physical identity). *)
+val plans :
+  ?trace:Observe.Trace.ctx ->
+  ?cache:Cache.t ->
+  Ast.program ->
+  Ast.atom ->
+  plan_info list

@@ -249,6 +249,7 @@ let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db =
   let fire_task w (plan, label, delta) =
     let vdb = wdb.(w) in
     let wtr = wctx.(w) in
+    let t0 = if tracing then Observe.Trace.now () else 0. in
     let acc = wacc.(w) in
     let cur_p = ref "" in
     let cur_mem = ref None in
@@ -272,7 +273,12 @@ let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db =
                 Matcher.IdTbl.replace seen (Tuple.ids t) ();
                 lst := t :: !lst))))
     in
-    if tracing then Observe.Trace.add wtr ("rule_firings." ^ label) n
+    if tracing then (
+      Observe.Trace.add wtr ("rule_firings." ^ label) n;
+      (* per-task latency, recorded in the worker's private context; the
+         barrier merge pools the workers' histograms, so the reported
+         par.task distribution spans every domain *)
+      Observe.Trace.observe_s wtr "par.task" (Observe.Trace.now () -. t0))
   in
   (* barrier: fold worker buffers into the round accumulator (worker
      order), dropping facts another worker also derived *)

@@ -379,16 +379,28 @@ let prune_derivative del d =
   | [] -> Fo.False
   | f :: rest -> List.fold_left (fun a b -> Fo.Or (a, b)) f rest
 
+(* [Fo.run_plan] with its latency sampled into the [fp.plan] histogram —
+   the per-derivative plan-run distribution the EXPLAIN/percentile
+   tooling reads. Untraced runs skip the clock reads entirely. *)
+let run_plan_timed ~trace inst p =
+  if not (Observe.Trace.enabled trace) then Fo.run_plan ~trace inst p
+  else begin
+    let t0 = Observe.Trace.now () in
+    let r = Fo.run_plan ~trace inst p in
+    Observe.Trace.observe_s trace "fp.plan" (Observe.Trace.now () -. t0);
+    r
+  end
+
 (* Evaluate one plan per derivative; with several derivatives and a free
    pool, spread them over the domains (workers get private trace
-   contexts, merged at the barrier). *)
+   contexts, merged — counters and histograms — at the barrier). *)
 let eval_plans ~trace inst plans =
   match plans with
   | [] -> []
-  | [ p ] -> [ Fo.run_plan ~trace inst p ]
+  | [ p ] -> [ run_plan_timed ~trace inst p ]
   | _ -> (
       match Parallel.Pool.acquire () with
-      | None -> List.map (Fo.run_plan ~trace inst) plans
+      | None -> List.map (run_plan_timed ~trace inst) plans
       | Some pool ->
           Fun.protect ~finally:(fun () -> Parallel.Pool.release pool)
           @@ fun () ->
@@ -403,7 +415,7 @@ let eval_plans ~trace inst plans =
           Parallel.Pool.run pool (fun w ->
               let i = ref w in
               while !i < Array.length arr do
-                out.(!i) <- Fo.run_plan ~trace:traces.(w) inst arr.(!i);
+                out.(!i) <- run_plan_timed ~trace:traces.(w) inst arr.(!i);
                 i := !i + nw
               done);
           for w = 1 to nw - 1 do

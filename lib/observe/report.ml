@@ -8,6 +8,18 @@ let json_of_fields fields =
   Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) fields)
 
 let ms t = t *. 1000.
+let ns_ms n = float_of_int n /. 1e6
+
+let json_of_dist d =
+  Json.Obj
+    [
+      ("n", Json.Int d.Trace.n);
+      ("p50_ns", Json.Int d.Trace.p50);
+      ("p90_ns", Json.Int d.Trace.p90);
+      ("p99_ns", Json.Int d.Trace.p99);
+      ("max_ns", Json.Int d.Trace.max_ns);
+      ("sum_ns", Json.Int d.Trace.sum_ns);
+    ]
 
 let jsonl_sink ~write =
   let line kvs = write (Json.to_string (Json.Obj kvs)) in
@@ -45,11 +57,13 @@ let jsonl_sink ~write =
             ("fields", json_of_fields fields);
           ]);
     on_finish =
-      (fun cs ->
+      (fun cs hs ->
         line
           [
             ("type", Json.Str "summary");
             ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) cs));
+            ( "histograms",
+              Json.Obj (List.map (fun (k, d) -> (k, json_of_dist d)) hs) );
           ]);
   }
 
@@ -122,6 +136,17 @@ let pp_summary ppf ctx =
   if cs <> [] then (
     Format.fprintf ppf "counters:@.";
     List.iter (fun (k, v) -> Format.fprintf ppf "  %-40s %12d@." k v) cs);
+  let hs = Trace.histograms ctx in
+  if hs <> [] then (
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (k, d) ->
+        Format.fprintf ppf
+          "  %-28s %8d samples  p50=%.2f ms p90=%.2f ms p99=%.2f ms max=%.2f \
+           ms@."
+          k d.Trace.n (ns_ms d.Trace.p50) (ns_ms d.Trace.p90)
+          (ns_ms d.Trace.p99) (ns_ms d.Trace.max_ns))
+      hs);
   (* derived ratios the acceptance criteria care about *)
   let c name = Trace.counter ctx name in
   let builds = c "db.index_builds" and hits = c "db.index_memo_hits" in

@@ -11,7 +11,9 @@
     - [span_close]: ["id"], ["kind"], ["name"], ["dur_ms"] (elapsed
       wall-clock ms), ["fields"]
     - [event]: ["span"] (enclosing span id), ["name"], ["fields"]
-    - [summary]: ["counters"] (an object mapping counter name to value);
+    - [summary]: ["counters"] (an object mapping counter name to value)
+      and ["histograms"] (an object mapping histogram name to
+      [{"n", "p50_ns", "p90_ns", "p99_ns", "max_ns", "sum_ns"}]);
       written once by [Trace.finish]
 
     ["fields"] is always present, possibly [{}]. *)
@@ -27,6 +29,7 @@ val validate_line : string -> (string, string) result
 
 (** [pp_summary ppf ctx] prints the human-readable run report: retained
     spans (runs, strata, phases) with their close fields, per-kind span
-    totals, all counters, and the derived index hit/build and join
-    selectivity ratios. *)
+    totals, all counters and latency histograms (both sorted by name, so
+    the output is deterministic up to the times themselves), and the
+    derived index hit/build and join selectivity ratios. *)
 val pp_summary : Format.formatter -> Trace.ctx -> unit

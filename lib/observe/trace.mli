@@ -46,14 +46,30 @@ type span = {
     span durations stay meaningful under parallel evaluation. *)
 val now : unit -> float
 
+(** A snapshot of a latency histogram (see {!observe_ns}): sample count,
+    percentile estimates, exact maximum and exact sum, all in
+    nanoseconds. Percentiles are bucket lower bounds, so they
+    underestimate by at most 12.5% (one log-bucket's width) and are
+    monotone in the quantile. An empty histogram snapshots to all
+    zeros. *)
+type dist = {
+  n : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max_ns : int;
+  sum_ns : int;
+}
+
 (** A sink receives the span/event stream. Close callbacks also receive
     the span duration (seconds) and the fields recorded at close time;
-    [on_finish] receives the final sorted counter list. *)
+    [on_finish] receives the final sorted counter list and histogram
+    snapshots. *)
 type sink = {
   on_open : span -> fields -> unit;
   on_close : span -> float -> fields -> unit;
   on_event : int -> string -> fields -> unit;
-  on_finish : (string * int) list -> unit;
+  on_finish : (string * int) list -> (string * dist) list -> unit;
 }
 
 type ctx
@@ -87,12 +103,40 @@ val counter : ctx -> string -> int
 (** All counters, sorted by name. *)
 val counters : ctx -> (string * int) list
 
-(** [merge_counters dst src] folds [src]'s counters into [dst]: additive
-    counters sum, gauges recorded with {!gauge_max} (in either context)
-    merge by maximum. Spans, events and sinks are not transferred. The
-    parallel engines give each worker a private context and merge at the
-    barrier, so workers never contend on one counter table. No-op if
-    either context is disabled. *)
+(** {1 Histograms}
+
+    Log-bucketed latency histograms: values below 16 are exact, larger
+    values land in one of 8 linear sub-buckets per power-of-two octave
+    (≤ 12.5% relative error). Bucket boundaries depend only on the
+    value, so histograms recorded independently (e.g. one per parallel
+    domain) merge losslessly by summing bucket counts. *)
+
+(** [observe_ns ctx name v] records one sample (nanoseconds; negative
+    values clamp to 0) into the named histogram, creating it on first
+    use. *)
+val observe_ns : ctx -> string -> int -> unit
+
+(** [observe_s ctx name secs] is {!observe_ns} after converting seconds
+    to nanoseconds — the natural companion to {!now} deltas. *)
+val observe_s : ctx -> string -> float -> unit
+
+(** [histogram ctx name] snapshots one histogram ([None] when absent).
+    Every closed span also feeds a histogram named [span.<kind>]
+    automatically, so e.g. [histogram ctx "span.round"] is the round
+    latency distribution. *)
+val histogram : ctx -> string -> dist option
+
+(** All histogram snapshots, sorted by name. *)
+val histograms : ctx -> (string * dist) list
+
+(** [merge_counters dst src] folds [src]'s counters and histograms into
+    [dst]: additive counters sum, gauges recorded with {!gauge_max} (in
+    either context) merge by maximum, histograms merge bucket-wise (so
+    the merged count is the sum of per-context counts and percentiles
+    reflect the pooled samples). Spans, events and sinks are not
+    transferred. The parallel engines give each worker a private context
+    and merge at the barrier, so workers never contend on one table.
+    No-op if either context is disabled. *)
 val merge_counters : ctx -> ctx -> unit
 
 (** {1 Spans and events} *)
@@ -133,7 +177,7 @@ type recorded =
   | Opened of span * fields
   | Closed of span * float * fields
   | Evented of int * string * fields
-  | Finished of (string * int) list
+  | Finished of (string * int) list * (string * dist) list
 
 (** [memory_sink ()] is a sink plus an accessor returning everything it
     received, in order — the test harness's view of a run. *)

@@ -452,8 +452,107 @@ let projected_join e k =
       | _ -> None)
   | _ -> None
 
-let eval ?(trace = Observe.Trace.null) inst e =
+(* --- per-operator profiles ------------------------------------------- *)
+
+(* Profiles key on *physical* node identity: a memoized plan is a fixed
+   tree, so [==] distinguishes occurrences that are structurally equal
+   but sit at different plan positions, while a shared sub-expression
+   (e.g. the compiler's one domain expression) accumulates across all
+   its parents. [Hashtbl.hash] is structural but bounded, giving a
+   stable bucket; [==] resolves collisions. *)
+module NodeTbl = Hashtbl.Make (struct
+  type t = expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type mstats = {
+  mutable m_execs : int;
+  mutable m_rows_in : int;
+  mutable m_rows_out : int;
+  mutable m_self : float;
+  mutable m_total : float;
+}
+
+(* One frame per in-flight profiled node: accumulates the wall time and
+   output rows of its *direct* children, so self = total − children and
+   rows_in = rows produced into this node during its execution. Fused
+   operators (a projection evaluated inside a join's probe loop, a
+   complement probed against a join's dedup set) never execute as nodes,
+   so their time and rows roll up into the fusing parent — the profile
+   reports what actually ran. *)
+type frame = { mutable f_child : float; mutable f_rows : int }
+
+type profile = { nodes : mstats NodeTbl.t; mutable pstack : frame list }
+
+type node_stats = {
+  execs : int;
+  rows_in : int;
+  rows_out : int;
+  self_ns : int;
+  total_ns : int;
+}
+
+let profile () = { nodes = NodeTbl.create 64; pstack = [] }
+
+let profile_stats p e =
+  Option.map
+    (fun m ->
+      {
+        execs = m.m_execs;
+        rows_in = m.m_rows_in;
+        rows_out = m.m_rows_out;
+        self_ns = int_of_float (m.m_self *. 1e9);
+        total_ns = int_of_float (m.m_total *. 1e9);
+      })
+    (NodeTbl.find_opt p.nodes e)
+
+let eval ?(trace = Observe.Trace.null) ?profile:prof inst e =
   let rec ev e =
+    match prof with
+    | None -> ev_node e
+    | Some p ->
+        let fr = { f_child = 0.; f_rows = 0 } in
+        let t0 = Observe.Trace.now () in
+        p.pstack <- fr :: p.pstack;
+        let r =
+          try ev_node e
+          with ex ->
+            (match p.pstack with _ :: tl -> p.pstack <- tl | [] -> ());
+            raise ex
+        in
+        let total = Observe.Trace.now () -. t0 in
+        (match p.pstack with _ :: tl -> p.pstack <- tl | [] -> ());
+        let rows = Relation.cardinal r in
+        (match p.pstack with
+        | parent :: _ ->
+            parent.f_child <- parent.f_child +. total;
+            parent.f_rows <- parent.f_rows + rows
+        | [] -> ());
+        let m =
+          match NodeTbl.find_opt p.nodes e with
+          | Some m -> m
+          | None ->
+              let m =
+                {
+                  m_execs = 0;
+                  m_rows_in = 0;
+                  m_rows_out = 0;
+                  m_self = 0.;
+                  m_total = 0.;
+                }
+              in
+              NodeTbl.add p.nodes e m;
+              m
+        in
+        m.m_execs <- m.m_execs + 1;
+        m.m_rows_in <- m.m_rows_in + fr.f_rows;
+        m.m_rows_out <- m.m_rows_out + rows;
+        m.m_total <- m.m_total +. total;
+        m.m_self <- m.m_self +. (total -. fr.f_child);
+        r
+  and ev_node e =
     match e with
     | Rel name -> Instance.find name inst
     | Const r -> r

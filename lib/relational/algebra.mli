@@ -62,16 +62,58 @@ exception Type_error of string
     {!pp}. *)
 val arity : Schema.t -> expr -> int
 
-(** [eval ?trace inst e] evaluates [e] against [inst]. Relations absent
-    from [inst] are empty; in that case column references cannot be
-    checked dynamically, so use {!arity} with a schema for static
-    checking. When [trace] is enabled, every hash-join probe pass
-    accumulates into the [ra.join.probes] counter.
+(** {1 Per-operator profiles}
+
+    A {!profile} accumulates, per plan node, how many times it executed
+    and its row flow and wall time — the raw material of [EXPLAIN]
+    (see {!Explain}). Nodes are identified {e physically} ([==]):
+    a memoized plan is a fixed tree, so each operator occurrence keeps
+    its own entry, while a sub-expression the compiler shares (e.g. one
+    domain expression under several complements) accumulates across all
+    its parents. Operators the evaluator fuses away — a projection run
+    inside a join's probe loop, a complement probed against a join's
+    dedup set — never execute as nodes and get no entry; their work
+    rolls up into the fusing parent's self time. *)
+
+type profile
+
+(** Accumulated statistics of one plan node. [rows_in] sums the output
+    rows of the node's direct (non-fused) children across executions;
+    [rows_out] sums its own output cardinality. [self_ns] is wall time
+    excluding profiled children, [total_ns] including them. *)
+type node_stats = {
+  execs : int;
+  rows_in : int;
+  rows_out : int;
+  self_ns : int;
+  total_ns : int;
+}
+
+(** [profile ()] is a fresh, empty profile. Pass the same profile to
+    several {!eval} calls (the demand engine's many rule plans, a
+    fixpoint's rounds) to aggregate across them. *)
+val profile : unit -> profile
+
+(** [profile_stats p e] is the accumulated stats of node [e] (physical
+    identity), or [None] if it never executed under [p]. *)
+val profile_stats : profile -> expr -> node_stats option
+
+(** [eval ?trace ?profile inst e] evaluates [e] against [inst].
+    Relations absent from [inst] are empty; in that case column
+    references cannot be checked dynamically, so use {!arity} with a
+    schema for static checking. When [trace] is enabled, every hash-join
+    probe pass accumulates into the [ra.join.probes] counter. When
+    [profile] is given, every evaluated node records row counts and
+    wall time into it; when absent the instrumentation costs one branch
+    per node.
     @raise Type_error on dynamically detected arity violations (message
     names the offending sub-expression). *)
-val eval : ?trace:Observe.Trace.ctx -> Instance.t -> expr -> Relation.t
+val eval :
+  ?trace:Observe.Trace.ctx -> ?profile:profile -> Instance.t -> expr ->
+  Relation.t
 
 (** [holds_cond c t] evaluates a condition on one tuple. *)
 val holds_cond : cond -> Tuple.t -> bool
 
 val pp : Format.formatter -> expr -> unit
+val pp_cond : Format.formatter -> cond -> unit

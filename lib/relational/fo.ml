@@ -687,7 +687,7 @@ let rec falsify bad f =
   | Exists (xs, g) -> Exists (xs, falsify bad g)
   | Forall (xs, g) -> Forall (xs, falsify bad g)
 
-let run_plan ?(trace = Observe.Trace.null) inst plan =
+let run_plan ?(trace = Observe.Trace.null) ?profile inst plan =
   (* Plans are compiled without a schema; an atom whose arity disagrees
      with the instance's relation is uniformly false under the naive
      semantics (no tuple of the wrong arity is ever a member), so such
@@ -700,18 +700,18 @@ let run_plan ?(trace = Observe.Trace.null) inst plan =
         | None -> false)
       plan.patoms
   in
-  if bad = [] then A.eval ~trace inst plan.pexpr
+  if bad = [] then A.eval ~trace ?profile inst plan.pexpr
   else
     let p' =
       compile ~trace ?dom:plan.pdom (falsify bad plan.pformula) plan.pvars
     in
-    A.eval ~trace inst p'.pexpr
+    A.eval ~trace ?profile inst p'.pexpr
 
-let eval ?(trace = Observe.Trace.null) ?dom inst f vars =
+let eval ?(trace = Observe.Trace.null) ?profile ?dom inst f vars =
   check_covered "eval" (free_vars f) vars;
-  run_plan ~trace inst (compile ~trace ?dom f vars)
+  run_plan ~trace ?profile inst (compile ~trace ?dom f vars)
 
-let sentence ?(trace = Observe.Trace.null) ?dom inst f =
+let sentence ?(trace = Observe.Trace.null) ?profile ?dom inst f =
   (match free_vars f with
   | [] -> ()
   | missing ->
@@ -719,4 +719,5 @@ let sentence ?(trace = Observe.Trace.null) ?dom inst f =
         (Printf.sprintf "Fo.sentence: free variable%s %s"
            (if List.length missing = 1 then "" else "s")
            (String.concat ", " missing)));
-  not (Relation.is_empty (run_plan ~trace inst (compile ~trace ?dom f [])))
+  not
+    (Relation.is_empty (run_plan ~trace ?profile inst (compile ~trace ?dom f [])))

@@ -71,9 +71,13 @@ val holds : ?dom:Value.t list -> Instance.t -> env -> formula -> bool
     by compiling [f] to an algebra plan and executing it on [inst].
     [vars] must be a superset of [free_vars f] (extra variables range over
     the whole domain — the usual calculus convention is disallowed here:
-    @raise Invalid_argument listing {e all} missing free variables). *)
+    @raise Invalid_argument listing {e all} missing free variables).
+    [profile] records per-operator statistics (see {!run_plan}); since
+    plans are memoized, a subsequent {!compile} with the same arguments
+    returns the same physical plan, whose tree the profile annotates. *)
 val eval :
   ?trace:Observe.Trace.ctx ->
+  ?profile:Algebra.profile ->
   ?dom:Value.t list ->
   Instance.t ->
   formula ->
@@ -90,7 +94,12 @@ val eval_naive :
     compiled path (a nullary plan).
     @raise Invalid_argument listing all free variables if [f] is open. *)
 val sentence :
-  ?trace:Observe.Trace.ctx -> ?dom:Value.t list -> Instance.t -> formula -> bool
+  ?trace:Observe.Trace.ctx ->
+  ?profile:Algebra.profile ->
+  ?dom:Value.t list ->
+  Instance.t ->
+  formula ->
+  bool
 
 (** [sentence_naive] — reference oracle for {!sentence}. *)
 val sentence_naive : ?dom:Value.t list -> Instance.t -> formula -> bool
@@ -111,11 +120,15 @@ type plan
 val compile :
   ?trace:Observe.Trace.ctx -> ?dom:Value.t list -> formula -> string list -> plan
 
-(** [run_plan ?trace inst p] executes a compiled plan. An atom whose
-    arity disagrees with the instance's relation is uniformly false under
-    the naive semantics; such plans are transparently recompiled with the
-    offending atoms replaced by [False]. *)
-val run_plan : ?trace:Observe.Trace.ctx -> Instance.t -> plan -> Relation.t
+(** [run_plan ?trace ?profile inst p] executes a compiled plan. An atom
+    whose arity disagrees with the instance's relation is uniformly
+    false under the naive semantics; such plans are transparently
+    recompiled with the offending atoms replaced by [False]. [profile]
+    is handed to {!Algebra.eval} to record per-operator row counts and
+    wall time (see {!Explain}). *)
+val run_plan :
+  ?trace:Observe.Trace.ctx -> ?profile:Algebra.profile -> Instance.t ->
+  plan -> Relation.t
 
 (** The compiled algebra expression (inspection/debugging). *)
 val plan_expr : plan -> Algebra.expr

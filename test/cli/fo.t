@@ -54,3 +54,23 @@ Parse errors exit cleanly:
   $ datalog-unchained fo -f g.facts 'G(X, '
   query: expected a term
   [2]
+
+--explain prints the compiled plan as an annotated tree: the executed
+operators carry rows-out, execution counts, selectivity and self/total
+time; operators fused into their parent's loop (the projection feeding
+the join's probe side) print structure only. It needs the compiled
+path:
+
+  $ datalog-unchained fo -f g.facts 'exists Z (G(X, Z) & G(Z, Y))' \
+  >   --explain | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g'
+  ans(a, c).
+  ans(b, d).
+  % explain
+  project[0,2] arity=2 rows_out=2 rows_in=6 execs=1 sel=0.33 self=_ ms total=_ ms
+    project[0,1,3] arity=3
+      join[1=0] arity=4
+        scan[G] arity=2 rows_out=3 rows_in=0 execs=1 self=_ ms total=_ ms
+        scan[G] arity=2 rows_out=3 rows_in=0 execs=1 self=_ ms total=_ ms
+  $ datalog-unchained fo -f g.facts --naive 'G(X, Y)' --explain
+  --explain needs the compiled path (drop --naive)
+  [2]

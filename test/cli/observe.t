@@ -40,6 +40,9 @@ so they are normalized here:
     matcher.substs_max                                  3
     rule_firings.r0:T                                   3
     rule_firings.r1:T                                   3
+  histograms:
+    span.round                          4 samples  p50=_ ms p90=_ ms p99=_ ms max=_ ms
+    span.run                            1 samples  p50=_ ms p90=_ ms p99=_ ms max=_ ms
   index hit/build ratio: 7/2 (77.8% hits)
   join selectivity: 6/18 (33.3% of scanned tuples)
 

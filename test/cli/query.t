@@ -83,6 +83,8 @@ the subsumed repeat T(a, c) — served from the cache, no new rounds:
     intern.hits                                         7
     intern.values                                       6
     ra.join.probes                                     19
+  histograms:
+    span.run                            1 samples  p50=_ ms p90=_ ms p99=_ ms max=_ ms
 
 run --demand answers the all-free query for the -a predicate without
 materializing anything else:
@@ -103,4 +105,71 @@ materializing anything else:
   [2]
   $ datalog-unchained run -s naive tc.dl -f g.facts -a T --demand
   --demand only supports the default seminaive semantics
+  [2]
+
+--explain renders every compiled (rule, adornment) plan as an annotated
+tree after the answers: per-operator rows-out, execution counts,
+selectivity, and self/total wall time (normalized here), plus the
+demand-cache breakdown. The rows-out figures are consistent with the
+three answers: the base full plan emits T(a, b), the delta plan the two
+longer paths:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --demand \
+  >   --explain | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g'
+  T(a, b).
+  T(a, c).
+  T(a, d).
+  % explain T(a, Y)
+  % plan T__bf [full]
+  project[0,2] rows_out=1 rows_in=5 execs=1 sel=0.20 self=_ ms total=_ ms
+    join[0=0]
+      scan[m__T__bf] rows_out=1 rows_in=0 execs=1 self=_ ms total=_ ms
+      scan[G] arity=2 rows_out=4 rows_in=0 execs=1 self=_ ms total=_ ms
+  % plan T__bf [delta:m__T__bf]
+  project[0,2]
+    join[0=0]
+      scan[demand$delta] rows=0
+      scan[G] arity=2 rows=4
+  % plan m__T__bf [full]
+  scan[m__T__bf] rows_out=1 rows_in=0 execs=1 self=_ ms total=_ ms
+  % plan m__T__bf [delta:m__T__bf]
+  scan[demand$delta] rows=0
+  % plan T__bf [full]
+  project[0,2] rows_out=0 rows_in=4 execs=1 sel=0.00 self=_ ms total=_ ms
+    project[0,1,3]
+      join[1=0]
+        project[0,2] rows_out=0 rows_in=1 execs=1 sel=0.00 self=_ ms total=_ ms
+          join[0=0]
+            scan[m__T__bf] rows_out=1 rows_in=0 execs=1 self=_ ms total=_ ms
+            scan[T__bf] rows_out=0 rows_in=0 execs=1 self=_ ms total=_ ms
+        scan[G] arity=2 rows_out=4 rows_in=0 execs=1 self=_ ms total=_ ms
+  % plan T__bf [delta:m__T__bf]
+  project[0,2]
+    project[0,1,3]
+      join[1=0]
+        project[0,2]
+          join[0=0]
+            scan[demand$delta] rows=0
+            scan[T__bf] rows=0
+        scan[G] arity=2 rows=4
+  % plan T__bf [delta:T__bf]
+  project[0,2] rows_out=2 rows_in=15 execs=3 sel=0.13 self=_ ms total=_ ms
+    project[0,1,3]
+      join[1=0]
+        semijoin[0=0] rows_out=3 rows_in=6 execs=3 sel=0.50 self=_ ms total=_ ms
+          scan[demand$delta] rows_out=3 rows_in=0 execs=3 self=_ ms total=_ ms
+          scan[m__T__bf] rows_out=3 rows_in=0 execs=3 self=_ ms total=_ ms
+        scan[G] arity=2 rows_out=12 rows_in=0 execs=3 self=_ ms total=_ ms
+  % demand cache: 0 answer hit(s), 1 miss(es); 3 plan(s) compiled, 1 plan memo hit(s)
+
+Plans never executed (the demand delta seeds were empty by round one)
+print cold: structure and static shape only, no row counts.
+
+--explain needs the plan stack, so it requires --demand here:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --explain
+  --explain requires --demand on this subcommand
+  [2]
+  $ datalog-unchained run tc.dl -f g.facts -a T --explain
+  --explain requires --demand on this subcommand
   [2]

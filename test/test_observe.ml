@@ -103,10 +103,123 @@ let test_finish_reaches_sink () =
   T.add ctx "k" 7;
   T.finish ctx;
   match List.rev (recorded ()) with
-  | T.Finished counters :: _ ->
+  | T.Finished (counters, _) :: _ ->
       Alcotest.(check (list (pair string int))) "final dump" [ ("k", 7) ]
         counters
   | _ -> Alcotest.fail "finish did not reach the sink"
+
+(* --- histograms: buckets, percentiles, cross-domain merge ------------- *)
+
+let dist name ctx =
+  match T.histogram ctx name with
+  | Some d -> d
+  | None -> Alcotest.failf "histogram %s missing" name
+
+let test_hist_single_value_exact () =
+  let ctx = T.make () in
+  T.observe_ns ctx "h" 7;
+  let d = dist "h" ctx in
+  (* values below 16 ns land in exact unit buckets *)
+  Alcotest.(check int) "n" 1 d.T.n;
+  Alcotest.(check int) "p50 exact" 7 d.T.p50;
+  Alcotest.(check int) "p99 exact" 7 d.T.p99;
+  Alcotest.(check int) "max" 7 d.T.max_ns;
+  Alcotest.(check int) "sum" 7 d.T.sum_ns
+
+let test_hist_bucket_boundaries () =
+  (* powers of two are bucket lower bounds, so they report exactly;
+     arbitrary values under-report by at most 12.5% (8 sub-buckets per
+     octave) and are clamped by the observed max *)
+  let ctx = T.make () in
+  T.observe_ns ctx "pow2" 1024;
+  Alcotest.(check int) "power of two is a bucket floor" 1024
+    (dist "pow2" ctx).T.p50;
+  let ctx2 = T.make () in
+  T.observe_ns ctx2 "v" 1000;
+  let p = (dist "v" ctx2).T.p50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %d within 12.5%% below 1000" p)
+    true
+    (p <= 1000 && float_of_int p >= 0.875 *. 1000.);
+  (* negative durations (clock went backwards) clamp to 0, not crash *)
+  let ctx3 = T.make () in
+  T.observe_ns ctx3 "neg" (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (dist "neg" ctx3).T.max_ns
+
+let test_hist_percentiles_monotone () =
+  let ctx = T.make () in
+  let vmax = ref 0 and vsum = ref 0 in
+  for i = 1 to 1000 do
+    let v = i * i * 37 in
+    vmax := max !vmax v;
+    vsum := !vsum + v;
+    T.observe_ns ctx "h" v
+  done;
+  let d = dist "h" ctx in
+  Alcotest.(check int) "n" 1000 d.T.n;
+  Alcotest.(check int) "max exact" !vmax d.T.max_ns;
+  Alcotest.(check int) "sum exact" !vsum d.T.sum_ns;
+  Alcotest.(check bool) "p50 <= p90 <= p99 <= max" true
+    (d.T.p50 <= d.T.p90 && d.T.p90 <= d.T.p99 && d.T.p99 <= d.T.max_ns)
+
+let test_hist_empty () =
+  let ctx = T.make () in
+  Alcotest.(check bool) "unrecorded histogram is absent" true
+    (T.histogram ctx "nope" = None);
+  Alcotest.(check bool) "no histograms dumped" true (T.histograms ctx = [])
+
+let test_hist_merge_across_ctxs () =
+  (* the cross-domain story: each worker records into its own context and
+     the barrier merges them — merged count must be the sum of per-domain
+     counts, max the overall max, sum the total *)
+  let dst = T.make () in
+  let per_worker = [ 3; 5; 7; 11 ] in
+  List.iteri
+    (fun w k ->
+      let src = T.make () in
+      for i = 1 to k do
+        T.observe_ns src "par.task" ((1 + w) * 1000 * i)
+      done;
+      T.merge_counters dst src)
+    per_worker;
+  let d = dist "par.task" dst in
+  Alcotest.(check int) "merged count is the sum" (3 + 5 + 7 + 11) d.T.n;
+  Alcotest.(check int) "merged max" (4 * 1000 * 11) d.T.max_ns;
+  Alcotest.(check int) "merged sum"
+    (List.fold_left ( + ) 0
+       (List.concat
+          (List.mapi
+             (fun w k -> List.init k (fun i -> (1 + w) * 1000 * (i + 1)))
+             per_worker)))
+    d.T.sum_ns;
+  Alcotest.(check bool) "merged p99 <= max" true (d.T.p99 <= d.T.max_ns)
+
+let test_hist_reaches_sink () =
+  let sink, recorded = T.memory_sink () in
+  let ctx = T.make ~sinks:[ sink ] () in
+  T.observe_ns ctx "h" 42;
+  T.finish ctx;
+  match List.rev (recorded ()) with
+  | T.Finished (_, hists) :: _ -> (
+      match List.assoc_opt "h" hists with
+      | Some d -> Alcotest.(check int) "histogram reaches the sink" 1 d.T.n
+      | None -> Alcotest.fail "histogram missing from the summary")
+  | _ -> Alcotest.fail "finish did not reach the sink"
+
+let test_par_task_histogram_j4 () =
+  (* engine-level: a parallel semi-naive run at -j 4 samples one
+     [par.task] latency per fired task, pooled across worker domains at
+     the barrier merge — the histogram count must equal the [par.tasks]
+     counter summed over the same workers *)
+  Parallel.Pool.set_jobs 4;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) @@ fun () ->
+  let ctx = T.make () in
+  ignore (Datalog.Seminaive.eval ~trace:ctx tc_program (Graph_gen.chain 12));
+  T.finish ctx;
+  let tasks = T.counter ctx "par.tasks" in
+  Alcotest.(check bool) "parallel path fired tasks" true (tasks > 0);
+  Alcotest.(check int) "par.task samples = par.tasks counter" tasks
+    (dist "par.task" ctx).T.n
 
 (* --- engine metrics: semi-naive rounds on a chain --------------------- *)
 
@@ -300,6 +413,19 @@ let suite =
     Alcotest.test_case "null context is inert" `Quick test_null_ctx_inert;
     Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation;
     Alcotest.test_case "finish reaches the sink" `Quick test_finish_reaches_sink;
+    Alcotest.test_case "histogram: single value exact" `Quick
+      test_hist_single_value_exact;
+    Alcotest.test_case "histogram: bucket boundaries" `Quick
+      test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram: percentiles monotone" `Quick
+      test_hist_percentiles_monotone;
+    Alcotest.test_case "histogram: empty" `Quick test_hist_empty;
+    Alcotest.test_case "histogram: cross-domain merge" `Quick
+      test_hist_merge_across_ctxs;
+    Alcotest.test_case "histogram: reaches the sink" `Quick
+      test_hist_reaches_sink;
+    Alcotest.test_case "histogram: par.task at -j 4" `Quick
+      test_par_task_histogram_j4;
     Alcotest.test_case "semi-naive chain: n rounds, shrinking deltas" `Quick
       test_seminaive_chain_rounds;
     Alcotest.test_case "rule firings counted" `Quick test_rule_firings_counted;

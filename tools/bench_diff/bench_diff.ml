@@ -1,0 +1,121 @@
+(* datalog-bench-diff: compare two BENCH_engines.json files and flag
+   per-case wall-time regressions beyond a threshold.
+
+   Accepts both shapes the repo produces:
+   - the flat array written by `bench/main.exe ... --json FILE`
+     ([{experiment, case, engine, wall_ms, ...}, ...]), and
+   - the committed sectioned object ({"before": {"label", "rows": [...]},
+     "after": {...}, ...}) — every object member with a "rows" array
+     contributes its rows.
+
+   Rows are keyed by (experiment, case, engine); when a key repeats, the
+   LAST occurrence wins (the committed file's "after" section supersedes
+   "before"). Exit 0 when no regression exceeds the threshold, 1 when
+   one does, 2 on usage/parse errors. *)
+
+module Json = Observe.Json
+
+let usage () =
+  prerr_endline
+    "usage: datalog-bench-diff OLD.json NEW.json [--threshold PCT]";
+  exit 2
+
+let num = function
+  | Some (Json.Float f) -> f
+  | Some (Json.Int n) -> float_of_int n
+  | _ -> nan
+
+let str k j = match Json.member k j with Some (Json.Str s) -> s | _ -> ""
+
+(* Every row object anywhere in the value: a flat array of rows, or any
+   object member carrying a "rows" array. *)
+let rec rows_of (j : Json.t) : Json.t list =
+  match j with
+  | Json.List l ->
+      List.filter
+        (fun r -> match r with Json.Obj _ -> true | _ -> false)
+        l
+  | Json.Obj members ->
+      List.concat_map
+        (fun (_, v) ->
+          match v with
+          | Json.Obj _ -> (
+              match Json.member "rows" v with
+              | Some (Json.List _ as rs) -> rows_of rs
+              | _ -> [])
+          | _ -> [])
+        members
+  | _ -> []
+
+let load path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Printf.eprintf "cannot open %s: %s\n" path msg;
+      exit 2
+  in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in_noerr ic;
+  match Json.parse s with
+  | Error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" path msg;
+      exit 2
+  | Ok j ->
+      let tbl = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          let key = (str "experiment" r, str "case" r, str "engine" r) in
+          let ms = num (Json.member "wall_ms" r) in
+          if not (Float.is_nan ms) then (
+            if not (Hashtbl.mem tbl key) then order := key :: !order;
+            Hashtbl.replace tbl key ms))
+        (rows_of j);
+      (tbl, List.rev !order)
+
+let () =
+  let old_path, new_path, threshold =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b, 5.0)
+    | [| _; a; b; "--threshold"; t |] -> (
+        match float_of_string_opt t with
+        | Some pct when pct >= 0. -> (a, b, pct)
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  let old_tbl, _ = load old_path in
+  let new_tbl, new_order = load new_path in
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  Printf.printf "%-12s %-24s %-20s %10s %10s %8s\n" "experiment" "case"
+    "engine" "old ms" "new ms" "delta";
+  List.iter
+    (fun ((exp_, case_, engine) as key) ->
+      let new_ms = Hashtbl.find new_tbl key in
+      match Hashtbl.find_opt old_tbl key with
+      | None ->
+          Printf.printf "%-12s %-24s %-20s %10s %10.3f %8s\n" exp_ case_
+            engine "-" new_ms "new"
+      | Some old_ms ->
+          incr compared;
+          let pct =
+            if old_ms > 0. then 100. *. (new_ms -. old_ms) /. old_ms else 0.
+          in
+          let flag =
+            if pct > threshold then (
+              incr regressions;
+              "  REGRESSION")
+            else ""
+          in
+          Printf.printf "%-12s %-24s %-20s %10.3f %10.3f %+7.1f%%%s\n" exp_
+            case_ engine old_ms new_ms pct flag)
+    new_order;
+  Hashtbl.iter
+    (fun ((exp_, case_, engine) as key) old_ms ->
+      if not (Hashtbl.mem new_tbl key) then
+        Printf.printf "%-12s %-24s %-20s %10.3f %10s %8s\n" exp_ case_ engine
+          old_ms "-" "gone")
+    old_tbl;
+  Printf.printf "compared %d case(s), %d regression(s) beyond +%.1f%%\n"
+    !compared !regressions threshold;
+  if !regressions > 0 then exit 1

@@ -1,0 +1,138 @@
+(* datalog-profile-report: fold a JSON-lines trace (datalog-unchained
+   --trace) into a span call-tree with per-span self/total wall time,
+   plus the top-k spans by self time. Reads the named file, or stdin
+   when the argument is "-". Self time is a span's duration minus the
+   durations of its direct children, so the tree answers "where did the
+   time actually go" rather than "what was on the stack". *)
+
+module Json = Observe.Json
+
+type span = {
+  id : int;
+  parent : int;
+  kind : string;
+  name : string;
+  mutable dur_ms : float; (* from span_close; 0 if the trace lost it *)
+  mutable child_ms : float;
+}
+
+let num = function
+  | Some (Json.Float f) -> f
+  | Some (Json.Int n) -> float_of_int n
+  | _ -> 0.
+
+let int_mem k j = match Json.member k j with Some (Json.Int n) -> n | _ -> 0
+
+let str_mem k j =
+  match Json.member k j with Some (Json.Str s) -> s | _ -> ""
+
+let usage () =
+  prerr_endline "usage: datalog-profile-report TRACE.jsonl|- [-k N]";
+  exit 2
+
+let () =
+  let path, topk =
+    match Sys.argv with
+    | [| _; p |] -> (p, 10)
+    | [| _; p; "-k"; n |] -> (
+        match int_of_string_opt n with Some k when k > 0 -> (p, k) | _ -> usage ())
+    | _ -> usage ()
+  in
+  let ic =
+    if String.equal path "-" then stdin
+    else
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "cannot open trace file: %s\n" msg;
+        exit 2
+  in
+  let spans : (int, span) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] (* span ids in open order *) in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Json.parse line with
+         | Error msg ->
+             Printf.eprintf "%s:%d: invalid JSON: %s\n" path !lineno msg;
+             exit 2
+         | Ok j -> (
+             match Json.member "type" j with
+             | Some (Json.Str "span_open") ->
+                 let id = int_mem "id" j in
+                 Hashtbl.replace spans id
+                   {
+                     id;
+                     parent = int_mem "parent" j;
+                     kind = str_mem "kind" j;
+                     name = str_mem "name" j;
+                     dur_ms = 0.;
+                     child_ms = 0.;
+                   };
+                 order := id :: !order
+             | Some (Json.Str "span_close") -> (
+                 match Hashtbl.find_opt spans (int_mem "id" j) with
+                 | Some sp -> sp.dur_ms <- num (Json.member "dur_ms" j)
+                 | None -> ())
+             | _ -> ())
+     done
+   with End_of_file -> if not (String.equal path "-") then close_in_noerr ic);
+  let order = List.rev !order in
+  (* children, in open order, and per-span child time for self = total − children *)
+  let children : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let child_list p =
+    match Hashtbl.find_opt children p with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add children p l;
+        l
+  in
+  List.iter
+    (fun id ->
+      let sp = Hashtbl.find spans id in
+      let l = child_list sp.parent in
+      l := id :: !l;
+      match Hashtbl.find_opt spans sp.parent with
+      | Some up -> up.child_ms <- up.child_ms +. sp.dur_ms
+      | None -> ())
+    order;
+  let self sp = Float.max 0. (sp.dur_ms -. sp.child_ms) in
+  if order = [] then print_endline "no spans in trace"
+  else begin
+    print_endline "span tree (total / self ms):";
+    let rec walk indent id =
+      let sp = Hashtbl.find spans id in
+      Printf.printf "%s%-8s %-24s %10.2f ms %10.2f ms\n"
+        (String.make (2 * indent) ' ')
+        sp.kind sp.name sp.dur_ms (self sp);
+      List.iter (walk (indent + 1)) (List.rev !(child_list id))
+    in
+    (* roots: spans whose parent never opened in this trace (parent 0) *)
+    List.iter
+      (fun id ->
+        let sp = Hashtbl.find spans id in
+        if not (Hashtbl.mem spans sp.parent) then walk 0 id)
+      order;
+    let ranked =
+      List.sort
+        (fun a b ->
+          let c =
+            compare
+              (self (Hashtbl.find spans b))
+              (self (Hashtbl.find spans a))
+          in
+          if c <> 0 then c else compare a b)
+        order
+    in
+    Printf.printf "hot spans (top %d by self time):\n" topk;
+    List.iteri
+      (fun i id ->
+        if i < topk then
+          let sp = Hashtbl.find spans id in
+          Printf.printf "  %2d. %-8s %-24s self=%.2f ms total=%.2f ms\n"
+            (i + 1) sp.kind sp.name (self sp) sp.dur_ms)
+      ranked
+  end

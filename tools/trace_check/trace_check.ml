@@ -1,21 +1,24 @@
 (* datalog-trace-check: validate a JSON-lines trace produced by
    datalog-unchained --trace against the schema in Observe.Report.
-   Prints a deterministic per-type tally on success; on the first invalid
-   line, reports it and exits 1. *)
+   Reads the named file, or stdin when the argument is "-". Prints a
+   deterministic per-type tally on success; on the first invalid line,
+   reports its line number and exits 2. *)
 
 let () =
   let path =
     match Sys.argv with
     | [| _; p |] -> p
     | _ ->
-        prerr_endline "usage: datalog-trace-check TRACE.jsonl";
+        prerr_endline "usage: datalog-trace-check TRACE.jsonl|-";
         exit 2
   in
   let ic =
-    try open_in path
-    with Sys_error msg ->
-      Printf.eprintf "cannot open trace file: %s\n" msg;
-      exit 2
+    if String.equal path "-" then stdin
+    else
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "cannot open trace file: %s\n" msg;
+        exit 2
   in
   let counts = Hashtbl.create 8 in
   let total = ref 0 in
@@ -32,7 +35,7 @@ let () =
                (1 + (try Hashtbl.find counts ty with Not_found -> 0))
          | Error msg ->
              Printf.eprintf "%s:%d: %s\n" path !lineno msg;
-             exit 1)
+             exit 2)
      done
    with End_of_file -> close_in_noerr ic);
   let tally ty =
