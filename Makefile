@@ -27,17 +27,22 @@ bench:
 # that plans were compiled and the repeat was a cache hit. The explain
 # smoke step runs --explain on a demand TC query and checks the
 # annotated tree shows a join operator with an actual rows-out figure.
-# The bench-diff step compares the freshly regenerated e2 rows against
-# the committed BENCH_engines.json — informational only (machines
-# differ), hence the trailing "|| true"; drop it to enforce the 5%
-# regression budget.
+# The shard smoke step runs the sharded (default) parallel path at -j 4,
+# checks byte-identity against the sequential output, and greps the
+# stats for par.exchanged_tuples — proof the exchange, not the old
+# global merge, carried the cross-shard traffic. The bench-diff step
+# compares the freshly regenerated e2 rows against the committed
+# BENCH_engines.json and GATES: rows from a different machine shape are
+# auto-excluded via each row's meta (jobs/cores), and the threshold is
+# generous (500%) because this catches order-of-magnitude perf-path
+# breakage, not noise — the box's wall-clock variance is large.
 ci:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- e2 --json _ci_bench.json
 	grep -q '"case": "random-300x900".*"engine": "seminaive".*"facts": 79230' _ci_bench.json
 	grep -q '"case": "chain-160".*"engine": "seminaive".*"facts": 12720' _ci_bench.json
-	dune exec -- datalog-bench-diff BENCH_engines.json _ci_bench.json || true
+	dune exec -- datalog-bench-diff BENCH_engines.json _ci_bench.json --threshold 500
 	rm -f _ci_bench.json
 	printf 'T(X, Y) :- G(X, Y).\nT(X, Y) :- G(X, Z), T(Z, Y).\nG(a, b). G(b, c). G(c, d).\n' > _ci_tc.dl
 	dune exec -- datalog-unchained run -s seminaive _ci_tc.dl --stats | grep -q 'intern.values'
@@ -48,6 +53,7 @@ ci:
 	cmp _ci_seq.out _ci_par.out
 	grep -c '^T(' _ci_par.out | grep -qx 6
 	dune exec -- datalog-unchained run -s stratified -j 4 _ci_tc.dl --stats | grep -q 'par.domains.*4'
+	dune exec -- datalog-unchained run -s seminaive -j 4 _ci_tc.dl --stats | grep -q 'par.exchanged_tuples'
 	dune exec test/test_main.exe -- test parallel
 	printf 'G(a, b). G(b, c). G(c, d).\n' > _ci_fo.facts
 	dune exec -- datalog-unchained fo -f _ci_fo.facts 'G(X, Y) & !G(Y, d)' --stats | grep -q 'fo.plan.compiled'

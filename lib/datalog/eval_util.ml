@@ -380,6 +380,263 @@ let seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db =
     Array.iter (fun c -> Observe.Trace.merge_counters trace c) wctx);
   result
 
+(* Shard-owned semi-naive rounds (Slog-style hash partitioning). Where
+   [seminaive_par] shares one dedup state and pays a sequential global
+   merge at every barrier, here each worker domain OWNS a disjoint shard
+   of every head predicate — ownership decided by [Matcher.Shard.owner]
+   on the first-column id — and freshness is decided locally:
+
+   - seed: every worker folds its partition of the head-predicate
+     relations into per-shard membership sets (one parallel pass);
+   - derive: worker [w] fires each rule restricted to its OWN delta
+     slices (the previous round's owned-fresh facts — ownership IS the
+     slicing, no repartitioning) against the shared read-only database.
+     A derived fact it owns is deduped against its shard set and kept; a
+     fact owned elsewhere is pre-filtered against the frozen global
+     membership set and posted to the owner's outbox
+     ([Parallel.Exchange], per-edge duplicate suppression);
+   - exchange (second phase of the same [Pool.run_phases] fan-out): each
+     owner drains its inboxes in deterministic source order, dedups
+     against its shard set, and appends the survivors to its fresh list;
+   - between rounds the coordinator absorbs every shard's fresh list
+     into the shared database (pred order, then worker order) and
+     installs each list as that shard's next delta slice.
+
+   The per-round delta SET equals the sequential one (every candidate is
+   routed to exactly one owner whose membership set is complete for its
+   partition), so the round structure, stage count and final instance
+   are identical to [seminaive_seq] — and the instance prints sorted, so
+   the output is byte-identical. What changed is the cost model: the
+   global merge ([par.merge_ms]) is gone, replaced by the exchange of
+   only the cross-shard tuples ([par.exchange_ms] critical-path time,
+   [par.exchanged_tuples] volume, [par.shard_skew] balance — 100 means
+   perfectly balanced, [100 * nw] means one shard owns everything). *)
+let seminaive_shard ~trace ?neg_db ~pool ~with_dps ~dom db =
+  let tracing = Observe.Trace.enabled trace in
+  let nw = Parallel.Pool.size pool in
+  List.iter (fun (_rule, plan, _, _) -> Matcher.prewarm ?neg_db plan db) with_dps;
+  (* predicates whose freshness the fixpoint decides — every positive
+     compiled head (negative heads are ignored on this path, as in the
+     sequential driver) *)
+  let head_preds =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (rule, _, _, _) ->
+           List.filter_map
+             (fun h -> Option.map (fun a -> a.Ast.pred) (Ast.atom_of_hlit h))
+             rule.Ast.head)
+         with_dps)
+  in
+  (* coordinator-side snapshots before fanning out: [relation]/[memset]
+     flush the pending buffer, which workers must never trigger *)
+  let head_rels = List.map (fun p -> (p, Matcher.Db.relation db p)) head_preds in
+  let gmems = List.map (fun p -> (p, Matcher.Db.memset db p)) head_preds in
+  let shards =
+    Array.init nw (fun w -> Matcher.Shard.create ~nshards:nw ~shard:w)
+  in
+  Parallel.Pool.run pool (fun w ->
+      List.iter (fun (p, rel) -> Matcher.Shard.seed shards.(w) p rel) head_rels);
+  let wctx =
+    Array.init nw (fun _ ->
+        if tracing then Observe.Trace.make ~sinks:[] () else Observe.Trace.null)
+  in
+  let wdb = Array.init nw (fun w -> Matcher.Db.with_trace db wctx.(w)) in
+  let wfresh : (string, Tuple.t list ref) Hashtbl.t array =
+    Array.init nw (fun _ -> Hashtbl.create 8)
+  in
+  let ex = Parallel.Exchange.create nw in
+  let exch_s = Array.make nw 0.0 in
+  let exchange_s = ref 0.0 in
+  let push_fresh w p t =
+    match Hashtbl.find_opt wfresh.(w) p with
+    | Some l -> l := t :: !l
+    | None -> Hashtbl.add wfresh.(w) p (ref [ t ])
+  in
+  (* one firing task on worker [w]: derive, route by owner *)
+  let fire w (plan, label, dpred) =
+    let vdb = wdb.(w) in
+    let wtr = wctx.(w) in
+    let sh = shards.(w) in
+    let t0 = if tracing then Observe.Trace.now () else 0. in
+    let delta, delta_index =
+      match dpred with
+      | None -> (None, None)
+      | Some p ->
+          ( Some (p, Matcher.Shard.delta sh p),
+            Some (fun positions -> Matcher.Shard.delta_index sh p positions) )
+    in
+    let cur_p = ref "" in
+    let cur_mem = ref None in
+    let have = ref false in
+    let n =
+      Matcher.iter_firings ?delta ?delta_index ?neg_db ~dom plan vdb
+        (fun ~pos p ids ->
+          if pos then (
+            if not (!have && String.equal !cur_p p) then (
+              have := true;
+              cur_p := p;
+              cur_mem := Some (List.assoc p gmems));
+            let o = Matcher.Shard.owner ~nshards:nw ids in
+            if o = w then
+              if Matcher.Shard.mem sh p ids then (
+                if tracing then Observe.Trace.incr wtr "fixpoint.tuples_deduped")
+              else (
+                if tracing then
+                  Observe.Trace.incr wtr "fixpoint.tuples_derived";
+                let t = Tuple.of_ids (Array.copy ids) in
+                Matcher.Shard.add sh p t;
+                push_fresh w p t)
+            else if Matcher.Db.memset_mem (Option.get !cur_mem) ids then (
+              if tracing then Observe.Trace.incr wtr "fixpoint.tuples_deduped")
+            else if
+              Parallel.Exchange.post ex ~src:w ~dst:o p
+                (Tuple.of_ids (Array.copy ids))
+            then (if tracing then Observe.Trace.incr wtr "par.posts")))
+    in
+    if tracing then (
+      Observe.Trace.add wtr ("rule_firings." ^ label) n;
+      Observe.Trace.incr wtr "par.tasks";
+      Observe.Trace.observe_s wtr "par.task" (Observe.Trace.now () -. t0))
+  in
+  (* round 0: full evaluation, rules round-robin over workers *)
+  let rules0 =
+    Array.of_list
+      (List.map (fun (_rule, plan, _, label) -> (plan, label, None)) with_dps)
+  in
+  let derive_full w =
+    let i = ref w in
+    while !i < Array.length rules0 do
+      fire w rules0.(!i);
+      i := !i + nw
+    done
+  in
+  (* later rounds: worker [w] fires every (rule, delta-pred) whose OWN
+     slice is non-empty — the ownership partition is the task split *)
+  let derive_delta w =
+    let sh = shards.(w) in
+    List.iter
+      (fun (_rule, plan, dps, label) ->
+        List.iter
+          (fun p ->
+            match Matcher.Shard.delta sh p with
+            | [] -> ()
+            | _ -> fire w (plan, label, Some p))
+          dps)
+      with_dps
+  in
+  let exchange w =
+    let t0 = Observe.Trace.now () in
+    let sh = shards.(w) in
+    let wtr = wctx.(w) in
+    Parallel.Exchange.drain ex ~dst:w (fun ~src:_ ~pred ts ->
+        List.iter
+          (fun t ->
+            let ids = Tuple.ids t in
+            if Matcher.Shard.mem sh pred ids then (
+              if tracing then Observe.Trace.incr wtr "fixpoint.tuples_deduped")
+            else (
+              if tracing then Observe.Trace.incr wtr "fixpoint.tuples_derived";
+              Matcher.Shard.add sh pred t;
+              push_fresh w pred t))
+          ts);
+    exch_s.(w) <- Observe.Trace.now () -. t0
+  in
+  let run_round derive =
+    Parallel.Pool.run_phases pool [| derive; exchange |];
+    (* exchange cost on the critical path: the slowest worker's drain *)
+    exchange_s := !exchange_s +. Array.fold_left Float.max 0.0 exch_s;
+    Array.fill exch_s 0 nw 0.0
+  in
+  (* drain the workers' fresh buffers into per-worker sorted assoc lists
+     (round processing stays deterministic), and record the balance *)
+  let collect_round () =
+    let per_w =
+      Array.map
+        (fun tbl ->
+          let l = Hashtbl.fold (fun p lst acc -> (p, List.rev !lst) :: acc) tbl [] in
+          Hashtbl.reset tbl;
+          List.sort (fun (a, _) (b, _) -> String.compare a b) l)
+        wfresh
+    in
+    let wtot = Array.map total_fresh per_w in
+    let total = Array.fold_left ( + ) 0 wtot in
+    if tracing && total > 0 && nw > 1 then (
+      let mx = Array.fold_left max 0 wtot in
+      Observe.Trace.gauge_max trace "par.shard_skew" (100 * nw * mx / total));
+    (per_w, total)
+  in
+  (* between rounds, on the coordinator: feed every shard's fresh facts
+     to the shared database (disjoint by ownership, fresh by the shard
+     dedup — exactly [absorb_new]'s contract) and install the lists as
+     the next round's delta slices *)
+  let absorb_and_install per_w =
+    let preds =
+      List.sort_uniq String.compare
+        (Array.to_list per_w |> List.concat_map (List.map fst))
+    in
+    List.iter
+      (fun p ->
+        Array.iter
+          (fun fr ->
+            match List.assoc_opt p fr with
+            | None | Some [] -> ()
+            | Some ts -> Matcher.Db.absorb_new db p ts)
+          per_w)
+      preds;
+    Array.iteri
+      (fun w fr ->
+        Matcher.Shard.clear_delta shards.(w);
+        List.iter (fun (p, ts) -> Matcher.Shard.set_delta shards.(w) p ts) fr)
+      per_w
+  in
+  let round_no = ref 0 in
+  let open_round () =
+    if tracing then (
+      Observe.Trace.open_span trace ~kind:"round" (string_of_int !round_no);
+      Stdlib.incr round_no)
+  in
+  let close_round d =
+    if tracing then (
+      Observe.Trace.incr trace "fixpoint.rounds";
+      Observe.Trace.gauge_max trace "fixpoint.delta_max" d;
+      Observe.Trace.add trace "fixpoint.delta_total" d;
+      Observe.Trace.close_span trace
+        ~fields:[ Observe.Trace.fint "delta" d ]
+        ())
+  in
+  open_round ();
+  run_round derive_full;
+  let per_w0, total0 = collect_round () in
+  close_round total0;
+  let rec loop per_w total stages =
+    if total = 0 then (Matcher.Db.instance db, stages)
+    else (
+      open_round ();
+      absorb_and_install per_w;
+      run_round derive_delta;
+      let per_w', total' = collect_round () in
+      close_round total';
+      loop per_w' total' (stages + 1))
+  in
+  let result = loop per_w0 total0 0 in
+  if tracing then (
+    Observe.Trace.gauge_max trace "par.domains" nw;
+    Observe.Trace.add trace "par.exchange_ms"
+      (int_of_float (!exchange_s *. 1000.));
+    Observe.Trace.add trace "par.exchanged_tuples"
+      (Parallel.Exchange.total_posted ex);
+    Array.iter (fun c -> Observe.Trace.merge_counters trace c) wctx);
+  result
+
+(* Which parallel driver [seminaive_fixpoint_db] dispatches to. Sharded
+   is the default; the barrier-merge driver is kept for comparison
+   (bench e20 measures exchange vs merge on the same workload). *)
+type par_strategy = Sharded | Merge
+
+let strategy = ref Sharded
+let set_par_strategy s = strategy := s
+let par_strategy () = !strategy
+
 let seminaive_fixpoint_db ?(trace = Observe.Trace.null) ?neg_db prepared
     ~delta_preds ~dom db =
   let with_dps = with_delta_preds prepared delta_preds in
@@ -387,8 +644,16 @@ let seminaive_fixpoint_db ?(trace = Observe.Trace.null) ?neg_db prepared
   | Some pool ->
       Fun.protect
         ~finally:(fun () -> Parallel.Pool.release pool)
-        (fun () -> seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db)
-  | None -> seminaive_seq ~trace ?neg_db ~with_dps ~dom db
+        (fun () ->
+          match !strategy with
+          | Sharded -> seminaive_shard ~trace ?neg_db ~pool ~with_dps ~dom db
+          | Merge -> seminaive_par ~trace ?neg_db ~pool ~with_dps ~dom db)
+  | None ->
+      (* jobs > 1 but the pool is held by an enclosing fixpoint: count
+         the degradation instead of hiding it *)
+      if Parallel.Pool.jobs () > 1 then
+        Observe.Trace.incr trace "par.pool.fallbacks";
+      seminaive_seq ~trace ?neg_db ~with_dps ~dom db
 
 let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
     ~delta_preds ~dom inst =

@@ -288,6 +288,113 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+(* Shard-owned predicate state for the partitioned parallel fixpoint
+   (Slog-style): every fact belongs to exactly one shard, decided by a
+   hash of its first-column value id, and each worker domain holds the
+   membership sets and per-round delta indexes for the facts it owns.
+   Nothing here is shared — one [Shard.t] per worker, mutated only by
+   its owner, so freshness checks need no locks and no global merge. *)
+module Shard = struct
+  type t = {
+    shard : int;
+    nshards : int;
+    mems : (string, unit KTbl.t) Hashtbl.t;
+        (* per-predicate membership over the owned partition: seeded
+           from the database, extended with every accepted fresh fact —
+           complete for owned-tuple freshness checks by construction
+           (every fresh fact is routed through its owner) *)
+    delta : (string, Tuple.t list) Hashtbl.t;
+        (* this shard's slice of the current round's delta *)
+    dixes : (string, (int list, Tuple.t list KTbl.t) Hashtbl.t) Hashtbl.t;
+        (* (pred, positions) indexes over the delta slices, memoized for
+           the round so rules sharing bound positions reuse one build *)
+  }
+
+  (* same avalanche story as [Tuple.hash_ids]: interned ids are dense
+     small integers, so a plain [mod] would put consecutive vertices in
+     consecutive shards — fine for balance, terrible as a hash contract.
+     Mix first so ownership is uncorrelated with interning order. *)
+  let owner ~nshards ids =
+    if nshards = 1 || Array.length ids = 0 then 0
+    else begin
+      let x = Array.unsafe_get ids 0 in
+      let x = (x lxor (x lsr 16)) * 0x45d9f3b in
+      let x = (x lxor (x lsr 13)) land max_int in
+      x mod nshards
+    end
+
+  let create ~nshards ~shard =
+    if nshards < 1 || shard < 0 || shard >= nshards then
+      invalid_arg "Matcher.Shard.create: shard out of range";
+    {
+      shard;
+      nshards;
+      mems = Hashtbl.create 8;
+      delta = Hashtbl.create 8;
+      dixes = Hashtbl.create 8;
+    }
+
+  let id sh = sh.shard
+  let owns sh ids = owner ~nshards:sh.nshards ids = sh.shard
+
+  let memset sh p =
+    match Hashtbl.find_opt sh.mems p with
+    | Some tb -> tb
+    | None ->
+        let tb = KTbl.create 256 in
+        Hashtbl.add sh.mems p tb;
+        tb
+
+  let mem sh p ids = KTbl.mem (memset sh p) ids
+  let add sh p t = KTbl.replace (memset sh p) (Tuple.ids t) ()
+
+  let seed sh p rel =
+    let tb = memset sh p in
+    Relation.unordered_iter
+      (fun t ->
+        let ids = Tuple.ids t in
+        if owner ~nshards:sh.nshards ids = sh.shard then KTbl.replace tb ids ())
+      rel
+
+  let total sh = Hashtbl.fold (fun _ tb n -> n + KTbl.length tb) sh.mems 0
+
+  let set_delta sh p ts =
+    Hashtbl.replace sh.delta p ts;
+    Hashtbl.remove sh.dixes p
+
+  let clear_delta sh =
+    Hashtbl.reset sh.delta;
+    Hashtbl.reset sh.dixes
+
+  let delta sh p =
+    match Hashtbl.find_opt sh.delta p with Some ts -> ts | None -> []
+
+  let delta_index sh p positions =
+    let per =
+      match Hashtbl.find_opt sh.dixes p with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 4 in
+          Hashtbl.add sh.dixes p t;
+          t
+    in
+    match Hashtbl.find_opt per positions with
+    | Some ix -> ix
+    | None ->
+        let parr = Array.of_list positions in
+        let ix = KTbl.create 64 in
+        List.iter
+          (fun t ->
+            let k = Array.map (fun i -> Tuple.id t i) parr in
+            KTbl.replace ix k
+              (t :: (try KTbl.find ix k with Not_found -> [])))
+          (delta sh p);
+        Hashtbl.add per positions ix;
+        ix
+end
+
+(* ------------------------------------------------------------------ *)
+
 (* Compiled plans: variables are mapped to integer slots at [prepare]
    time, and constants to interned ids, so the join loop unifies ids into
    one mutable [int array] (-1 = unbound) — every comparison on the hot
@@ -610,7 +717,7 @@ let prewarm ?neg_db prepared db =
    called once per (deduped) match with [tval] reading interned ids out
    of the live environment, and [vals] holding the projected id vector
    when dedup forced its construction. Returns the match count. *)
-let exec ?delta ?dom ?neg_db prepared db ~consume =
+let exec ?delta ?delta_index ?dom ?neg_db prepared db ~consume =
   (if prepared.need_dom && dom = None then
      invalid_arg
        "Matcher.run: rule has domain-bound or \xe2\x88\x80 variables; supply ~dom");
@@ -637,7 +744,9 @@ let exec ?delta ?dom ?neg_db prepared db ~consume =
     let main_ix = Array.map resolve prepared.csteps in
     (* per-(pred, bound-positions) index over the delta tuples: delta
        candidates are looked up, not scanned; built straight from the
-       list, with no intermediate relation or database *)
+       list, with no intermediate relation or database. A caller holding
+       the delta in shard-owned state supplies [delta_index] to reuse
+       one memoized build across every rule sharing the positions. *)
     let delta_ix =
       match delta with
       | None -> [||]
@@ -645,15 +754,19 @@ let exec ?delta ?dom ?neg_db prepared db ~consume =
           Array.map
             (function
               | CAtom { apred; key_positions; _ } when apred = dpred ->
-                  let parr = Array.of_list key_positions in
-                  let ix = KTbl.create 64 in
-                  List.iter
-                    (fun t ->
-                      let k = Array.map (fun i -> Tuple.id t i) parr in
-                      KTbl.replace ix k
-                        (t :: (try KTbl.find ix k with Not_found -> [])))
-                    dtuples;
-                  Some ix
+                  Some
+                    (match delta_index with
+                    | Some f -> f key_positions
+                    | None ->
+                        let parr = Array.of_list key_positions in
+                        let ix = KTbl.create 64 in
+                        List.iter
+                          (fun t ->
+                            let k = Array.map (fun i -> Tuple.id t i) parr in
+                            KTbl.replace ix k
+                              (t :: (try KTbl.find ix k with Not_found -> [])))
+                          dtuples;
+                        ix)
               | _ -> None)
             prepared.csteps
     in
@@ -840,7 +953,7 @@ let run ?delta ?dom ?neg_db prepared db =
           (fst prepared.keep.(k), Value.Intern.of_id vals.(k))))
     (List.sort cmp_vals !results)
 
-let iter_firings ?delta ?dom ?neg_db prepared db f =
+let iter_firings ?delta ?delta_index ?dom ?neg_db prepared db f =
   (* one scratch id array per head template, reused across matches — the
      callback copies it only when it actually retains the fact *)
   let heads =
@@ -849,7 +962,7 @@ let iter_firings ?delta ?dom ?neg_db prepared db f =
         (pos, pred, cargs, Array.make (Array.length cargs) 0))
       prepared.cheads
   in
-  exec ?delta ?dom ?neg_db prepared db ~consume:(fun ~tval ~vals:_ ->
+  exec ?delta ?delta_index ?dom ?neg_db prepared db ~consume:(fun ~tval ~vals:_ ->
       List.iter
         (fun (pos, pred, cargs, scratch) ->
           for i = 0 to Array.length cargs - 1 do

@@ -95,6 +95,65 @@ module Db : sig
   val absorb_new : t -> string -> Tuple.t list -> unit
 end
 
+(** Shard-owned predicate state for the hash-partitioned parallel
+    fixpoint: every fact is owned by exactly one of [nshards] shards,
+    decided by an avalanche hash of its first-column value id, and each
+    worker domain holds one [Shard.t] — membership sets over its owned
+    partition plus memoized (pred, positions) indexes over its per-round
+    delta slices. A shard is mutated only by its owning worker, so
+    freshness checks are local: no locks, no global dedup merge. *)
+module Shard : sig
+  type t
+
+  (** [owner ~nshards ids] is the shard owning the fact with argument
+      ids [ids] — a mixed hash of [ids.(0)] modulo [nshards] (arity-0
+      facts live on shard 0). Deterministic across workers and runs for
+      a fixed interning. *)
+  val owner : nshards:int -> int array -> int
+
+  (** [create ~nshards ~shard] is the empty state of shard [shard].
+      @raise Invalid_argument unless [0 <= shard < nshards]. *)
+  val create : nshards:int -> shard:int -> t
+
+  val id : t -> int
+
+  (** [owns sh ids] is [owner ~nshards ids = id sh]. *)
+  val owns : t -> int array -> bool
+
+  (** [mem sh p ids] tests membership of an owned fact. Complete for
+      facts of predicates this shard was {!seed}ed with and kept
+      up to date through {!add}. *)
+  val mem : t -> string -> int array -> bool
+
+  (** [add sh p t] records an owned fact (the caller has established
+      ownership and freshness). *)
+  val add : t -> string -> Tuple.t -> unit
+
+  (** [seed sh p rel] folds this shard's partition of [rel] into its
+      membership set for [p] — the per-fixpoint initialisation, run by
+      every worker over the same head-predicate relations. *)
+  val seed : t -> string -> Relation.t -> unit
+
+  (** [total sh] is the number of owned facts across predicates. *)
+  val total : t -> int
+
+  (** [set_delta sh p ts] installs this shard's slice of the round's
+      delta for [p], invalidating memoized indexes over the previous
+      slice; {!clear_delta} drops every slice between rounds. *)
+  val set_delta : t -> string -> Tuple.t list -> unit
+
+  val clear_delta : t -> unit
+
+  (** [delta sh p] is the installed slice ([[]] when none). *)
+  val delta : t -> string -> Tuple.t list
+
+  (** [delta_index sh p positions] is the hash index of [delta sh p] on
+      [positions], built once per (pred, positions) per round and shared
+      by every rule probing the same bound positions — pass it to
+      {!iter_firings} as [delta_index]. *)
+  val delta_index : t -> string -> int list -> Tuple.t list IdTbl.t
+end
+
 (** A rule compiled to a slot-based join plan (atom ordering, index keys,
     unification ops and filter schedule all precomputed). *)
 type prepared
@@ -149,10 +208,15 @@ val run :
     order is unspecified — callers must be order-insensitive (fixpoint
     engines accumulate into sets). The delta is a plain tuple list (the
     representation the fixpoint engines already hold); it is indexed per
-    (pred, bound-positions) exactly like {!run}'s. Returns the number of
-    matches. *)
+    (pred, bound-positions) exactly like {!run}'s — unless [delta_index]
+    is supplied, in which case it resolves the index for each set of
+    bound positions (the sharded fixpoint passes
+    {!Shard.delta_index}, so rules sharing positions reuse one build;
+    the function must index exactly the tuples of [delta]). Returns the
+    number of matches. *)
 val iter_firings :
   ?delta:string * Tuple.t list ->
+  ?delta_index:(int list -> Tuple.t list IdTbl.t) ->
   ?dom:Value.t list ->
   ?neg_db:Db.t ->
   prepared ->

@@ -129,6 +129,8 @@ let eval_wave ~trace ~dom current groups =
                     i := !i + nw
                   done))
       | None ->
+          if Parallel.Pool.jobs () > 1 then
+            Observe.Trace.incr trace "par.pool.fallbacks";
           for i = 0 to n - 1 do
             work i
           done);

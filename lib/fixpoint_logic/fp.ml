@@ -400,7 +400,10 @@ let eval_plans ~trace inst plans =
   | [ p ] -> [ run_plan_timed ~trace inst p ]
   | _ -> (
       match Parallel.Pool.acquire () with
-      | None -> List.map (run_plan_timed ~trace inst) plans
+      | None ->
+          if Parallel.Pool.jobs () > 1 then
+            Observe.Trace.incr trace "par.pool.fallbacks";
+          List.map (run_plan_timed ~trace inst) plans
       | Some pool ->
           Fun.protect ~finally:(fun () -> Parallel.Pool.release pool)
           @@ fun () ->

@@ -15,6 +15,11 @@ type t = {
   mutable errors : (int * exn) list;
   mutable stop : bool;
   mutable domains : unit Domain.t array;
+  (* in-job barrier (run_phases): classic counting barrier over the
+     pool's mutex with its own condition variable and generation *)
+  barrier : Condition.t;
+  mutable bar_count : int;
+  mutable bar_gen : int;
 }
 
 let size p = p.size
@@ -59,6 +64,9 @@ let create n =
       errors = [];
       stop = false;
       domains = [||];
+      barrier = Condition.create ();
+      bar_count = 0;
+      bar_gen = 0;
     }
   in
   pool.domains <-
@@ -92,6 +100,51 @@ let run pool f =
         | [] -> ())
   end
 
+(* Barrier inside a job: every worker of the current [run] must call
+   this the same number of times. All [size] workers (the caller
+   included) park until the last one arrives, then the generation flips
+   and everyone proceeds. The mutex doubles as the memory fence: writes
+   made before the barrier are visible to every worker after it. *)
+let barrier_wait pool =
+  if pool.size > 1 then begin
+    Mutex.lock pool.mutex;
+    let gen = pool.bar_gen in
+    pool.bar_count <- pool.bar_count + 1;
+    if pool.bar_count = pool.size then begin
+      pool.bar_count <- 0;
+      pool.bar_gen <- gen + 1;
+      Condition.broadcast pool.barrier
+    end
+    else
+      while pool.bar_gen = gen do
+        Condition.wait pool.barrier pool.mutex
+      done;
+    Mutex.unlock pool.mutex
+  end
+
+(* Phased job: every worker runs phase 0, hits a barrier, runs phase 1,
+   and so on — the shard-exchange discipline (derive, then drain) in one
+   fan-out instead of one [run] per phase. A worker that raises skips
+   its remaining phases but still participates in every barrier, so its
+   siblings never deadlock waiting for it; the exception resurfaces
+   through [run]'s normal error path once the job completes. *)
+let run_phases pool phases =
+  match Array.length phases with
+  | 0 -> ()
+  | 1 -> run pool phases.(0)
+  | nphases ->
+      if pool.size = 1 then Array.iter (fun f -> f 0) phases
+      else
+        run pool (fun w ->
+            let err = ref None in
+            Array.iteri
+              (fun i f ->
+                (if Option.is_none !err then
+                   try f w with e -> err := Some e);
+                if i < nphases - 1 then barrier_wait pool)
+              phases;
+            match !err with Some e -> raise e | None -> ())
+
 let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stop <- true;
@@ -108,6 +161,12 @@ let shutdown pool =
 let global : t option ref = ref None
 let njobs = ref 1
 let in_use = Atomic.make false
+
+(* How many times [acquire] found the pool busy (a nested fixpoint
+   degrading to sequential) — process-wide, so the degradation is
+   observable instead of silent. *)
+let fallbacks = Atomic.make 0
+let fallback_count () = Atomic.get fallbacks
 
 let shutdown_global () =
   match !global with
@@ -129,7 +188,11 @@ let jobs () = !njobs
 let acquire () =
   match !global with
   | None -> None
-  | Some p -> if Atomic.compare_and_set in_use false true then Some p else None
+  | Some p ->
+      if Atomic.compare_and_set in_use false true then Some p
+      else (
+        Atomic.incr fallbacks;
+        None)
 
 let release _p = Atomic.set in_use false
 let () = at_exit shutdown_global

@@ -27,6 +27,17 @@ val size : t -> int
     barrier. Not re-entrant: [f] must not call [run] on the same pool. *)
 val run : t -> (int -> unit) -> unit
 
+(** [run_phases p [|f; g; ...|]] is one fan-out running several phases
+    separated by in-job barriers: every worker executes [f w], waits for
+    all workers to finish phase 0, executes [g w], and so on. The
+    barrier is a full memory fence (mutex-protected), so writes made by
+    any worker in one phase are visible to every worker in the next —
+    the derive/exchange discipline of the sharded fixpoint. A worker
+    that raises skips its remaining phases but keeps meeting the
+    barriers, so siblings don't deadlock; the first exception (in worker
+    order) is re-raised on the caller, as with {!run}. *)
+val run_phases : t -> (int -> unit) array -> unit
+
 (** {1 Process-global pool}
 
     The CLI sets the job count once; evaluation code checks it out for
@@ -48,3 +59,10 @@ val acquire : unit -> t option
 
 (** [release p] returns the pool checked out by {!acquire}. *)
 val release : t -> unit
+
+(** [fallback_count ()] is the number of times {!acquire} found the pool
+    busy since process start — each one is a nested fixpoint that
+    degraded to sequential evaluation. Callers on the degraded path also
+    report the trace counter [par.pool.fallbacks], so the degradation is
+    visible per run, not just process-wide. *)
+val fallback_count : unit -> int

@@ -107,6 +107,111 @@ let test_set_jobs_rejects_nonpositive () =
   | () -> Alcotest.fail "set_jobs 0 should raise"
   | exception Invalid_argument _ -> ()
 
+let test_pool_fallback_count () =
+  (* A busy acquire is counted, not silent. *)
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "outer acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              let before = Parallel.Pool.fallback_count () in
+              (match Parallel.Pool.acquire () with
+              | None -> ()
+              | Some p2 ->
+                  Parallel.Pool.release p2;
+                  Alcotest.fail "nested acquire succeeded");
+              Alcotest.(check int)
+                "fallback counted" (before + 1)
+                (Parallel.Pool.fallback_count ())))
+
+let test_run_phases_barrier () =
+  (* Phase 2 on every worker must observe phase 1's writes from ALL
+     workers — the inter-phase barrier is what makes that safe. *)
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              let n = Parallel.Pool.size pool in
+              let marks = Array.make n false in
+              let seen_all = Array.make n false in
+              Parallel.Pool.run_phases pool
+                [|
+                  (fun w -> marks.(w) <- true);
+                  (fun w -> seen_all.(w) <- Array.for_all Fun.id marks);
+                |];
+              Array.iteri
+                (fun w ok ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "worker %d saw all phase-1 writes" w)
+                    true ok)
+                seen_all))
+
+let test_run_phases_exception () =
+  (* One worker failing in phase 1 must not deadlock the siblings at the
+     barrier, and the exception must reach the caller. *)
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              let phase2 = Atomic.make 0 in
+              (match
+                 Parallel.Pool.run_phases pool
+                   [|
+                     (fun w -> if w = 1 then failwith "phase boom");
+                     (fun _ -> Atomic.incr phase2);
+                   |]
+               with
+              | () -> Alcotest.fail "expected the worker exception"
+              | exception Failure msg ->
+                  Alcotest.(check string) "message" "phase boom" msg);
+              (* the failing worker skips its remaining phases; the
+                 other three still ran phase 2 *)
+              Alcotest.(check int) "siblings finished" 3 (Atomic.get phase2);
+              (* the pool survives *)
+              let total = Atomic.make 0 in
+              Parallel.Pool.run pool (fun _ -> Atomic.incr total);
+              Alcotest.(check int) "pool usable" 4 (Atomic.get total)))
+
+(* ------------------------------------------------------------------ *)
+(* Exchange mechanics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tup l = Tuple.of_list (List.map Value.sym l)
+
+let test_exchange_post_drain () =
+  let ex = Parallel.Exchange.create 3 in
+  Alcotest.(check bool) "first post" true
+    (Parallel.Exchange.post ex ~src:0 ~dst:1 "P" (tup [ "a" ]));
+  Alcotest.(check bool) "per-edge duplicate dropped" false
+    (Parallel.Exchange.post ex ~src:0 ~dst:1 "P" (tup [ "a" ]));
+  Alcotest.(check bool) "same fact, other edge" true
+    (Parallel.Exchange.post ex ~src:2 ~dst:1 "P" (tup [ "a" ]));
+  Alcotest.(check bool) "other pred, same edge" true
+    (Parallel.Exchange.post ex ~src:0 ~dst:1 "Q" (tup [ "a" ]));
+  Alcotest.(check int) "total posted" 3 (Parallel.Exchange.total_posted ex);
+  let got = ref [] in
+  Parallel.Exchange.drain ex ~dst:1 (fun ~src ~pred tuples ->
+      got := (src, pred, List.length tuples) :: !got);
+  (* sources ascending; within a source, preds in first-post order *)
+  Alcotest.(check (list (triple int string int)))
+    "drain order" [ (0, "P", 1); (0, "Q", 1); (2, "P", 1) ] (List.rev !got);
+  (* buffers empty after a drain, but the per-edge memory persists *)
+  let n = ref 0 in
+  Parallel.Exchange.drain ex ~dst:1 (fun ~src:_ ~pred:_ _ -> incr n);
+  Alcotest.(check int) "drained empty" 0 !n;
+  Alcotest.(check bool) "duplicate still dropped after drain" false
+    (Parallel.Exchange.post ex ~src:0 ~dst:1 "P" (tup [ "a" ]));
+  Alcotest.(check int) "total unchanged" 3
+    (Parallel.Exchange.total_posted ex)
+
 (* ------------------------------------------------------------------ *)
 (* Cross-engine determinism across job counts                          *)
 (* ------------------------------------------------------------------ *)
@@ -213,6 +318,105 @@ let test_determinism_wellfounded () =
     [ 9; 17 ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded vs merge strategies                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_strategy s f =
+  let saved = Datalog.Eval_util.par_strategy () in
+  Datalog.Eval_util.set_par_strategy s;
+  Fun.protect ~finally:(fun () -> Datalog.Eval_util.set_par_strategy saved) f
+
+let test_strategy_equivalence () =
+  (* Both parallel strategies must print byte-identical instances to the
+     sequential run, for every engine, at every job count. *)
+  let tc_inst = Graph_gen.random ~seed:42 40 100 in
+  let comp_inst = with_vertices (Graph_gen.random ~seed:11 30 70) in
+  let win_inst = Graph_gen.random ~name:"Moves" ~seed:17 20 40 in
+  let renders =
+    [
+      ( "seminaive tc",
+        fun () ->
+          Instance.to_string (Datalog.Seminaive.eval tc_program tc_inst).instance
+      );
+      ( "stratified comp",
+        fun () ->
+          Instance.to_string
+            (Datalog.Stratified.eval comp_program comp_inst).instance );
+      ( "wellfounded win",
+        fun () ->
+          let r = Datalog.Wellfounded.eval win_program win_inst in
+          Instance.to_string r.true_facts ^ "\n---\n"
+          ^ Instance.to_string r.possible );
+    ]
+  in
+  List.iter
+    (fun (name, render) ->
+      let baseline = render () in
+      List.iter
+        (fun (sname, strat) ->
+          with_strategy strat (fun () ->
+              List.iter
+                (fun j ->
+                  let out = with_jobs j render in
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s: %s at -j %d matches sequential" name
+                       sname j)
+                    baseline out)
+                [ 2; 4 ]))
+        [ ("merge", Datalog.Eval_util.Merge); ("shard", Datalog.Eval_util.Sharded) ])
+    renders
+
+let test_fallback_traced () =
+  (* With the pool held, a parallel-eligible run falls back to
+     sequential AND says so in the trace. *)
+  with_jobs 4 (fun () ->
+      match Parallel.Pool.acquire () with
+      | None -> Alcotest.fail "outer acquire failed"
+      | Some pool ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.release pool)
+            (fun () ->
+              let inst = Graph_gen.random ~seed:7 20 50 in
+              let seq =
+                Instance.to_string
+                  (Datalog.Seminaive.eval tc_program inst).instance
+              in
+              let trace = Observe.Trace.make ~sinks:[] () in
+              let r = Datalog.Seminaive.eval ~trace tc_program inst in
+              Alcotest.(check string)
+                "fallback run matches" seq
+                (Instance.to_string r.instance);
+              Alcotest.(check bool)
+                "par.pool.fallbacks counted" true
+                (Observe.Trace.counter trace "par.pool.fallbacks" >= 1)))
+
+let test_shard_skew_hub () =
+  (* A star graph: every derived T tuple keys on the hub, so one shard
+     owns all the fresh work and the skew gauge pegs at 100 * jobs. *)
+  let inst =
+    Instance.of_list
+      [
+        ( "G",
+          List.init 50 (fun i ->
+              [ Value.sym "hub"; Value.sym (Printf.sprintf "spoke%d" i) ]) );
+      ]
+  in
+  let seq =
+    Instance.to_string (Datalog.Seminaive.eval tc_program inst).instance
+  in
+  with_jobs 4 (fun () ->
+      let trace = Observe.Trace.make ~sinks:[] () in
+      let r = Datalog.Seminaive.eval ~trace tc_program inst in
+      Alcotest.(check string)
+        "hub graph matches sequential" seq
+        (Instance.to_string r.instance);
+      let skew = Observe.Trace.counter trace "par.shard_skew" in
+      Alcotest.(check bool)
+        (Printf.sprintf "par.shard_skew reported (got %d)" skew)
+        true
+        (skew >= 300 && skew <= 400))
+
+(* ------------------------------------------------------------------ *)
 (* Intern-table stress                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -266,6 +470,14 @@ let suite =
       test_pool_exception_propagates;
     Alcotest.test_case "set_jobs rejects 0" `Quick
       test_set_jobs_rejects_nonpositive;
+    Alcotest.test_case "busy acquire is counted" `Quick
+      test_pool_fallback_count;
+    Alcotest.test_case "run_phases: barrier between phases" `Quick
+      test_run_phases_barrier;
+    Alcotest.test_case "run_phases: exception propagates" `Quick
+      test_run_phases_exception;
+    Alcotest.test_case "exchange: post/dedup/drain" `Quick
+      test_exchange_post_drain;
     Alcotest.test_case "determinism: tc naive+seminaive" `Quick
       test_determinism_tc;
     Alcotest.test_case "determinism: stratified negation" `Quick
@@ -274,6 +486,12 @@ let suite =
       test_determinism_waves;
     Alcotest.test_case "determinism: well-founded" `Quick
       test_determinism_wellfounded;
+    Alcotest.test_case "strategies: shard == merge == sequential" `Quick
+      test_strategy_equivalence;
+    Alcotest.test_case "held pool: traced fallback" `Quick
+      test_fallback_traced;
+    Alcotest.test_case "hub graph: shard skew reported" `Quick
+      test_shard_skew_hub;
     Alcotest.test_case "intern table stress (8 domains)" `Quick
       test_intern_stress;
   ]

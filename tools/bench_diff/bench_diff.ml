@@ -10,8 +10,13 @@
 
    Rows are keyed by (experiment, case, engine); when a key repeats, the
    LAST occurrence wins (the committed file's "after" section supersedes
-   "before"). Exit 0 when no regression exceeds the threshold, 1 when
-   one does, 2 on usage/parse errors. *)
+   "before"). Rows may carry a "meta" object ({"jobs": J, "cores": C},
+   written by bench --json); when both sides have meta and the machine
+   shape differs (different core count or job setting), the pair is
+   flagged "machine-diff" and excluded from regression accounting —
+   sweeps from different machines are not comparable wall-clock. Exit 0
+   when no regression exceeds the threshold, 1 when one does, 2 on
+   usage/parse errors. *)
 
 module Json = Observe.Json
 
@@ -26,6 +31,15 @@ let num = function
   | _ -> nan
 
 let str k j = match Json.member k j with Some (Json.Str s) -> s | _ -> ""
+
+(* (jobs, cores) from a row's "meta" object, if present *)
+let meta_of j =
+  match Json.member "meta" j with
+  | Some (Json.Obj _ as m) -> (
+      match (Json.member "jobs" m, Json.member "cores" m) with
+      | Some (Json.Int jobs), Some (Json.Int cores) -> Some (jobs, cores)
+      | _ -> None)
+  | _ -> None
 
 (* Every row object anywhere in the value: a flat array of rows, or any
    object member carrying a "rows" array. *)
@@ -69,7 +83,7 @@ let load path =
           let ms = num (Json.member "wall_ms" r) in
           if not (Float.is_nan ms) then (
             if not (Hashtbl.mem tbl key) then order := key :: !order;
-            Hashtbl.replace tbl key ms))
+            Hashtbl.replace tbl key (ms, meta_of r)))
         (rows_of j);
       (tbl, List.rev !order)
 
@@ -91,27 +105,33 @@ let () =
     "engine" "old ms" "new ms" "delta";
   List.iter
     (fun ((exp_, case_, engine) as key) ->
-      let new_ms = Hashtbl.find new_tbl key in
+      let new_ms, new_meta = Hashtbl.find new_tbl key in
       match Hashtbl.find_opt old_tbl key with
       | None ->
           Printf.printf "%-12s %-24s %-20s %10s %10.3f %8s\n" exp_ case_
             engine "-" new_ms "new"
-      | Some old_ms ->
-          incr compared;
+      | Some (old_ms, old_meta) ->
+          let machine_diff =
+            match (old_meta, new_meta) with
+            | Some m1, Some m2 -> m1 <> m2
+            | _ -> false
+          in
           let pct =
             if old_ms > 0. then 100. *. (new_ms -. old_ms) /. old_ms else 0.
           in
           let flag =
-            if pct > threshold then (
+            if machine_diff then "  machine-diff"
+            else if pct > threshold then (
               incr regressions;
               "  REGRESSION")
             else ""
           in
+          if not machine_diff then incr compared;
           Printf.printf "%-12s %-24s %-20s %10.3f %10.3f %+7.1f%%%s\n" exp_
             case_ engine old_ms new_ms pct flag)
     new_order;
   Hashtbl.iter
-    (fun ((exp_, case_, engine) as key) old_ms ->
+    (fun ((exp_, case_, engine) as key) (old_ms, _) ->
       if not (Hashtbl.mem new_tbl key) then
         Printf.printf "%-12s %-24s %-20s %10.3f %10s %8s\n" exp_ case_ engine
           old_ms "-" "gone")
