@@ -30,7 +30,13 @@ bench:
 # The shard smoke step runs the sharded (default) parallel path at -j 4,
 # checks byte-identity against the sequential output, and greps the
 # stats for par.exchanged_tuples — proof the exchange, not the old
-# global merge, carried the cross-shard traffic. The bench-diff step
+# global merge, carried the cross-shard traffic. The serve smoke step
+# starts a resident server on a Unix-domain socket, asserts a batch and
+# checks the new derived fact is queryable, retracts it and checks the
+# view shrank back (DRed), greps serve.requests out of the stats op,
+# and shuts the server down cleanly (the built binary is invoked
+# directly so the background server never contends for the dune lock).
+# The bench-diff step
 # compares the freshly regenerated e2 rows against the committed
 # BENCH_engines.json and GATES: rows from a different machine shape are
 # auto-excluded via each row's meta (jobs/cores), and the threshold is
@@ -62,7 +68,20 @@ ci:
 	grep -q 'demand.cache.hits *1' _ci_demand.out
 	dune exec -- datalog-unchained query _ci_tc.dl -q 'T(a, Y)' --demand --explain > _ci_explain.out
 	grep -qE 'join\[[0-9]+=[0-9]+\].* rows_out=[0-9]+' _ci_explain.out
-	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts _ci_demand.out _ci_explain.out
+	printf 'T(X, Y) :- G(X, Y).\nT(X, Y) :- G(X, Z), T(Z, Y).\n' > _ci_srv.dl
+	printf 'G(a, b). G(b, c).\n' > _ci_srv.facts
+	_build/install/default/bin/datalog-unchained serve _ci_srv.dl -f _ci_srv.facts --socket _ci_srv.sock > _ci_srv.out 2>&1 & \
+	for _ in $$(seq 1 200); do [ -S _ci_srv.sock ] && break; sleep 0.05; done; \
+	client() { _build/install/default/bin/datalog-unchained client --socket _ci_srv.sock "$$@"; }; \
+	client assert 'G(c, d).' | grep -q 'added 1' && \
+	client query 'T(a, Y)' | grep -q 'T(a, d).' && \
+	client retract 'G(c, d).' | grep -q 'removed 1, overdeleted' && \
+	test -z "$$(client query 'T(a, d)')" && \
+	client stats | grep -q 'serve.requests' && \
+	client shutdown | grep -q 'server stopped' && \
+	wait && grep -q 'listening on' _ci_srv.out
+	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts _ci_demand.out _ci_explain.out \
+	  _ci_srv.dl _ci_srv.facts _ci_srv.sock _ci_srv.out
 
 clean:
 	dune clean

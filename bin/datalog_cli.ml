@@ -652,12 +652,175 @@ let fo_cmd =
       const run $ query_arg $ facts_arg $ vars_arg $ naive_arg $ explain_arg
       $ stats_arg $ trace_arg $ jobs_arg)
 
+(* --- serve / client ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve_cmd =
+  let run program facts socket stats trace_path =
+    let { Datalog.Parser.program = p; _ } = load_program program in
+    let inst = load_facts facts in
+    (* force an enabled context even without --stats: the protocol's
+       [stats] op reports these counters over the socket *)
+    with_observability ~name:"serve" ~force:true stats trace_path
+      (fun trace ->
+        try
+          let engine = Server.Engine.create ~trace p inst in
+          Server.Daemon.serve ~trace ~socket engine
+        with Datalog.Ast.Check_error msg ->
+          Printf.eprintf "serve requires pure Datalog: %s\n" msg;
+          exit 2)
+  in
+  let doc =
+    "Run a resident server: materialize the program's fixpoint once, then \
+     maintain it incrementally (semi-naive insertion, delete-and-rederive \
+     retraction) across line-JSON requests on a Unix-domain socket. \
+     Requires pure Datalog. With $(b,--stats), print the run report \
+     (request counters, per-command latency histograms, fixpoint and DRed \
+     counters) after shutdown"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ program_arg $ facts_arg $ socket_arg $ stats_arg $ trace_arg)
+
+let client_cmd =
+  let command_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("assert", `Assert);
+                  ("retract", `Retract);
+                  ("query", `Query);
+                  ("stats", `Stats);
+                  ("shutdown", `Shutdown);
+                ]))
+          None
+      & info [] ~docv:"COMMAND"
+          ~doc:"$(b,assert), $(b,retract), $(b,query), $(b,stats) or \
+                $(b,shutdown)")
+  in
+  let payload_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ARG"
+          ~doc:"Facts text for assert/retract, query atom for query")
+  in
+  let via_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("materialized", "materialized");
+               ("demand", "demand");
+               ("magic", "magic");
+             ])
+          "materialized"
+      & info [ "via" ] ~docv:"PATH"
+          ~doc:
+            "Query path: $(b,materialized) (indexed lookup on the \
+             maintained fixpoint), $(b,demand) (demand compiler) or \
+             $(b,magic) (magic-sets session)")
+  in
+  let run socket command payload via =
+    let need what =
+      match payload with
+      | Some a -> a
+      | None ->
+          Printf.eprintf "client: missing %s argument\n" what;
+          exit 2
+    in
+    let req =
+      match command with
+      | `Assert -> Server.Protocol.Assert (need "facts")
+      | `Retract -> Server.Protocol.Retract (need "facts")
+      | `Query -> Server.Protocol.Query { atom = need "query atom"; via }
+      | `Stats -> Server.Protocol.Stats
+      | `Shutdown -> Server.Protocol.Shutdown
+    in
+    match Server.Client.request ~socket req with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok j -> (
+        let int_field name =
+          match Observe.Json.member name j with
+          | Some (Observe.Json.Int n) -> n
+          | _ -> 0
+        in
+        match command with
+        | `Assert ->
+            Printf.printf "%% added %d, derived %d (%d stage(s))\n"
+              (int_field "added") (int_field "derived") (int_field "stages")
+        | `Retract ->
+            Printf.printf "%% removed %d, overdeleted %d, rederived %d\n"
+              (int_field "removed")
+              (int_field "overdeleted")
+              (int_field "rederived")
+        | `Query -> (
+            match Observe.Json.member "facts" j with
+            | Some (Observe.Json.List fs) ->
+                List.iter
+                  (function
+                    | Observe.Json.Str s -> print_endline s | _ -> ())
+                  fs
+            | _ -> ())
+        | `Stats ->
+            (match Observe.Json.member "counters" j with
+            | Some (Observe.Json.Obj kvs) ->
+                List.iter
+                  (function
+                    | k, Observe.Json.Int v -> Printf.printf "%s %d\n" k v
+                    | _ -> ())
+                  kvs
+            | _ -> ());
+            (match Observe.Json.member "histograms" j with
+            | Some (Observe.Json.Obj kvs) ->
+                List.iter
+                  (fun (k, d) ->
+                    let f name =
+                      match Observe.Json.member name d with
+                      | Some (Observe.Json.Int n) -> n
+                      | _ -> 0
+                    in
+                    Printf.printf "%s n=%d p50_ns=%d p99_ns=%d\n" k (f "n")
+                      (f "p50_ns") (f "p99_ns"))
+                  kvs
+            | _ -> ())
+        | `Shutdown -> print_endline "% server stopped")
+  in
+  let doc =
+    "Send one request to a resident $(b,serve) process and print the \
+     response: derived/retraction deltas for updates, one fact per line \
+     for queries, counter and histogram lines for stats"
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ command_arg $ payload_arg $ via_arg)
+
 let main =
   let doc =
     "The Datalog Unchained language family: forward-chaining Datalog \
      engines (PODS 2021 Gems reproduction)"
   in
   Cmd.group (Cmd.info "datalog-unchained" ~version:"1.0.0" ~doc)
-    [ run_cmd; nondet_cmd; stratify_cmd; deps_cmd; check_cmd; query_cmd; fo_cmd ]
+    [
+      run_cmd;
+      nondet_cmd;
+      stratify_cmd;
+      deps_cmd;
+      check_cmd;
+      query_cmd;
+      fo_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

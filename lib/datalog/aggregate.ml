@@ -62,7 +62,16 @@ let eval_agg db dom (a : agg_rule) =
               (List.fold_left
                  (fun s p ->
                    match p with
-                   | [ Value.Int n ] -> s + n
+                   | [ Value.Int n ] ->
+                       let s' = s + n in
+                       (* native [+] wraps silently; two's-complement
+                          overflow iff operands of equal sign yield a
+                          result of the opposite sign *)
+                       if s >= 0 = (n >= 0) && s' >= 0 <> (s >= 0) then
+                         agg_error "sum overflow: %d + %d exceeds the native \
+                                    integer range"
+                           s n
+                       else s'
                    | [ v ] ->
                        agg_error "sum over non-integer value %s"
                          (Value.to_string v)

@@ -121,8 +121,12 @@ let total_fresh delta =
    [Db.absorb], so join indexes are built once and extended
    incrementally instead of being rebuilt from the full instance. The db
    is a parameter so long-lived callers (Magic sessions) can thread the
-   same database through many fixpoints. *)
-let seminaive_seq ~trace ?neg_db ~with_dps ~dom db =
+   same database through many fixpoints.
+
+   [initial] skips the round-0 full evaluation and starts the delta loop
+   from the given fresh facts (not yet in [db], pairwise distinct) — the
+   incremental-insertion entry point of the resident server. *)
+let seminaive_seq ~trace ?neg_db ?initial ~with_dps ~dom db =
   let tracing = Observe.Trace.enabled trace in
   let fresh_tbl : fresh_tbl = Hashtbl.create 4 in
   let pred_state p = pred_state fresh_tbl p in
@@ -174,11 +178,18 @@ let seminaive_seq ~trace ?neg_db ~with_dps ~dom db =
         ~fields:[ Observe.Trace.fint "delta" d ]
         ())
   in
-  (* stage 1: full evaluation; the facts not already present form Δ⁰ *)
-  open_round ();
-  List.iter (fun (_rule, plan, _, label) -> fire_fresh plan label) with_dps;
-  let delta0 = take_fresh () in
-  close_round (total_fresh delta0);
+  (* stage 1: full evaluation (unless a caller-supplied delta replaces
+     it); the facts not already present form Δ⁰ *)
+  let delta0 =
+    match initial with
+    | Some d -> d
+    | None ->
+        open_round ();
+        List.iter (fun (_rule, plan, _, label) -> fire_fresh plan label) with_dps;
+        let d = take_fresh () in
+        close_round (total_fresh d);
+        d
+  in
   (* [stages] counts the applications of Γ that inferred new facts, to
      agree with the naive engine's count. *)
   let rec loop delta stages =
@@ -659,6 +670,221 @@ let seminaive_fixpoint ?(trace = Observe.Trace.null) ?neg_db prepared
     ~delta_preds ~dom inst =
   seminaive_fixpoint_db ~trace ?neg_db prepared ~delta_preds ~dom
     (Matcher.Db.of_instance ~trace inst)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental view maintenance over a long-lived materialized Db: the
+   write path of the resident server. Insertion is the semi-naive delta
+   loop started from the fresh facts; deletion is DRed
+   (delete-and-rederive). *)
+
+let seminaive_increment_db ?(trace = Observe.Trace.null) ?neg_db prepared
+    ~delta_preds ~dom db delta =
+  match List.filter (fun (_, ts) -> ts <> []) delta with
+  | [] -> (Matcher.Db.instance db, 0)
+  | delta ->
+      let with_dps = with_delta_preds prepared delta_preds in
+      seminaive_seq ~trace ?neg_db ~initial:delta ~with_dps ~dom db
+
+(* DRed needs two compiled artifacts beyond the ordinary plans: the
+   delta-pred table over every positive body predicate (the cone and the
+   propagation loop restrict to arbitrary deleted predicates, not just
+   idb ones), and one "guard" plan per rule —
+
+     P(t̄) :- dred$P(t̄), body
+
+   — whose synthetic first atom ranges over the deleted facts of the
+   rule's own head. Firing it with [~delta:(dred$P, D_P)] enumerates
+   exactly the one-step rederivations of deleted facts from the
+   surviving database, without materializing any dred$ relation (the
+   delta mechanism feeds the atom directly). Built once per program and
+   reused across every retraction batch. *)
+type dred_prepared = {
+  dr_with_dps : (Ast.rule * Matcher.prepared * string list * string) list;
+  dr_guards : (string * Matcher.prepared) list;
+}
+
+let dred_guard_pred p = "dred$" ^ p
+
+let prepare_dred prepared =
+  let body_preds =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (rule, _) ->
+           List.filter_map
+             (function Ast.BPos a -> Some a.Ast.pred | _ -> None)
+             rule.Ast.body)
+         prepared)
+  in
+  let guards =
+    List.filter_map
+      (fun (rule, _) ->
+        match rule.Ast.head with
+        | [ Ast.HPos h ] ->
+            let guard =
+              Ast.BPos (Ast.atom (dred_guard_pred h.Ast.pred) h.Ast.args)
+            in
+            Some
+              ( h.Ast.pred,
+                Matcher.prepare { rule with Ast.body = guard :: rule.Ast.body }
+              )
+        | _ -> None)
+      prepared
+  in
+  { dr_with_dps = with_delta_preds prepared body_preds; dr_guards = guards }
+
+type dred_stats = { overdeleted : int; rederived : int; cone_rounds : int }
+
+(* Delete-and-rederive, four phases:
+
+   1. Over-delete cone: starting from the retracted facts, iterate the
+      delta-restricted rules against the STILL-INTACT database (so a
+      derivation using two deleted facts is found too), collecting every
+      present head fact reachable from a deleted fact.
+   2. Delete the whole cone from the db (indexes, membership sets and
+      the pending buffer stay in sync via [Db.remove]).
+   3. Re-derivation seed: cone facts still present in the base EDB
+      (retraction only withdrew their *derived* support), plus every
+      cone fact one guard plan rederives from the surviving database.
+   4. Propagate the seed with the ordinary semi-naive increment loop —
+      each rederived fact can restore the support of further cone facts.
+
+   A fact outside the cone keeps all its derivations (none used a
+   deleted fact), and induction on minimal derivation height shows every
+   cone fact still derivable from the surviving EDB is restored by
+   phases 3–4 — so the result equals recomputing the fixpoint from the
+   post-retraction EDB (the property suite checks byte-identity against
+   exactly that oracle). *)
+let dred ?(trace = Observe.Trace.null) dprep ~edb ~dom db deletions =
+  (* distinct retracted facts actually present in the materialization *)
+  let deletions =
+    let tmp : fresh_tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (p, ts) ->
+        List.iter
+          (fun t ->
+            if Matcher.Db.mem db p t then (
+              let lst, seen = pred_state tmp p in
+              if not (Matcher.IdTbl.mem seen (Tuple.ids t)) then (
+                Matcher.IdTbl.replace seen (Tuple.ids t) ();
+                lst := t :: !lst)))
+          ts)
+      deletions;
+    take_fresh tmp
+  in
+  if deletions = [] then { overdeleted = 0; rederived = 0; cone_rounds = 0 }
+  else (
+    let tracing = Observe.Trace.enabled trace in
+    (* phase 1: the over-deletion cone, frontier by frontier *)
+    let seen : (string, unit Matcher.IdTbl.t) Hashtbl.t = Hashtbl.create 8 in
+    let seen_of p =
+      match Hashtbl.find_opt seen p with
+      | Some tb -> tb
+      | None ->
+          let tb = Matcher.IdTbl.create 64 in
+          Hashtbl.add seen p tb;
+          tb
+    in
+    let cone : (string, Tuple.t list ref) Hashtbl.t = Hashtbl.create 8 in
+    let add_cone p ts =
+      match Hashtbl.find_opt cone p with
+      | Some l -> l := List.rev_append ts !l
+      | None -> Hashtbl.add cone p (ref ts)
+    in
+    List.iter
+      (fun (p, ts) ->
+        List.iter
+          (fun t -> Matcher.IdTbl.replace (seen_of p) (Tuple.ids t) ())
+          ts;
+        add_cone p ts)
+      deletions;
+    let cone_rounds = ref 0 in
+    let fresh : fresh_tbl = Hashtbl.create 4 in
+    let frontier = ref deletions in
+    while !frontier <> [] do
+      Stdlib.incr cone_rounds;
+      List.iter
+        (fun (_rule, plan, dps, _label) ->
+          List.iter
+            (fun pred ->
+              match List.assoc_opt pred !frontier with
+              | None | Some [] -> ()
+              | Some dts ->
+                  ignore
+                    (Matcher.iter_firings ~delta:(pred, dts) ~dom plan db
+                       (fun ~pos p ids ->
+                         if
+                           pos
+                           && Matcher.Db.memset_mem (Matcher.Db.memset db p)
+                                ids
+                           && not (Matcher.IdTbl.mem (seen_of p) ids)
+                         then (
+                           let t = Tuple.of_ids (Array.copy ids) in
+                           Matcher.IdTbl.replace (seen_of p) (Tuple.ids t) ();
+                           let lst, _ = pred_state fresh p in
+                           lst := t :: !lst)))
+            )
+            dps)
+        dprep.dr_with_dps;
+      let next = take_fresh fresh in
+      List.iter (fun (p, ts) -> add_cone p ts) next;
+      frontier := next
+    done;
+    (* phase 2: delete the cone *)
+    let cone_preds =
+      List.sort String.compare (Hashtbl.fold (fun p _ acc -> p :: acc) cone [])
+    in
+    let overdeleted = ref 0 in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun t -> if Matcher.Db.remove db p t then Stdlib.incr overdeleted)
+          !(Hashtbl.find cone p))
+      cone_preds;
+    (* phase 3: re-derivation seed *)
+    let r0 : fresh_tbl = Hashtbl.create 4 in
+    let add_r0 p t =
+      let lst, rseen = pred_state r0 p in
+      let ids = Tuple.ids t in
+      if not (Matcher.IdTbl.mem rseen ids) then (
+        Matcher.IdTbl.replace rseen ids ();
+        lst := t :: !lst)
+    in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun t -> if Instance.mem_fact p t edb then add_r0 p t)
+          !(Hashtbl.find cone p))
+      cone_preds;
+    List.iter
+      (fun (hp, gplan) ->
+        match Hashtbl.find_opt cone hp with
+        | None -> ()
+        | Some lst ->
+            ignore
+              (Matcher.iter_firings
+                 ~delta:(dred_guard_pred hp, !lst)
+                 ~dom gplan db
+                 (fun ~pos p ids ->
+                   if
+                     pos
+                     && not
+                          (Matcher.Db.memset_mem (Matcher.Db.memset db p) ids)
+                   then add_r0 p (Tuple.of_ids (Array.copy ids)))))
+      dprep.dr_guards;
+    (* phase 4: propagate the survivors *)
+    let seed = take_fresh r0 in
+    let before = Instance.total_facts (Matcher.Db.instance db) in
+    if total_fresh seed > 0 then
+      ignore
+        (seminaive_seq ~trace ~initial:seed ~with_dps:dprep.dr_with_dps ~dom
+           db);
+    let rederived = Instance.total_facts (Matcher.Db.instance db) - before in
+    if tracing then (
+      Observe.Trace.incr trace "dred.batches";
+      Observe.Trace.add trace "dred.overdeleted" !overdeleted;
+      Observe.Trace.add trace "dred.rederived" rederived;
+      Observe.Trace.gauge_max trace "dred.cone_rounds" !cone_rounds);
+    { overdeleted = !overdeleted; rederived; cone_rounds = !cone_rounds })
 
 let naive_fixpoint ?(trace = Observe.Trace.null) prepared ~dom inst =
   let tracing = Observe.Trace.enabled trace in

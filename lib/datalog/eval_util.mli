@@ -126,6 +126,67 @@ val seminaive_fixpoint_db :
   Matcher.Db.t ->
   Instance.t * int
 
+(** {1 Incremental view maintenance}
+
+    The write path of the resident server ({!module:Server.Engine}): a
+    long-lived {!Matcher.Db} holds the materialized fixpoint and is
+    updated in place, never recomputed. *)
+
+(** [seminaive_increment_db prepared ~delta_preds ~dom db delta] resumes
+    the semi-naive loop on an already-materialized [db] with [delta] as
+    the round-0 delta: the facts are absorbed and the delta-restricted
+    rules iterate to the new fixpoint. [delta] facts must be fresh (not
+    in [db]) and pairwise distinct — the caller checks with
+    {!Matcher.Db.mem}. Cost is proportional to the consequences of the
+    delta, not to the database. Returns the new instance and the number
+    of propagation stages. *)
+val seminaive_increment_db :
+  ?trace:Observe.Trace.ctx ->
+  ?neg_db:Matcher.Db.t ->
+  prepared ->
+  delta_preds:string list ->
+  dom:Value.t list ->
+  Matcher.Db.t ->
+  (string * Tuple.t list) list ->
+  Instance.t * int
+
+(** Compiled artifacts for {!dred}: delta tables over every positive
+    body predicate plus one guard plan per rule ([P(t̄) :- dred$P(t̄),
+    body] — the synthetic atom is fed through the delta mechanism, so no
+    [dred$] relation ever exists). Build once per program, reuse across
+    retraction batches. Only single-positive-head rules (pure Datalog)
+    participate. *)
+type dred_prepared
+
+val prepare_dred : prepared -> dred_prepared
+
+type dred_stats = {
+  overdeleted : int;  (** facts removed in the over-deletion phase *)
+  rederived : int;  (** of those, facts restored by re-derivation *)
+  cone_rounds : int;  (** frontier expansions of the deletion cone *)
+}
+
+(** [dred dprep ~edb ~dom db deletions] retracts [deletions] from the
+    materialized fixpoint [db] by delete-and-rederive: (1) over-delete
+    the derived cone of the retracted facts (computed against the intact
+    database, so derivations using several deleted facts are found);
+    (2) remove it; (3) seed re-derivation with cone facts still present
+    in the base instance [edb] and cone facts one guard plan rederives
+    from the surviving database; (4) propagate the seed with the
+    semi-naive increment loop. The result equals recomputing the
+    fixpoint from scratch on the post-retraction EDB. [edb] is the base
+    (asserted) instance {e after} the retraction. Facts absent from [db]
+    are ignored. Counters (when tracing): [dred.batches],
+    [dred.overdeleted], [dred.rederived], [dred.cone_rounds] (gauge). *)
+val dred :
+  ?trace:Observe.Trace.ctx ->
+  dred_prepared ->
+  edb:Instance.t ->
+  dom:Value.t list ->
+  Matcher.Db.t ->
+  (string * Tuple.t list) list ->
+  dred_stats
+
 (** The parallel execution strategy of {!seminaive_fixpoint} (see
     there). Process-global, like the pool itself. *)
 type par_strategy =

@@ -195,11 +195,27 @@ module Db = struct
             per_pred);
       true)
 
+  (* Deletion must purge the lazy [pending] buffer too: a fact accepted
+     by [absorb_new] lives only in [pending]/mems/indexes until the next
+     read flushes it into the trie, and leaving it queued would let that
+     flush resurrect it after this remove. Purging directly (instead of
+     flushing first) also keeps retraction from forcing a full per-pred
+     trie rebuild on every call — the deletion hot path of the resident
+     server. *)
   let remove db p t =
-    flush_pred db p;
-    if not (Instance.mem_fact p t db.inst) then false
+    let in_pending =
+      match Hashtbl.find_opt db.pending p with
+      | None -> false
+      | Some lst ->
+          if List.exists (Tuple.equal t) !lst then (
+            lst := List.filter (fun u -> not (Tuple.equal u t)) !lst;
+            true)
+          else false
+    in
+    let in_inst = Instance.mem_fact p t db.inst in
+    if not (in_pending || in_inst) then false
     else (
-      db.inst <- Instance.remove_fact p t db.inst;
+      if in_inst then db.inst <- Instance.remove_fact p t db.inst;
       mems_remove db p t;
       (match Hashtbl.find_opt db.indexes p with
       | None -> ()

@@ -82,7 +82,10 @@ module Db : sig
   val insert : t -> string -> Tuple.t -> bool
 
   (** [remove db p tup] deletes a fact, updating every memoized index of
-      [p]. Returns [true] iff the fact was present. *)
+      [p] {e and} the lazy pending buffer — a fact queued by
+      {!absorb_new} but not yet flushed into the persistent trie is
+      purged too, so no later read can resurrect it. Returns [true] iff
+      the fact was present. *)
   val remove : t -> string -> Tuple.t -> bool
 
   (** [absorb db delta] inserts every fact of [delta] into [db],

@@ -12,11 +12,21 @@ let rel_attrs name attrs =
 
 let attr_index r a =
   match r.attrs with
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Schema.attr_index: relation %s declares no attribute names \
+            (looking up %s)"
+           r.name a)
   | Some attrs -> (
       let found = ref (-1) in
       Array.iteri (fun i x -> if x = a && !found < 0 then found := i) attrs;
-      match !found with -1 -> raise Not_found | i -> i)
+      match !found with
+      | -1 ->
+          invalid_arg
+            (Printf.sprintf "Schema.attr_index: relation %s has no attribute %s"
+               r.name a)
+      | i -> i)
 
 type t = rel SMap.t
 
@@ -38,7 +48,7 @@ let names s = List.map fst (SMap.bindings s)
 
 let arity_of name s =
   match SMap.find_opt name s with
-  | None -> raise Not_found
+  | None -> invalid_arg ("Schema.arity_of: unknown relation " ^ name)
   | Some r -> r.arity
 
 let fold f s acc = SMap.fold (fun _ r acc -> f r acc) s acc

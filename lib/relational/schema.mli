@@ -21,7 +21,8 @@ val rel : string -> int -> rel
 val rel_attrs : string -> string list -> rel
 
 (** [attr_index r a] is the position of attribute [a].
-    @raise Not_found if [r] has no such attribute. *)
+    @raise Invalid_argument (naming the relation and attribute) if [r]
+    has no such attribute or declares no attribute names. *)
 val attr_index : rel -> string -> int
 
 type t
@@ -43,7 +44,8 @@ val mem : string -> t -> bool
 val names : t -> string list
 
 (** [arity_of name s] is the declared arity.
-    @raise Not_found for unknown relations. *)
+    @raise Invalid_argument (naming the relation) for unknown
+    relations. *)
 val arity_of : string -> t -> int
 
 val fold : (rel -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,22 @@
+let request_line ~socket line =
+  match
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect s (Unix.ADDR_UNIX socket);
+        let ic = Unix.in_channel_of_descr s in
+        let oc = Unix.out_channel_of_descr s in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        input_line ic)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot reach server at %s: %s" socket
+           (Unix.error_message e))
+  | exception End_of_file -> Error "connection closed before response"
+  | resp -> Protocol.parse_response resp
+
+let request ~socket req = request_line ~socket (Protocol.encode_request req)

@@ -1,0 +1,13 @@
+(** Socket-side client for the {!Daemon} protocol: one connection per
+    call, one request line out, one response line back. *)
+
+(** [request ~socket req] connects to the Unix-domain socket, sends
+    [req] and returns the parsed success object, or [Error] for
+    connection failures, malformed responses and server-side
+    [{"ok":false}] errors. *)
+val request :
+  socket:string -> Protocol.request -> (Observe.Json.t, string) result
+
+(** [request_line ~socket line] sends a raw request line verbatim —
+    the malformed-request test path. *)
+val request_line : socket:string -> string -> (Observe.Json.t, string) result

@@ -1,0 +1,67 @@
+(** The resident evaluation engine: one long-lived materialized fixpoint
+    maintained incrementally across assert/retract batches, plus the
+    demand-side caches, independent of any transport. The socket daemon
+    ({!Daemon}) wraps it in a protocol; the bench harness drives it
+    directly.
+
+    State held for the life of the process:
+
+    - a {!Matcher.Db} containing the full materialization (EDB plus
+      every derived fact) with its memoized indexes and membership sets;
+    - the base instance (the asserted facts — the EDB — as distinct from
+      what is derived), which is what retraction and the
+      recompute-from-scratch oracle are defined against;
+    - compiled rule plans, delta tables and DRed guard plans
+      ({!Eval_util.prepare} / {!Eval_util.prepare_dred}), built once;
+    - a {!Demand.Cache} and a lazily (re)built {!Magic.session} for the
+      two demand-driven query paths, invalidated on every update. *)
+
+open Relational
+open Datalog
+
+type t
+
+(** Which evaluation path a {!query} takes. [Materialized] (the default)
+    filters the maintained fixpoint through the db's memoized indexes —
+    O(answer). [Demand] and [Magic] answer from the base facts through
+    the demand compiler / magic-sets session, exercising the cached
+    query paths against the same engine state. *)
+type via = Materialized | Demand | Magic
+
+(** [create ?trace program edb] checks [program] is pure Datalog,
+    materializes its fixpoint over [edb] and returns the resident state.
+    @raise Ast.Check_error unless the program is pure Datalog (single
+    positive heads, positive bodies). *)
+val create : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> t
+
+(** [assert_facts t batch] adds the facts of [batch] to the base
+    instance and propagates the genuinely new ones through the
+    semi-naive increment loop. Returns [(added, derived, stages)]:
+    facts new to the base instance, additional facts derived from them,
+    and propagation stages. Idempotent on duplicates. *)
+val assert_facts : t -> Instance.t -> int * int * int
+
+(** [retract_facts t batch] withdraws the facts of [batch] from the base
+    instance and runs {!Eval_util.dred} on those actually present.
+    Returns [(removed, overdeleted, rederived)]: facts removed from the
+    base instance, total facts deleted in the over-deletion phase, and
+    how many of those re-derivation restored. Facts not in the base
+    instance are ignored (a derived fact cannot be retracted — withdraw
+    its support instead). *)
+val retract_facts : t -> Instance.t -> int * int * int
+
+(** [query t ?via atom] answers a point query: the tuples of [atom]'s
+    predicate matching its constants and repeated variables.
+    @raise Ast.Check_error when [via] is [Demand] or [Magic] and the
+    predicate is not idb.
+    @raise Invalid_argument if [atom]'s arity differs from the stored
+    relation's. *)
+val query : t -> ?via:via -> Ast.atom -> Relation.t
+
+(** The current full materialization (base facts plus derived). *)
+val instance : t -> Instance.t
+
+(** The current base instance (asserted facts only). *)
+val edb : t -> Instance.t
+
+val program : t -> Ast.program

@@ -1,0 +1,61 @@
+open Observe
+
+type request =
+  | Assert of string
+  | Retract of string
+  | Query of { atom : string; via : string }
+  | Stats
+  | Shutdown
+
+let encode_request = function
+  | Assert facts ->
+      Json.to_string (Obj [ ("op", Str "assert"); ("facts", Str facts) ])
+  | Retract facts ->
+      Json.to_string (Obj [ ("op", Str "retract"); ("facts", Str facts) ])
+  | Query { atom; via } ->
+      Json.to_string
+        (Obj [ ("op", Str "query"); ("atom", Str atom); ("via", Str via) ])
+  | Stats -> Json.to_string (Obj [ ("op", Str "stats") ])
+  | Shutdown -> Json.to_string (Obj [ ("op", Str "shutdown") ])
+
+let str_field name j k =
+  match Json.member name j with
+  | Some (Str s) -> k s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error ("malformed request: " ^ e)
+  | Ok j -> (
+      match Json.member "op" j with
+      | Some (Str "assert") -> str_field "facts" j (fun f -> Ok (Assert f))
+      | Some (Str "retract") -> str_field "facts" j (fun f -> Ok (Retract f))
+      | Some (Str "query") ->
+          str_field "atom" j (fun atom ->
+              match Json.member "via" j with
+              | None -> Ok (Query { atom; via = "materialized" })
+              | Some (Str via) -> Ok (Query { atom; via })
+              | Some _ -> Error "field \"via\" must be a string")
+      | Some (Str "stats") -> Ok Stats
+      | Some (Str "shutdown") -> Ok Shutdown
+      | Some (Str op) -> Error (Printf.sprintf "unknown op %S" op)
+      | Some _ -> Error "field \"op\" must be a string"
+      | None -> Error "missing field \"op\"")
+
+let ok_response fields = Json.to_string (Obj (("ok", Bool true) :: fields))
+
+let error_response msg =
+  Json.to_string (Obj [ ("ok", Bool false); ("error", Str msg) ])
+
+let parse_response line =
+  match Json.parse line with
+  | Error e -> Error ("malformed response: " ^ e)
+  | Ok j -> (
+      match Json.member "ok" j with
+      | Some (Bool true) -> Ok j
+      | Some (Bool false) -> (
+          match Json.member "error" j with
+          | Some (Str e) -> Error e
+          | _ -> Error "server error (no message)")
+      | _ -> Error "malformed response: missing \"ok\"")

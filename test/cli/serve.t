@@ -1,0 +1,91 @@
+The resident server: assert/retract/query over a Unix-domain socket.
+
+  $ cat > tc.dl <<'EOF'
+  > T(X, Y) :- G(X, Y).
+  > T(X, Y) :- G(X, Z), T(Z, Y).
+  > EOF
+  $ cat > g.facts <<'EOF'
+  > G(a, b). G(b, c).
+  > EOF
+
+Start the server in the background and wait for the socket:
+
+  $ datalog-unchained serve tc.dl -f g.facts --socket s.sock > server.out 2>&1 &
+  $ SERVER_PID=$!
+  $ for _ in $(seq 1 200); do [ -S s.sock ] && break; sleep 0.05; done
+
+Point queries against the materialized fixpoint:
+
+  $ datalog-unchained client --socket s.sock query 'T(a, Y)'
+  T(a, b).
+  T(a, c).
+
+Assert a batch: the new edge and everything derived from it:
+
+  $ datalog-unchained client --socket s.sock assert 'G(c, d).'
+  % added 1, derived 3 (4 stage(s))
+  $ datalog-unchained client --socket s.sock query 'T(a, Y)'
+  T(a, b).
+  T(a, c).
+  T(a, d).
+
+Asserting a duplicate is a no-op:
+
+  $ datalog-unchained client --socket s.sock assert 'G(c, d).'
+  % added 0, derived 0 (0 stage(s))
+
+Retract: DRed over-deletes the cone, then re-derives survivors:
+
+  $ datalog-unchained client --socket s.sock retract 'G(a, b).'
+  % removed 1, overdeleted 4, rederived 0
+  $ datalog-unchained client --socket s.sock query 'T(a, Y)'
+  $ datalog-unchained client --socket s.sock query 'T(b, Y)'
+  T(b, c).
+  T(b, d).
+
+The demand-driven query paths answer from the same state:
+
+  $ datalog-unchained client --socket s.sock query --via demand 'T(b, Y)'
+  T(b, c).
+  T(b, d).
+  $ datalog-unchained client --socket s.sock query --via magic 'T(b, Y)'
+  T(b, c).
+  T(b, d).
+
+Malformed requests are protocol errors, not server crashes:
+
+  $ datalog-unchained client --socket s.sock query 'T('
+  error: parse error at line 1: expected a term, found end of input
+  [1]
+  $ datalog-unchained client --socket s.sock assert 'G(a).'
+  error: G has arity 2, batch fact has arity 1
+  [1]
+
+The server is still up and serving; stats count every request:
+
+  $ datalog-unchained client --socket s.sock stats | grep -o 'serve\.requests'
+  serve.requests
+  $ datalog-unchained client --socket s.sock stats | grep -c 'serve\.errors'
+  1
+
+Clean shutdown removes the socket:
+
+  $ datalog-unchained client --socket s.sock shutdown
+  % server stopped
+  $ wait $SERVER_PID
+  $ [ -S s.sock ] && echo still-there || echo gone
+  gone
+  $ cat server.out
+  listening on s.sock
+
+A client without a server reports the failure:
+
+  $ datalog-unchained client --socket s.sock query 'T(a, Y)'
+  error: cannot reach server at s.sock: No such file or directory
+  [1]
+
+A missing payload is a usage error:
+
+  $ datalog-unchained client --socket s.sock assert
+  client: missing facts argument
+  [2]

@@ -165,6 +165,36 @@ let test_sum_requires_ints () =
   | exception Agg.Agg_error _ -> ()
   | _ -> Alcotest.fail "expected Agg_error"
 
+let test_sum_overflow () =
+  let sum_layer =
+    [
+      {
+        Agg.rules = [];
+        aggregates =
+          [
+            {
+              Agg.pred = "total";
+              group_by = [];
+              func = Agg.Sum "X";
+              body = blits "n(X)";
+            };
+          ];
+      };
+    ]
+  in
+  let inst rows = Instance.of_list [ ("n", rows) ] in
+  (* max_int + 1 wraps silently in native ints — must raise instead *)
+  (match Agg.eval sum_layer (inst [ [ i max_int ]; [ i 1 ] ]) with
+  | exception Agg.Agg_error _ -> ()
+  | _ -> Alcotest.fail "expected Agg_error on positive overflow");
+  (match Agg.eval sum_layer (inst [ [ i min_int ]; [ i (-1) ] ]) with
+  | exception Agg.Agg_error _ -> ()
+  | _ -> Alcotest.fail "expected Agg_error on negative overflow");
+  (* mixed signs can't overflow: max_int + (-1) is fine *)
+  check_rel "no spurious overflow"
+    (Relation.of_rows [ [ i (max_int - 1) ] ])
+    (Agg.answer sum_layer (inst [ [ i max_int ]; [ i (-1) ] ]) "total")
+
 let test_unbound_agg_var () =
   let layers =
     [
@@ -197,6 +227,7 @@ let suite =
     Alcotest.test_case "negation in aggregate bodies" `Quick
       test_agg_with_negation_body;
     Alcotest.test_case "sum type error" `Quick test_sum_requires_ints;
+    Alcotest.test_case "sum overflow detected" `Quick test_sum_overflow;
     Alcotest.test_case "unbound group-by rejected" `Quick
       test_unbound_agg_var;
   ]

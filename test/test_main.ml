@@ -25,4 +25,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("properties-sec6", Test_properties2.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
     ]

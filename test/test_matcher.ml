@@ -129,6 +129,45 @@ let test_satisfies () =
   | exception Ast.Check_error _ -> ()
   | _ -> Alcotest.fail "unbound variable should raise"
 
+let test_remove_purges_pending () =
+  (* regression: a fact sitting in the lazy pending buffer must not be
+     resurrected by a later absorb-triggered flush after being removed *)
+  let d = M.Db.of_instance (facts "G(a,b).") in
+  M.Db.absorb_new d "G" [ t [ v "x"; v "y" ] ];
+  Alcotest.(check bool) "pending fact visible" true
+    (M.Db.mem d "G" (t [ v "x"; v "y" ]));
+  Alcotest.(check bool) "remove reports present" true
+    (M.Db.remove d "G" (t [ v "x"; v "y" ]));
+  (* this absorb flushes the pending buffer; a stale entry would come back *)
+  M.Db.absorb_new d "G" [ t [ v "p"; v "q" ] ];
+  Alcotest.(check bool) "not resurrected (mem)" false
+    (M.Db.mem d "G" (t [ v "x"; v "y" ]));
+  Alcotest.(check int) "not resurrected (relation)" 2
+    (Relation.cardinal (M.Db.relation d "G"));
+  Alcotest.(check int) "not resurrected (lookup)" 0
+    (List.length (M.Db.lookup d "G" [ (0, v "x") ]));
+  Alcotest.(check bool) "remove of absent fact" false
+    (M.Db.remove d "G" (t [ v "x"; v "y" ]))
+
+let test_remove_then_absorb_indexed () =
+  (* same resurrection check with memoized indexes and membership sets
+     already built before the pending fact arrives *)
+  let d = db () in
+  ignore (M.Db.lookup d "G" [ (0, v "a") ]);
+  Alcotest.(check bool) "warm mem" true (M.Db.mem d "G" (t [ v "a"; v "b" ]));
+  M.Db.absorb_new d "G" [ t [ v "c"; v "d" ] ];
+  Alcotest.(check int) "index sees pending" 1
+    (List.length (M.Db.lookup d "G" [ (0, v "c") ]));
+  Alcotest.(check bool) "remove pending" true
+    (M.Db.remove d "G" (t [ v "c"; v "d" ]));
+  M.Db.absorb_new d "G" [ t [ v "c"; v "e" ] ];
+  Alcotest.(check int) "index purged" 0
+    (List.length (M.Db.lookup d "G" [ (1, v "d") ]));
+  Alcotest.(check bool) "membership purged" false
+    (M.Db.mem d "G" (t [ v "c"; v "d" ]));
+  Alcotest.(check int) "relation holds original 3 + 1 absorbed" 4
+    (Relation.cardinal (M.Db.relation d "G"))
+
 let suite =
   [
     Alcotest.test_case "Db lookup and indexes" `Quick test_db_lookup;
@@ -146,4 +185,8 @@ let suite =
     Alcotest.test_case "substitution dedup" `Quick test_dedup;
     Alcotest.test_case "head instantiation" `Quick test_instantiate_heads;
     Alcotest.test_case "satisfies" `Quick test_satisfies;
+    Alcotest.test_case "remove purges the pending buffer" `Quick
+      test_remove_purges_pending;
+    Alcotest.test_case "remove-then-absorb with warm indexes" `Quick
+      test_remove_then_absorb_indexed;
   ]

@@ -137,8 +137,18 @@ let test_schema_conflict () =
 let test_schema_attrs () =
   let r = Schema.rel_attrs "emp" [ "name"; "dept" ] in
   Alcotest.(check int) "attr index" 1 (Schema.attr_index r "dept");
-  Alcotest.check_raises "unknown attr" Not_found (fun () ->
-      ignore (Schema.attr_index r "salary"))
+  Alcotest.check_raises "unknown attr"
+    (Invalid_argument "Schema.attr_index: relation emp has no attribute salary")
+    (fun () -> ignore (Schema.attr_index r "salary"));
+  Alcotest.check_raises "unknown relation"
+    (Invalid_argument "Schema.arity_of: unknown relation nope")
+    (fun () ->
+      ignore (Schema.arity_of "nope" (Schema.of_list [ Schema.rel "G" 2 ])));
+  Alcotest.check_raises "no named attributes"
+    (Invalid_argument
+       "Schema.attr_index: relation G declares no attribute names (looking up \
+        x)")
+    (fun () -> ignore (Schema.attr_index (Schema.rel "G" 2) "x"))
 
 (* --- instances ----------------------------------------------------------- *)
 
