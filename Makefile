@@ -36,6 +36,10 @@ bench:
 # view shrank back (DRed), greps serve.requests out of the stats op,
 # and shuts the server down cleanly (the built binary is invoked
 # directly so the background server never contends for the dune lock).
+# The provenance smoke step answers the TC query under --annot why and
+# greps a full provenance polynomial — the facts must come from -f (a
+# real EDB) because inline program facts are empty-body rules whose
+# annotation is the empty product 1.
 # The bench-diff step
 # compares the freshly regenerated e2 rows against the committed
 # BENCH_engines.json and GATES: rows from a different machine shape are
@@ -80,6 +84,7 @@ ci:
 	client stats | grep -q 'serve.requests' && \
 	client shutdown | grep -q 'server stopped' && \
 	wait && grep -q 'listening on' _ci_srv.out
+	dune exec -- datalog-unchained run _ci_srv.dl -f _ci_srv.facts -a T --annot why | grep -Fq 'T(a, c). % G(a, b)*G(b, c)'
 	rm -f _ci_tc.dl _ci_tc.jsonl _ci_seq.out _ci_par.out _ci_fo.facts _ci_demand.out _ci_explain.out \
 	  _ci_srv.dl _ci_srv.facts _ci_srv.sock _ci_srv.out
 

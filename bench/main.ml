@@ -22,6 +22,7 @@
      e19 operator-profiling overhead, disabled vs enabled
      e20 sharded exchange vs barrier merge (parallel semi-naive TC)
      e21 resident serve: incremental maintenance vs recompute-from-scratch
+     e22 semiring annotations: Boolean guard, counting deletion, tropical
 
    `dune exec bench/main.exe` runs everything; pass experiment ids to
    select, or `bechamel` for the micro-benchmark kernels. *)
@@ -62,8 +63,8 @@ let ms t = Printf.sprintf "%8.2f" (1000.0 *. t)
    constant-factor change. *)
 let json_rows : string list ref = ref []
 
-let record ?(metrics = []) ~experiment ~case ~n ~engine ~wall_ms ~stages ~facts
-    () =
+let record ?(metrics = []) ?annot ~experiment ~case ~n ~engine ~wall_ms
+    ~stages ~facts () =
   let metrics_json =
     match metrics with
     | [] -> ""
@@ -71,6 +72,13 @@ let record ?(metrics = []) ~experiment ~case ~n ~engine ~wall_ms ~stages ~facts
         Printf.sprintf ", \"metrics\": {%s}"
           (String.concat ", "
              (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) kvs))
+  in
+  (* semiring rows carry the annotation domain; datalog-bench-diff keys
+     on it so e22's bool/count/minplus rows stay distinct *)
+  let annot_json =
+    match annot with
+    | None -> ""
+    | Some a -> Printf.sprintf ", \"annot\": %S" a
   in
   (* every row carries the machine/configuration context it was measured
      under: the job count in force and the detected core count — so
@@ -84,8 +92,9 @@ let record ?(metrics = []) ~experiment ~case ~n ~engine ~wall_ms ~stages ~facts
   json_rows :=
     Printf.sprintf
       "{\"experiment\": %S, \"case\": %S, \"n\": %d, \"engine\": %S, \
-       \"wall_ms\": %.3f, \"stages\": %d, \"facts\": %d%s%s}"
-      experiment case n engine wall_ms stages facts metrics_json meta_json
+       \"wall_ms\": %.3f, \"stages\": %d, \"facts\": %d%s%s%s}"
+      experiment case n engine wall_ms stages facts annot_json metrics_json
+      meta_json
     :: !json_rows
 
 (* Run [f] once more under an enabled (sink-free) trace context — outside
@@ -101,7 +110,11 @@ let metric_keys =
     "demand.plan.compiled"; "demand.plan.hits"; "demand.cache.hits";
     "demand.cache.misses"; "demand.evictions"; "magic.queries";
     "magic.rewritten_rules"; "dred.batches"; "dred.overdeleted";
-    "dred.rederived"; "dred.cone_rounds" ]
+    "dred.rederived"; "dred.cone_rounds"; "counting.batches";
+    "counting.deleted"; "counting.touched"; "counting.closure";
+    "counting.unfounded"; "counting.waves"; "annot.universe";
+    "annot.derivations"; "annot.rounds"; "annot.forced"; "annot.infinite";
+    "annot.par.fallbacks" ]
 
 let collect_metrics f =
   let ctx = Observe.Trace.make ~sinks:[] () in
@@ -1376,6 +1389,223 @@ let e21 () =
      case — so the win\n  concentrates in sparse cones and retract-light \
      mixes; EXPERIMENTS.md E21\n"
 
+(* ---------------------------------------------------------------- E22 *)
+
+(* weighted TC for the tropical rows: the trailing Int column of a base
+   fact is its MinPlus annotation (Semiring.of_edb), so ⊕ = min over
+   derivations computes single-pair shortest path *)
+let sp_program =
+  prog {|
+    T(X, Y) :- E(X, Y, W).
+    T(X, Z) :- E(X, Y, W), T(Y, Z).
+  |}
+
+let e22 () =
+  header "E22 | semiring annotations: Boolean guard, counting deletion, tropical";
+  row "  %-22s %-22s | %9s | %s\n" "case" "engine" "wall ms" "check";
+  (* a) Boolean guard — --annot bool must ride the untouched engines.
+     Same graph as e2's random-300x900; the committed semiring section
+     gates both rows at <5% via datalog-bench-diff. *)
+  let g300 = Graph_gen.random ~seed:12 300 900 in
+  (* the two sides run in one process: level the heap before each timed
+     section so the gate measures the code path, not GC state inherited
+     from whichever side ran first *)
+  Gc.compact ();
+  let rs, ts = time (fun () -> Datalog.Seminaive.eval tc_program g300) in
+  let plain = rs.Datalog.Seminaive.instance in
+  let tfacts = Relation.cardinal (Instance.find "T" plain) in
+  Gc.compact ();
+  let ra, ta =
+    time (fun () -> Datalog.Annot_eval.run Semiring.Bool tc_program g300)
+  in
+  let bool_same = Instance.equal plain ra.Datalog.Annot_eval.instance in
+  assert bool_same;
+  record ~experiment:"e22" ~case:"random-300x900" ~n:300 ~engine:"seminaive"
+    ~wall_ms:(1000. *. ts) ~stages:rs.Datalog.Seminaive.stages ~facts:tfacts
+    ~metrics:
+      (collect_metrics (fun trace ->
+           Datalog.Seminaive.eval ~trace tc_program g300))
+    ();
+  record ~experiment:"e22" ~case:"random-300x900" ~n:300 ~engine:"seminaive"
+    ~annot:"bool"
+    ~wall_ms:(1000. *. ta)
+    ~stages:Datalog.Annot_eval.(ra.stats.stages)
+    ~facts:tfacts
+    ~metrics:
+      (collect_metrics (fun trace ->
+           Datalog.Annot_eval.run ~trace Semiring.Bool tc_program g300))
+    ();
+  row "  %-22s %-22s | %s | plain path\n" "random-300x900" "seminaive" (ms ts);
+  row "  %-22s %-22s | %s | identical instance (%+.1f%%)\n" "random-300x900"
+    "seminaive --annot bool" (ms ta)
+    (100. *. (ta -. ts) /. ts);
+  (* b) counting maintenance vs DRed on the e21 dense-TC deletion
+     schedule — DRed's documented worst case: every retraction
+     over-deletes the whole cone and re-derives the survivors, while
+     counting decrements support counts and deletes only the facts that
+     reach zero (plus the well-foundedness check on what it touched) *)
+  List.iter
+    (fun (name, n, edges, seed, nops, retract_share) ->
+      let inst = Graph_gen.random ~seed n edges in
+      let rng = Random.State.make [| 0x5e22; seed; nops |] in
+      let live =
+        ref (Relation.fold (fun t acc -> t :: acc) (Instance.find "G" inst) [])
+      in
+      let vtx () = Graph_gen.vertex (Random.State.int rng (n + 2)) in
+      let edge () = Tuple.of_list [ vtx (); vtx () ] in
+      let ops =
+        List.init nops (fun _ ->
+            if Random.State.int rng 20 < retract_share then (
+              match !live with
+              | [] -> `Retract (edge ())
+              | l ->
+                  let k = Random.State.int rng (List.length l) in
+                  let t = List.nth l k in
+                  live := List.filteri (fun i _ -> i <> k) l;
+                  `Retract t)
+            else
+              let t = edge () in
+              live := t :: !live;
+              `Assert t)
+      in
+      let batch t = Instance.add_fact "G" t Instance.empty in
+      let run maintenance trace =
+        let eng = Server.Engine.create ?trace ~maintenance tc_program inst in
+        List.iter
+          (function
+            | `Assert t -> ignore (Server.Engine.assert_facts eng (batch t))
+            | `Retract t -> ignore (Server.Engine.retract_facts eng (batch t)))
+          ops;
+        eng
+      in
+      let dred_eng, td = time (fun () -> run Server.Engine.Dred None) in
+      let cnt_eng, tc = time (fun () -> run Server.Engine.Counting None) in
+      let same =
+        Instance.equal
+          (Server.Engine.instance dred_eng)
+          (Server.Engine.instance cnt_eng)
+      in
+      assert same;
+      assert (Server.Engine.audit_counts cnt_eng = []);
+      record ~experiment:"e22" ~case:name ~n ~engine:"serve-dred"
+        ~wall_ms:(1000. *. td) ~stages:0
+        ~facts:
+          (Relation.cardinal
+             (Instance.find "T" (Server.Engine.instance dred_eng)))
+        ~metrics:
+          (collect_metrics (fun trace ->
+               ignore (run Server.Engine.Dred (Some trace))))
+        ();
+      record ~experiment:"e22" ~case:name ~n ~engine:"serve-counting"
+        ~annot:"count" ~wall_ms:(1000. *. tc) ~stages:0
+        ~facts:
+          (Relation.cardinal
+             (Instance.find "T" (Server.Engine.instance cnt_eng)))
+        ~metrics:
+          (collect_metrics (fun trace ->
+               ignore (run Server.Engine.Counting (Some trace))))
+        ();
+      row "  %-22s %-22s | %s | identical final state\n" name "serve-dred"
+        (ms td);
+      row "  %-22s %-22s | %s | %.1fx vs DRed, audit clean\n" name
+        "serve-counting" (ms tc) (td /. tc))
+    [
+      ("dense-120x240", 120, 240, 7, 100, 6);
+      ("dense-retract-heavy", 120, 240, 7, 80, 12);
+    ];
+  (* c) tropical shortest path vs a hand-rolled all-pairs Dijkstra on a
+     random positively-weighted graph: every T annotation must equal the
+     Dijkstra distance, and the supports must coincide with reachability *)
+  let wn, wm = 80, 240 in
+  let wrng = Random.State.make [| 0x5e22; wn; wm |] in
+  let wedges =
+    List.init wm (fun _ ->
+        ( Random.State.int wrng wn,
+          Random.State.int wrng wn,
+          1 + Random.State.int wrng 9 ))
+  in
+  let winst =
+    Instance.set "E"
+      (Relation.of_rows
+         (List.map
+            (fun (x, y, w) ->
+              [ Graph_gen.vertex x; Graph_gen.vertex y; Value.Int w ])
+            wedges))
+      Instance.empty
+  in
+  let rt, tt =
+    time (fun () -> Datalog.Annot_eval.run Semiring.MinPlus sp_program winst)
+  in
+  let inf = max_int / 2 in
+  let dijkstra () =
+    (* O(n^2) selection Dijkstra per source — no heap, weights >= 1 *)
+    let adj = Array.make wn [] in
+    List.iter (fun (x, y, w) -> adj.(x) <- (y, w) :: adj.(x)) wedges;
+    Array.init wn (fun src ->
+        let dist = Array.make wn inf in
+        let vis = Array.make wn false in
+        (* the source's own distance is 0 only through an actual walk:
+           seed the frontier with the out-edges instead, matching the
+           TC semantics where T(x, x) needs a cycle through x *)
+        List.iter (fun (y, w) -> dist.(y) <- min dist.(y) w) adj.(src);
+        let rec loop () =
+          let u = ref (-1) in
+          for v = 0 to wn - 1 do
+            if (not vis.(v)) && dist.(v) < inf
+               && (!u = -1 || dist.(v) < dist.(!u))
+            then u := v
+          done;
+          if !u >= 0 then (
+            vis.(!u) <- true;
+            List.iter
+              (fun (y, w) ->
+                if dist.(!u) + w < dist.(y) then dist.(y) <- dist.(!u) + w)
+              adj.(!u);
+            loop ())
+        in
+        loop ();
+        dist)
+  in
+  let dist, tdij = time dijkstra in
+  let trop_ok = ref true in
+  for i = 0 to wn - 1 do
+    for j = 0 to wn - 1 do
+      let tup = Tuple.of_list [ Graph_gen.vertex i; Graph_gen.vertex j ] in
+      let got = Datalog.Annot_eval.annotation rt "T" tup in
+      let want =
+        if dist.(i).(j) = inf then Semiring.W Semiring.minplus_zero
+        else Semiring.W dist.(i).(j)
+      in
+      if not (Semiring.equal_v got want) then trop_ok := false
+    done
+  done;
+  assert !trop_ok;
+  let tsupport = Relation.cardinal (Instance.find "T" rt.Datalog.Annot_eval.instance) in
+  record ~experiment:"e22"
+    ~case:(Printf.sprintf "weighted-%dx%d" wn wm)
+    ~n:wn ~engine:"annot-minplus" ~annot:"minplus"
+    ~wall_ms:(1000. *. tt)
+    ~stages:Datalog.Annot_eval.(rt.stats.stages)
+    ~facts:tsupport
+    ~metrics:
+      (collect_metrics (fun trace ->
+           Datalog.Annot_eval.run ~trace Semiring.MinPlus sp_program winst))
+    ();
+  record ~experiment:"e22"
+    ~case:(Printf.sprintf "weighted-%dx%d" wn wm)
+    ~n:wn ~engine:"dijkstra-oracle" ~wall_ms:(1000. *. tdij) ~stages:0
+    ~facts:tsupport ();
+  row "  %-22s %-22s | %s | all %d distances match\n"
+    (Printf.sprintf "weighted-%dx%d" wn wm)
+    "annot-minplus" (ms tt) tsupport;
+  row "  %-22s %-22s | %s | hand-rolled oracle\n"
+    (Printf.sprintf "weighted-%dx%d" wn wm)
+    "dijkstra-oracle" (ms tdij);
+  row
+    "  shape: --annot bool is the untouched hot path (<5%% gate); counting \
+     deletion\n  skips DRed's over-delete/re-derive churn on dense TC; \
+     MinPlus = Dijkstra\n"
+
 (* ---------------------------------------------------- bechamel kernels *)
 
 let bechamel_kernels () =
@@ -1450,7 +1680,7 @@ let all =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
-    ("e21", e21);
+    ("e21", e21); ("e22", e22);
   ]
 
 let () =
@@ -1497,7 +1727,7 @@ let () =
           match List.assoc_opt id all with
           | Some f -> f ()
           | None ->
-              Printf.eprintf "unknown experiment %s (e1..e20, bechamel)\n" id;
+              Printf.eprintf "unknown experiment %s (e1..e22, bechamel)\n" id;
               exit 2)
         ids);
   match json_file with None -> () | Some file -> write_json file

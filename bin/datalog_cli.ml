@@ -60,6 +60,67 @@ let answer_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed")
 
+let annot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "annot" ] ~docv:"SEMIRING"
+        ~doc:
+          "Annotate every fact over a commutative semiring: $(b,bool) (the \
+           plain set semantics), $(b,count) (number of derivation trees; \
+           $(b,inf) for facts on or fed by a derivation cycle), \
+           $(b,minplus) (weight of the cheapest derivation; the last \
+           integer column of a base fact is its weight), $(b,why) \
+           (why-provenance polynomials over base-fact labels). Output \
+           facts carry their annotation as a trailing '%' comment. \
+           Requires the positive Datalog fragment")
+
+(* plain-string validation so an unknown semiring exits 2 with the list
+   of valid names (Arg.enum would exit 124) *)
+let parse_annot = function
+  | None -> None
+  | Some s -> (
+      match Semiring.of_string s with
+      | Ok tag -> Some tag
+      | Error msg ->
+          Printf.eprintf "--annot: %s\n" msg;
+          exit 2)
+
+let print_annotated r pred rel =
+  Relation.iter
+    (fun t ->
+      Format.printf "%a %% %s@." Datalog.Pretty.pp_fact (pred, t)
+        (Semiring.to_string (Datalog.Annot_eval.annotation r pred t)))
+    rel
+
+let print_annot_answer (r : Datalog.Annot_eval.t) = function
+  | Some pred ->
+      print_annotated r pred (Instance.find pred r.Datalog.Annot_eval.instance)
+  | None ->
+      Instance.fold
+        (fun pred rel () -> print_annotated r pred rel)
+        r.Datalog.Annot_eval.instance ()
+
+(* point-query match against a stored relation: constants filter their
+   positions, repeated variables force equal ids (same shape as the
+   server's materialized lookup) *)
+let atom_matches (q : Datalog.Ast.atom) tup =
+  Tuple.arity tup = List.length q.Datalog.Ast.args
+  &&
+  let env : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let ok = ref true in
+  List.iteri
+    (fun i arg ->
+      match arg with
+      | Datalog.Ast.Cst v ->
+          if not (Value.equal v (Tuple.get tup i)) then ok := false
+      | Datalog.Ast.Var x -> (
+          match Hashtbl.find_opt env x with
+          | Some j -> if Tuple.id tup i <> Tuple.id tup j then ok := false
+          | None -> Hashtbl.add env x i))
+    q.Datalog.Ast.args;
+  !ok
+
 let order_arg =
   Arg.(
     value & flag
@@ -269,15 +330,31 @@ let run_demand p inst answer explain stats trace_path =
         exit 2)
 
 let run_cmd =
-  let run semantics program facts answer ordered demand explain stats
+  let run semantics program facts answer ordered demand annot explain stats
       trace_path jobs =
     set_jobs jobs;
+    let annot = parse_annot annot in
     let { Datalog.Parser.program = p; _ } = load_program program in
     let inst = load_facts facts in
     let inst = if ordered then Order.adjoin inst else inst in
     if explain && not demand then (
       Printf.eprintf "--explain requires --demand on this subcommand\n";
       exit 2);
+    match annot with
+    | Some tag ->
+        if demand then (
+          Printf.eprintf "--annot is incompatible with --demand\n";
+          exit 2);
+        if semantics <> `Seminaive then (
+          Printf.eprintf
+            "--annot requires the default seminaive semantics\n";
+          exit 2);
+        with_observability ~name:"annot" stats trace_path (fun trace ->
+            try print_annot_answer (Datalog.Annot_eval.run ~trace tag p inst) answer
+            with Datalog.Annot_eval.Unsupported msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 2)
+    | None ->
     if demand then (
       if semantics <> `Seminaive then (
         Printf.eprintf "--demand only supports the default seminaive semantics\n";
@@ -357,8 +434,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ semantics_arg $ program_arg $ facts_arg $ answer_arg
-      $ order_arg $ demand_arg $ explain_arg $ stats_arg $ trace_arg
-      $ jobs_arg)
+      $ order_arg $ demand_arg $ annot_arg $ explain_arg $ stats_arg
+      $ trace_arg $ jobs_arg)
 
 (* --- nondet ------------------------------------------------------------- *)
 
@@ -515,8 +592,10 @@ let demand_arg =
            cache ($(b,demand.*) counters under $(b,--stats))")
 
 let query_cmd =
-  let run program facts query_args demand explain stats trace_path jobs =
+  let run program facts query_args demand annot explain stats trace_path jobs
+      =
     set_jobs jobs;
+    let annot = parse_annot annot in
     let { Datalog.Parser.program = p; queries } = load_program program in
     let inst = load_facts facts in
     if explain && not demand then (
@@ -528,6 +607,28 @@ let query_cmd =
           "no query: pass -q ATOM or add a ?- directive to the program\n";
         exit 2
     | qs -> (
+        match annot with
+        | Some tag ->
+            if demand then (
+              Printf.eprintf "--annot is incompatible with --demand\n";
+              exit 2);
+            (* annotated answers come from the materialized annotated
+               fixpoint: the stored relation filtered by the query's
+               constants and repeated variables *)
+            with_observability ~name:"annot" stats trace_path (fun trace ->
+                try
+                  let r = Datalog.Annot_eval.run ~trace tag p inst in
+                  List.iter
+                    (fun (q : Datalog.Ast.atom) ->
+                      print_annotated r q.Datalog.Ast.pred
+                        (Relation.filter (atom_matches q)
+                           (Instance.find q.Datalog.Ast.pred
+                              r.Datalog.Annot_eval.instance)))
+                    qs
+                with Datalog.Annot_eval.Unsupported msg ->
+                  Printf.eprintf "%s\n" msg;
+                  exit 2)
+        | None -> (
         let print q rel =
           Relation.iter
             (fun t ->
@@ -557,13 +658,13 @@ let query_cmd =
                 List.iter (fun q -> print q (Datalog.Magic.ask s q)) qs)
         with Datalog.Ast.Check_error msg ->
           Printf.eprintf "%s\n" msg;
-          exit 2)
+          exit 2))
   in
   let doc = "Answer queries with magic-set rewriting" in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ program_arg $ facts_arg $ query_atom_arg $ demand_arg
-      $ explain_arg $ stats_arg $ trace_arg $ jobs_arg)
+      $ annot_arg $ explain_arg $ stats_arg $ trace_arg $ jobs_arg)
 
 (* --- fo ------------------------------------------------------------------ *)
 
@@ -661,7 +762,20 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
 
 let serve_cmd =
-  let run program facts socket stats trace_path =
+  let run program facts socket annot stats trace_path =
+    (* the resident server maintains a set (Boolean) materialization;
+       [--annot count] selects counting maintenance for its write path,
+       the other semirings have no incremental story and are refused *)
+    let maintenance =
+      match parse_annot annot with
+      | None | Some Semiring.Bool -> Server.Engine.Dred
+      | Some Semiring.Count -> Server.Engine.Counting
+      | Some (Semiring.MinPlus | Semiring.Why) ->
+          Printf.eprintf
+            "serve supports --annot bool (delete-and-rederive) or count \
+             (counting maintenance) only\n";
+          exit 2
+    in
     let { Datalog.Parser.program = p; _ } = load_program program in
     let inst = load_facts facts in
     (* force an enabled context even without --stats: the protocol's
@@ -669,7 +783,7 @@ let serve_cmd =
     with_observability ~name:"serve" ~force:true stats trace_path
       (fun trace ->
         try
-          let engine = Server.Engine.create ~trace p inst in
+          let engine = Server.Engine.create ~trace ~maintenance p inst in
           Server.Daemon.serve ~trace ~socket engine
         with Datalog.Ast.Check_error msg ->
           Printf.eprintf "serve requires pure Datalog: %s\n" msg;
@@ -678,14 +792,16 @@ let serve_cmd =
   let doc =
     "Run a resident server: materialize the program's fixpoint once, then \
      maintain it incrementally (semi-naive insertion, delete-and-rederive \
-     retraction) across line-JSON requests on a Unix-domain socket. \
-     Requires pure Datalog. With $(b,--stats), print the run report \
-     (request counters, per-command latency histograms, fixpoint and DRed \
-     counters) after shutdown"
+     or counting retraction — $(b,--annot count)) across line-JSON \
+     requests on a Unix-domain socket. Requires pure Datalog. With \
+     $(b,--stats), print the run report (request counters, per-command \
+     latency histograms, fixpoint and maintenance counters) after \
+     shutdown"
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ program_arg $ facts_arg $ socket_arg $ stats_arg $ trace_arg)
+      const run $ program_arg $ facts_arg $ socket_arg $ annot_arg
+      $ stats_arg $ trace_arg)
 
 let client_cmd =
   let command_arg =

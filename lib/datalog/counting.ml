@@ -1,0 +1,415 @@
+open Relational
+
+(* Counting-based incremental maintenance — the Count semiring applied
+   to the server's write path. Invariant between batches: for every
+   fact [f] of the materialization,
+
+     count(f) = (1 if f is in the base instance)
+              + #{ (rule, body valuation) firings deriving f from the
+                   current materialization }
+
+   and count(f) > 0 (the fixpoint keeps only supported facts).
+
+   Insertion maintains the invariant by enumerating exactly the NEW
+   firings (those with a fresh fact in the body — delta passes over the
+   propagation deltas). Retraction decrements base support, cascades
+   zero-support deletions in waves, and then runs a well-foundedness
+   verification: counts alone under-delete when facts support each
+   other in cycles (dense transitive closure is all cycles), so the
+   forward support closure of every fact that lost support is checked
+   by a confirmation least fixpoint over one-step derivations (the DRed
+   guard plans, reused); unconfirmed facts are unfounded and deleted
+   through the same cascade. Facts outside the closure provably keep a
+   derivation from the surviving base — any fact that lost one would
+   have lost a firing and be inside — so the verification never visits
+   the untouched part of the database. That locality is the advantage
+   over DRed, whose over-deletion cone grows with the view, not with
+   the damage. *)
+
+type t = {
+  rules : (Ast.rule * Matcher.prepared * string list) list;
+      (* rule, plan, distinct positive body predicates *)
+  guards : (string * Matcher.prepared) list;
+  counts : (string, int Matcher.IdTbl.t) Hashtbl.t;
+}
+
+(* pure Datalog plans never consult the domain (cf. Server.Engine) *)
+let no_dom : Value.t list = []
+
+let create prepared dprep =
+  let rules =
+    List.map
+      (fun (rule, plan) ->
+        let dps =
+          List.sort_uniq String.compare
+            (List.filter_map
+               (function Ast.BPos a -> Some a.Ast.pred | _ -> None)
+               rule.Ast.body)
+        in
+        (rule, plan, dps))
+      (Eval_util.rules prepared)
+  in
+  { rules; guards = Eval_util.dred_guards dprep; counts = Hashtbl.create 8 }
+
+let tbl_of t p =
+  match Hashtbl.find_opt t.counts p with
+  | Some tb -> tb
+  | None ->
+      let tb = Matcher.IdTbl.create 64 in
+      Hashtbl.add t.counts p tb;
+      tb
+
+let get t p ids =
+  match Hashtbl.find_opt t.counts p with
+  | None -> 0
+  | Some tb -> (
+      match Matcher.IdTbl.find_opt tb ids with Some c -> c | None -> 0)
+
+let count t p tup = get t p (Tuple.ids tup)
+
+(* [ids] may be matcher scratch, so the stored key is always a copy *)
+let bump t p ids d =
+  let tb = tbl_of t p in
+  match Matcher.IdTbl.find_opt tb ids with
+  | Some c -> Matcher.IdTbl.replace tb (Array.copy ids) (c + d)
+  | None -> Matcher.IdTbl.add tb (Array.copy ids) d
+
+let dec t p ids =
+  let tb = tbl_of t p in
+  match Matcher.IdTbl.find_opt tb ids with
+  | None -> 0
+  | Some c ->
+      let c' = c - 1 in
+      Matcher.IdTbl.replace tb (Array.copy ids) c';
+      c'
+
+let remove_entry t p ids =
+  match Hashtbl.find_opt t.counts p with
+  | None -> ()
+  | Some tb -> Matcher.IdTbl.remove tb ids
+
+let init t ~edb db =
+  Hashtbl.reset t.counts;
+  Instance.fold
+    (fun p rel () ->
+      let tb = tbl_of t p in
+      Relation.unordered_iter
+        (fun tup -> Matcher.IdTbl.replace tb (Tuple.ids tup) 1)
+        rel)
+    edb ();
+  List.iter
+    (fun (_rule, plan, _) ->
+      ignore
+        (Matcher.iter_derivations ~dom:no_dom plan db
+           (fun ~pos p ids _bodies -> if pos then bump t p ids 1)
+          : int))
+    t.rules
+
+(* Enumerate the firings with at least one body occurrence among
+   [facts] (a per-pred assoc of tuples assumed present in [db] or
+   supplied as the delta): one delta pass per (rule, predicate), with a
+   per-rule seen set keyed on the flattened body valuation — in pure
+   Datalog the body valuation determines the firing, so the flattened
+   body ids are a complete key — dropping the duplicates a firing
+   touching several delta predicates would get. *)
+let iter_firings_using t db facts f =
+  List.iter
+    (fun (_rule, plan, dps) ->
+      let active = List.filter (fun p -> List.mem_assoc p facts) dps in
+      let seen =
+        match active with
+        | [] | [ _ ] -> None (* single pass cannot duplicate *)
+        | _ -> Some (Matcher.IdTbl.create 256)
+      in
+      List.iter
+        (fun pred ->
+          match List.assoc_opt pred facts with
+          | None | Some [] -> ()
+          | Some dts ->
+              ignore
+                (Matcher.iter_derivations ~delta:(pred, dts) ~dom:no_dom plan
+                   db
+                   (fun ~pos p ids bodies ->
+                     if pos then
+                       match seen with
+                       | None -> f p ids bodies
+                       | Some seen ->
+                           let key =
+                             Array.concat
+                               (Array.to_list (Array.map snd bodies))
+                           in
+                           if not (Matcher.IdTbl.mem seen key) then (
+                             Matcher.IdTbl.add seen key ();
+                             f p ids bodies))
+                  : int))
+        active)
+    t.rules
+
+let on_assert t ~edb_added ~news db =
+  List.iter (fun (p, tup) -> bump t p (Tuple.ids tup) 1) edb_added;
+  match List.filter (fun (_, ts) -> ts <> []) news with
+  | [] -> ()
+  | news -> iter_firings_using t db news (fun p ids _ -> bump t p ids 1)
+
+type stats = {
+  deleted : int;
+  touched : int;
+  closure : int;
+  confirmed : int;
+  unfounded : int;
+  waves : int;
+}
+
+(* per-pred fact accumulator with O(1) membership *)
+type acc = (string, Tuple.t list ref * unit Matcher.IdTbl.t) Hashtbl.t
+
+let mk_acc () : acc = Hashtbl.create 8
+
+let acc_add (acc : acc) p tup =
+  let lst, seen =
+    match Hashtbl.find_opt acc p with
+    | Some s -> s
+    | None ->
+        let s = (ref [], Matcher.IdTbl.create 64) in
+        Hashtbl.add acc p s;
+        s
+  in
+  let ids = Tuple.ids tup in
+  if not (Matcher.IdTbl.mem seen ids) then (
+    Matcher.IdTbl.add seen ids ();
+    lst := tup :: !lst)
+
+let acc_mem (acc : acc) p ids =
+  match Hashtbl.find_opt acc p with
+  | None -> false
+  | Some (_, seen) -> Matcher.IdTbl.mem seen ids
+
+let acc_list (acc : acc) =
+  Hashtbl.fold (fun p (lst, _) a -> (p, !lst) :: a) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let acc_total (acc : acc) =
+  Hashtbl.fold (fun _ (lst, _) n -> n + List.length !lst) acc 0
+
+let retract ?(trace = Observe.Trace.null) t ~edb db deletions =
+  let tracing = Observe.Trace.enabled trace in
+  let deleted = ref 0 and waves = ref 0 in
+  let touched_total = ref 0
+  and closure_total = ref 0
+  and confirmed_total = ref 0
+  and unfounded_total = ref 0 in
+  let alive p ids = Matcher.Db.memset_mem (Matcher.Db.memset db p) ids in
+  (* cascade: delete [wave], decrementing the heads of every firing the
+     wave supported — enumerated BEFORE the wave leaves the database, so
+     a firing is accounted exactly once, at the wave containing the
+     first of its body facts to go. Heads dropping to zero form the
+     next wave; heads surviving are recorded in [touched] for the
+     verification. *)
+  let rec cascade touched wave =
+    if acc_total wave > 0 then (
+      incr waves;
+      let wl = acc_list wave in
+      let next = mk_acc () in
+      iter_firings_using t db wl (fun p ids _bodies ->
+          if (not (acc_mem wave p ids)) && alive p ids then
+            let c = dec t p ids in
+            if c <= 0 then acc_add next p (Tuple.of_ids (Array.copy ids))
+            else acc_add touched p (Tuple.of_ids (Array.copy ids)));
+      List.iter
+        (fun (p, ts) ->
+          List.iter
+            (fun tup ->
+              if Matcher.Db.remove db p tup then incr deleted;
+              remove_entry t p (Tuple.ids tup))
+            ts)
+        wl;
+      cascade touched next)
+  in
+  (* verification round: forward support closure of the touched facts,
+     then a confirmation least fixpoint over their one-step derivations
+     (guard plans). Confirmed ⟺ derivable from the surviving base given
+     the facts outside the closure (which provably kept a derivation).
+     Returns the unfounded facts. *)
+  let verify touched_list =
+    let dset = mk_acc () in
+    List.iter
+      (fun (p, ts) -> List.iter (fun tup -> acc_add dset p tup) ts)
+      touched_list;
+    let rec close frontier =
+      if List.exists (fun (_, ts) -> ts <> []) frontier then (
+        let next = mk_acc () in
+        iter_firings_using t db frontier (fun p ids _ ->
+            if alive p ids && not (acc_mem dset p ids) then (
+              let tup = Tuple.of_ids (Array.copy ids) in
+              acc_add dset p tup;
+              acc_add next p tup));
+        close (acc_list next))
+    in
+    close touched_list;
+    let dlist = acc_list dset in
+    let nd = acc_total dset in
+    closure_total := !closure_total + nd;
+    (* D-fact index *)
+    let didx : (string, int Matcher.IdTbl.t) Hashtbl.t = Hashtbl.create 8 in
+    let dpred = Array.make nd "" in
+    let dtup = Array.make nd (Tuple.of_ids [||]) in
+    let k = ref 0 in
+    List.iter
+      (fun (p, ts) ->
+        let tb =
+          match Hashtbl.find_opt didx p with
+          | Some tb -> tb
+          | None ->
+              let tb = Matcher.IdTbl.create 64 in
+              Hashtbl.add didx p tb;
+              tb
+        in
+        List.iter
+          (fun tup ->
+            dpred.(!k) <- p;
+            dtup.(!k) <- tup;
+            Matcher.IdTbl.replace tb (Tuple.ids tup) !k;
+            incr k)
+          ts)
+      dlist;
+    let d_of p ids =
+      match Hashtbl.find_opt didx p with
+      | None -> None
+      | Some tb -> Matcher.IdTbl.find_opt tb ids
+    in
+    (* one-step derivations of every closure fact, from the current db:
+       guard plan P(t̄) :- dred$P(t̄), body with the closure facts as the
+       synthetic delta. Only the closure bodies matter — bodies outside
+       are trusted. *)
+    let cands = ref [] in
+    List.iter
+      (fun (hp, gplan) ->
+        match List.assoc_opt hp dlist with
+        | None | Some [] -> ()
+        | Some dts ->
+            let gpred = Eval_util.dred_guard_pred hp in
+            ignore
+              (Matcher.iter_derivations ~delta:(gpred, dts) ~dom:no_dom gplan
+                 db
+                 (fun ~pos p ids bodies ->
+                   if pos then
+                     match d_of p ids with
+                     | None -> ()
+                     | Some h ->
+                         let dbodies = ref [] in
+                         Array.iter
+                           (fun (bp, bids) ->
+                             if not (String.equal bp gpred) then
+                               match d_of bp bids with
+                               | Some b -> dbodies := b :: !dbodies
+                               | None -> ())
+                           bodies;
+                         cands := (h, !dbodies) :: !cands)
+                : int))
+      t.guards;
+    let cands = Array.of_list !cands in
+    let nf = Array.length cands in
+    let pending = Array.make nf 0 in
+    let occurs = Array.make nd [] in
+    let confirmed = Array.make nd false in
+    let queue = Queue.create () in
+    let confirm i =
+      if not confirmed.(i) then (
+        confirmed.(i) <- true;
+        Queue.add i queue)
+    in
+    Array.iteri
+      (fun f (h, dbodies) ->
+        pending.(f) <- List.length dbodies;
+        List.iter (fun b -> occurs.(b) <- f :: occurs.(b)) dbodies;
+        if dbodies = [] then confirm h)
+      cands;
+    for i = 0 to nd - 1 do
+      if Instance.mem_fact dpred.(i) dtup.(i) edb then confirm i
+    done;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun f ->
+          pending.(f) <- pending.(f) - 1;
+          if pending.(f) = 0 then confirm (fst cands.(f)))
+        occurs.(i)
+    done;
+    let unfounded = mk_acc () in
+    for i = 0 to nd - 1 do
+      if confirmed.(i) then incr confirmed_total
+      else acc_add unfounded dpred.(i) dtup.(i)
+    done;
+    unfounded
+  in
+  (* retraction entry: withdraw base support, then alternate cascade
+     and verification until the confirmation fixpoint grounds every
+     surviving touched fact (each extra round deletes at least one
+     fact, so this terminates; in practice the second verification of a
+     round-trip confirms everything) *)
+  let wave0 = mk_acc () in
+  let touched0 = mk_acc () in
+  List.iter
+    (fun (p, ts) ->
+      List.iter
+        (fun tup ->
+          if alive p (Tuple.ids tup) then
+            let c = dec t p (Tuple.ids tup) in
+            if c <= 0 then acc_add wave0 p tup else acc_add touched0 p tup)
+        ts)
+    deletions;
+  let rec rounds touched wave =
+    cascade touched wave;
+    (* facts that lost support and survived the cascade *)
+    let touched_list =
+      acc_list touched
+      |> List.map (fun (p, ts) ->
+             (p, List.filter (fun tup -> alive p (Tuple.ids tup)) ts))
+      |> List.filter (fun (_, ts) -> ts <> [])
+    in
+    let n = List.fold_left (fun n (_, ts) -> n + List.length ts) 0 touched_list in
+    touched_total := !touched_total + n;
+    if touched_list <> [] then (
+      let unfounded = verify touched_list in
+      if acc_total unfounded > 0 then (
+        unfounded_total := !unfounded_total + acc_total unfounded;
+        rounds (mk_acc ()) unfounded))
+  in
+  rounds touched0 wave0;
+  if tracing then (
+    Observe.Trace.incr trace "counting.batches";
+    Observe.Trace.add trace "counting.deleted" !deleted;
+    Observe.Trace.add trace "counting.touched" !touched_total;
+    Observe.Trace.add trace "counting.closure" !closure_total;
+    Observe.Trace.add trace "counting.unfounded" !unfounded_total;
+    Observe.Trace.gauge_max trace "counting.waves" !waves);
+  {
+    deleted = !deleted;
+    touched = !touched_total;
+    closure = !closure_total;
+    confirmed = !confirmed_total;
+    unfounded = !unfounded_total;
+    waves = !waves;
+  }
+
+let audit t ~edb db =
+  let oracle = { t with counts = Hashtbl.create 8 } in
+  init oracle ~edb db;
+  let mism = ref [] in
+  Instance.fold
+    (fun p rel () ->
+      Relation.unordered_iter
+        (fun tup ->
+          let s = count t p tup and a = count oracle p tup in
+          if s <> a then mism := (p, tup, s, a) :: !mism)
+        rel)
+    (Matcher.Db.instance db) ();
+  Hashtbl.iter
+    (fun p tb ->
+      Matcher.IdTbl.iter
+        (fun ids c ->
+          if c <> 0 && not (Matcher.Db.memset_mem (Matcher.Db.memset db p) ids)
+          then mism := (p, Tuple.of_ids (Array.copy ids), c, 0) :: !mism)
+        tb)
+    t.counts;
+  !mism

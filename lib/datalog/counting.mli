@@ -1,0 +1,84 @@
+(** Counting-based incremental maintenance: the Count-semiring
+    application of the annotated core to the resident server's write
+    path. Each materialized fact carries its {e support count} — the
+    number of current rule firings deriving it, plus one when it is
+    asserted in the base instance. Retraction then deletes exactly the
+    facts whose support reaches zero, cascading in waves, instead of
+    over-deleting a whole derivation cone and re-deriving the
+    survivors (DRed).
+
+    Counts alone under-delete in the presence of support cycles (two
+    transitive-closure facts can keep each other's counts positive
+    after every external support is gone), so a retraction batch ends
+    with a well-foundedness verification: the forward support closure
+    of the facts that lost support is checked by a confirmation least
+    fixpoint over one-step derivations (reusing the DRed guard plans);
+    facts the fixpoint cannot confirm are unfounded and are deleted
+    through the same cascade. Facts outside the closure are provably
+    still derivable, so on workloads where deletions touch a small
+    region the verification never visits the rest of the database —
+    the cost model DRed's cone cannot offer. *)
+
+open Relational
+
+type t
+
+(** [create prepared dprep] compiles the maintenance state for a pure
+    Datalog program (plans plus the reused DRed guard plans). Counts
+    start empty — call {!init} once the fixpoint is materialized. *)
+val create : Eval_util.prepared -> Eval_util.dred_prepared -> t
+
+(** [init t ~edb db] computes every support count with one full
+    derivation sweep over the materialized database. *)
+val init : t -> edb:Instance.t -> Matcher.Db.t -> unit
+
+(** [count t p tup] is the fact's support count (0 when absent). *)
+val count : t -> string -> Tuple.t -> int
+
+(** [on_assert t ~edb_added ~news db] maintains counts after an
+    insertion batch has been propagated: [edb_added] lists the facts
+    newly added to the base instance (+1 support each, whether fresh
+    or already derived), [news] the facts newly added to the
+    materialization (the propagation deltas, round by round). The new
+    firings — those with at least one [news] fact in their body — are
+    enumerated with delta passes against the final database. *)
+val on_assert :
+  t ->
+  edb_added:(string * Tuple.t) list ->
+  news:(string * Tuple.t list) list ->
+  Matcher.Db.t ->
+  unit
+
+type stats = {
+  deleted : int;  (** facts removed from the materialization *)
+  touched : int;  (** facts that lost support but survived *)
+  closure : int;  (** size of the verified support closure *)
+  confirmed : int;  (** closure facts the verification kept *)
+  unfounded : int;  (** closure facts deleted as cycle-only supported *)
+  waves : int;  (** cascade waves processed *)
+}
+
+(** [retract t ~edb db deletions] maintains the materialization after
+    the caller removed [deletions] from the base instance ([edb] is
+    the base {e after} removal): decrement the retracted facts'
+    base-support, cascade zero-support deletions, then verify
+    well-foundedness of the touched region and delete what the
+    confirmation fixpoint cannot ground. The result equals recomputing
+    the fixpoint from the post-retraction base (the property suite
+    checks byte-identity against exactly that oracle). Counters (when
+    tracing): [counting.batches], [counting.deleted],
+    [counting.touched], [counting.closure], [counting.unfounded],
+    [counting.waves]. *)
+val retract :
+  ?trace:Observe.Trace.ctx ->
+  t ->
+  edb:Instance.t ->
+  Matcher.Db.t ->
+  (string * Tuple.t list) list ->
+  stats
+
+(** [audit t ~edb db] recomputes every count from scratch and returns
+    the mismatches as [(pred, tuple, stored, actual)] — empty when the
+    incremental state is exact (the test suite's invariant). *)
+val audit :
+  t -> edb:Instance.t -> Matcher.Db.t -> (string * Tuple.t * int * int) list

@@ -24,6 +24,14 @@ end
 module KTbl = Hashtbl.Make (IdKey)
 module IdTbl = KTbl
 
+(* The one index-append: cons [t] onto the bucket keyed [k], creating
+   the bucket on first use. Every secondary index in this file — main
+   database indexes, their incremental maintenance on insert/absorb,
+   shard delta indexes and the per-run delta index — appends through
+   here. *)
+let ix_append ix k t =
+  KTbl.replace ix k (t :: (try KTbl.find ix k with Not_found -> []))
+
 module Db = struct
   (* A mutable database view whose secondary indexes survive updates.
      Indexes are memoized per (predicate, constrained positions): a hash
@@ -147,10 +155,7 @@ module Db = struct
         let parr = Array.of_list positions in
         let ix = KTbl.create 64 in
         Relation.unordered_iter
-          (fun t ->
-            let k = key_of parr t in
-            KTbl.replace ix k
-              (t :: (try KTbl.find ix k with Not_found -> [])))
+          (fun t -> ix_append ix (key_of parr t) t)
           (relation db p);
         Hashtbl.add per_pred positions (parr, ix);
         ix
@@ -188,10 +193,7 @@ module Db = struct
       | None -> ()
       | Some per_pred ->
           Hashtbl.iter
-            (fun _ (parr, ix) ->
-              let k = key_of parr t in
-              KTbl.replace ix k
-                (t :: (try KTbl.find ix k with Not_found -> [])))
+            (fun _ (parr, ix) -> ix_append ix (key_of parr t) t)
             per_pred);
       true)
 
@@ -263,10 +265,7 @@ module Db = struct
                   if dups = 0 || not (Relation.mem t cur) then (
                     mems_add db p t;
                     Hashtbl.iter
-                      (fun _ (parr, ix) ->
-                        let k = key_of parr t in
-                        KTbl.replace ix k
-                          (t :: (try KTbl.find ix k with Not_found -> [])))
+                      (fun _ (parr, ix) -> ix_append ix (key_of parr t) t)
                       per_pred))
                 rel))
       delta ()
@@ -293,12 +292,7 @@ module Db = struct
         | Some per_pred ->
             Hashtbl.iter
               (fun _ (parr, ix) ->
-                List.iter
-                  (fun t ->
-                    let k = key_of parr t in
-                    KTbl.replace ix k
-                      (t :: (try KTbl.find ix k with Not_found -> [])))
-                  news)
+                List.iter (fun t -> ix_append ix (key_of parr t) t) news)
               per_pred)
 end
 
@@ -400,10 +394,7 @@ module Shard = struct
         let parr = Array.of_list positions in
         let ix = KTbl.create 64 in
         List.iter
-          (fun t ->
-            let k = Array.map (fun i -> Tuple.id t i) parr in
-            KTbl.replace ix k
-              (t :: (try KTbl.find ix k with Not_found -> [])))
+          (fun t -> ix_append ix (Array.map (fun i -> Tuple.id t i) parr) t)
           (delta sh p);
         Hashtbl.add per positions ix;
         ix
@@ -463,6 +454,10 @@ type prepared = {
   cheads : (bool * string * cterm array) list;
       (** compiled head templates (polarity, pred, args); ⊥ heads are
           omitted — the engines that use the fast firing path ignore them *)
+  cbodies : (string * cterm array) array;
+      (** compiled positive body atoms in original body order — the
+          derivation enumeration ({!iter_derivations}) instantiates
+          these alongside the heads *)
 }
 
 let atom_vars (a : Ast.atom) =
@@ -657,6 +652,14 @@ let prepare (rule : Ast.rule) =
               (false, a.Ast.pred, Array.of_list (List.map cterm_of a.Ast.args)))
       rule.Ast.head
   in
+  let cbodies =
+    Array.of_list
+      (List.map
+         (fun a ->
+           let ca = catom_of a in
+           (ca.cpred, ca.cargs))
+         pos_atoms)
+  in
   {
     rule;
     nslots;
@@ -670,6 +673,7 @@ let prepare (rule : Ast.rule) =
       || Array.exists (function CDomain _ -> true | _ -> false) csteps;
     keep;
     cheads;
+    cbodies;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -778,9 +782,9 @@ let exec ?delta ?delta_index ?dom ?neg_db prepared db ~consume =
                         let ix = KTbl.create 64 in
                         List.iter
                           (fun t ->
-                            let k = Array.map (fun i -> Tuple.id t i) parr in
-                            KTbl.replace ix k
-                              (t :: (try KTbl.find ix k with Not_found -> [])))
+                            ix_append ix
+                              (Array.map (fun i -> Tuple.id t i) parr)
+                              t)
                           dtuples;
                         ix)
               | _ -> None)
@@ -985,6 +989,39 @@ let iter_firings ?delta ?delta_index ?dom ?neg_db prepared db f =
             Array.unsafe_set scratch i (tval (Array.unsafe_get cargs i))
           done;
           f ~pos pred scratch)
+        heads)
+
+let iter_derivations ?delta ?delta_index ?dom ?neg_db prepared db f =
+  (* like [iter_firings], but each match also instantiates the rule's
+     positive body atoms, so the callback sees the whole firing — head
+     fact plus the body facts its annotation multiplies over. All id
+     arrays (head and body sides) are scratch, reused across matches:
+     callbacks copy what they retain. *)
+  let heads =
+    List.map
+      (fun (pos, pred, cargs) ->
+        (pos, pred, cargs, Array.make (Array.length cargs) 0))
+      prepared.cheads
+  in
+  let bodies =
+    Array.map
+      (fun (pred, cargs) -> (pred, cargs, Array.make (Array.length cargs) 0))
+      prepared.cbodies
+  in
+  let body_view = Array.map (fun (pred, _, scratch) -> (pred, scratch)) bodies in
+  exec ?delta ?delta_index ?dom ?neg_db prepared db ~consume:(fun ~tval ~vals:_ ->
+      Array.iter
+        (fun (_, cargs, scratch) ->
+          for i = 0 to Array.length cargs - 1 do
+            Array.unsafe_set scratch i (tval (Array.unsafe_get cargs i))
+          done)
+        bodies;
+      List.iter
+        (fun (pos, pred, cargs, scratch) ->
+          for i = 0 to Array.length cargs - 1 do
+            Array.unsafe_set scratch i (tval (Array.unsafe_get cargs i))
+          done;
+          f ~pos pred scratch body_view)
         heads)
 
 let satisfies db subst blits =

@@ -227,6 +227,29 @@ val iter_firings :
   (pos:bool -> string -> int array -> unit) ->
   int
 
+(** [iter_derivations prepared db f] enumerates the same matches as
+    {!iter_firings} but exposes the whole firing: for every match and
+    every head template it calls [f ~pos pred head_ids bodies] where
+    [bodies] lists the rule's positive body atoms — in original body
+    order — instantiated under the match as [(pred, ids)] pairs. This
+    is the primitive the semiring-annotated engines iterate: a firing's
+    annotation is the ⊗-product of its body facts' annotations, ⊕-added
+    into the head fact. Every id array (head and body sides) is scratch
+    reused across matches — copy before retaining. Dedup semantics
+    follow {!run}: within one call a (rule, body valuation) pair is
+    reported once per delta pass set, so callers summing over multiple
+    calls (e.g. per-delta-predicate passes) must dedup firings across
+    calls themselves. Returns the number of matches. *)
+val iter_derivations :
+  ?delta:string * Tuple.t list ->
+  ?delta_index:(int list -> Tuple.t list IdTbl.t) ->
+  ?dom:Value.t list ->
+  ?neg_db:Db.t ->
+  prepared ->
+  Db.t ->
+  (pos:bool -> string -> int array -> (string * int array) array -> unit) ->
+  int
+
 (** [prewarm prepared db] forces every lazily-built structure the plan
     can touch — step indexes, membership sets for filter probes and head
     dedup — so that subsequent read-only uses of [db] (directly or

@@ -28,11 +28,29 @@ type t
     query paths against the same engine state. *)
 type via = Materialized | Demand | Magic
 
-(** [create ?trace program edb] checks [program] is pure Datalog,
-    materializes its fixpoint over [edb] and returns the resident state.
+(** Which incremental-deletion algorithm maintains the materialization.
+    [Dred] (the default) over-deletes the derivation cone and
+    re-derives survivors. [Counting] keeps a support count per fact
+    ({!Datalog.Counting}): retraction deletes exactly the facts whose
+    count reaches zero, plus a well-foundedness verification localized
+    to the facts that lost support — on workloads where deletions touch
+    a small region it never visits the rest of the database. Both
+    produce the same materialization (recompute-oracle tested). *)
+type maintenance = Dred | Counting
+
+(** [create ?trace ?maintenance program edb] checks [program] is pure
+    Datalog, materializes its fixpoint over [edb] and returns the
+    resident state.
     @raise Ast.Check_error unless the program is pure Datalog (single
     positive heads, positive bodies). *)
-val create : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> t
+val create :
+  ?trace:Observe.Trace.ctx ->
+  ?maintenance:maintenance ->
+  Ast.program ->
+  Instance.t ->
+  t
+
+val maintenance : t -> maintenance
 
 (** [assert_facts t batch] adds the facts of [batch] to the base
     instance and propagates the genuinely new ones through the
@@ -42,13 +60,20 @@ val create : ?trace:Observe.Trace.ctx -> Ast.program -> Instance.t -> t
 val assert_facts : t -> Instance.t -> int * int * int
 
 (** [retract_facts t batch] withdraws the facts of [batch] from the base
-    instance and runs {!Eval_util.dred} on those actually present.
-    Returns [(removed, overdeleted, rederived)]: facts removed from the
-    base instance, total facts deleted in the over-deletion phase, and
-    how many of those re-derivation restored. Facts not in the base
-    instance are ignored (a derived fact cannot be retracted — withdraw
-    its support instead). *)
+    instance and maintains the materialization with the engine's
+    {!maintenance} algorithm. Returns [(removed, deleted, kept)]: facts
+    removed from the base instance, and — under [Dred] — the facts
+    over-deleted and re-derived; under [Counting] — the facts actually
+    deleted and the facts the well-foundedness verification confirmed.
+    Facts not in the base instance are ignored (a derived fact cannot
+    be retracted — withdraw its support instead). *)
 val retract_facts : t -> Instance.t -> int * int * int
+
+(** [audit_counts t] is {!Datalog.Counting.audit} on the engine's
+    counting state — the count mismatches against a from-scratch
+    recount, always empty when maintenance is exact (and trivially
+    empty under [Dred]). Test hook. *)
+val audit_counts : t -> (string * Tuple.t * int * int) list
 
 (** [query t ?via atom] answers a point query: the tuples of [atom]'s
     predicate matching its constants and repeated variables.

@@ -173,3 +173,25 @@ print cold: structure and static shape only, no row counts.
   $ datalog-unchained run tc.dl -f g.facts -a T --explain
   --explain requires --demand on this subcommand
   [2]
+
+Annotated queries (--annot): the query filters the annotated fixpoint,
+facts keep their annotation comments.
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --annot why
+  T(a, b). % G(a, b)
+  T(a, c). % G(a, b)*G(b, c)
+  T(a, d). % G(a, b)*G(b, c)*G(c, d)
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --annot count
+  T(a, b). % 1
+  T(a, c). % 1
+  T(a, d). % 1
+
+Unknown semirings exit 2 with the valid list, and --demand has no
+annotated plans:
+
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --annot froboz
+  --annot: unknown annotation 'froboz' (valid: bool, count, minplus, why)
+  [2]
+  $ datalog-unchained query tc.dl -f g.facts -q 'T(a, Y)' --annot why --demand
+  --annot is incompatible with --demand
+  [2]

@@ -154,3 +154,62 @@ Parse errors carry positions:
   $ datalog-unchained run broken.dl
   broken.dl:1: parse error: expected ), found :-
   [2]
+
+Semiring-annotated evaluation (--annot): every fact carries its
+annotation as a trailing comment.
+
+Why-provenance polynomials over base-fact labels:
+
+  $ datalog-unchained run tc.dl -f g.facts -a T --annot why
+  T(a, b). % G(a, b)
+  T(a, c). % G(a, b)*G(b, c)
+  T(b, c). % G(b, c)
+
+Derivation counts; a support cycle has infinitely many derivation
+trees, so everything on or downstream of it is inf:
+
+  $ cat > cyc.facts <<'EOF'
+  > G(a, b). G(b, a). G(e, a).
+  > EOF
+  $ datalog-unchained run tc.dl -f cyc.facts -a T --annot count
+  T(a, a). % inf
+  T(a, b). % inf
+  T(b, a). % inf
+  T(b, b). % inf
+  T(e, a). % inf
+  T(e, b). % inf
+
+Min-plus (tropical): the last integer column of a base fact is its
+weight, and a fact's annotation is its cheapest derivation — shortest
+path on the weighted graph (a->c directly costs 10, via b costs 5):
+
+  $ cat > spath.dl <<'EOF'
+  > T(X, Y) :- E(X, Y, W).
+  > T(X, Z) :- E(X, Y, W), T(Y, Z).
+  > EOF
+  $ cat > ew.facts <<'EOF'
+  > E(a, b, 2). E(b, c, 3). E(a, c, 10).
+  > EOF
+  $ datalog-unchained run spath.dl -f ew.facts -a T --annot minplus
+  T(a, b). % 2
+  T(a, c). % 5
+  T(b, c). % 3
+
+Boolean is the plain set semantics, annotated true:
+
+  $ datalog-unchained run tc.dl -f g.facts -a T --annot bool
+  T(a, b). % true
+  T(a, c). % true
+  T(b, c). % true
+
+An unknown semiring exits 2 and lists the valid ones:
+
+  $ datalog-unchained run tc.dl -f g.facts --annot tropical
+  --annot: unknown annotation 'tropical' (valid: bool, count, minplus, why)
+  [2]
+
+Annotations need the positive fragment — negation is refused:
+
+  $ datalog-unchained run comp.dl -f g.facts --annot count
+  --annot count needs the positive Datalog fragment: rule with head CT: pure Datalog forbids body negation
+  [2]

@@ -89,3 +89,31 @@ A missing payload is a usage error:
   $ datalog-unchained client --socket s.sock assert
   client: missing facts argument
   [2]
+
+Counting maintenance (--annot count): retraction deletes exactly the
+facts whose support count reaches zero — no over-delete/re-derive
+churn. The client's retract line reports deleted and verified-kept
+counts in the same positions:
+
+  $ datalog-unchained serve tc.dl -f g.facts --socket c.sock --annot count > server2.out 2>&1 &
+  $ SERVER_PID=$!
+  $ for _ in $(seq 1 200); do [ -S c.sock ] && break; sleep 0.05; done
+  $ datalog-unchained client --socket c.sock assert 'G(c, d).'
+  % added 1, derived 3 (4 stage(s))
+  $ datalog-unchained client --socket c.sock retract 'G(a, b).'
+  % removed 1, overdeleted 4, rederived 0
+  $ datalog-unchained client --socket c.sock query 'T(b, Y)'
+  T(b, c).
+  T(b, d).
+  $ datalog-unchained client --socket c.sock query 'T(a, Y)'
+  $ datalog-unchained client --socket c.sock stats | grep -c 'counting\.batches'
+  1
+  $ datalog-unchained client --socket c.sock shutdown
+  % server stopped
+  $ wait $SERVER_PID
+
+The other semirings have no incremental maintenance story:
+
+  $ datalog-unchained serve tc.dl -f g.facts --socket w.sock --annot why
+  serve supports --annot bool (delete-and-rederive) or count (counting maintenance) only
+  [2]

@@ -1,0 +1,167 @@
+(* Counting-based incremental maintenance: the Engine under
+   [~maintenance:Counting] against the recompute-from-scratch oracle,
+   the support-count invariant ([audit_counts] must stay empty), and
+   the adversarial cycle cases where counts alone under-delete and the
+   well-foundedness verification has to step in. *)
+open Relational
+open Helpers
+module Q = QCheck
+module E = Server.Engine
+
+let count = 100
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (Q.Test.make ~count ~name arb f)
+
+let atom = Datalog.Parser.parse_atom
+
+let check_audit eng msg =
+  match E.audit_counts eng with
+  | [] -> ()
+  | (p, tup, stored, actual) :: _ ->
+      Alcotest.failf "%s: count(%s%s) = %d, recount says %d" msg p
+        (Tuple.to_string tup) stored actual
+
+(* --- unit: exact deltas on the diamond ----------------------------------- *)
+
+let test_diamond_retract () =
+  (* T(a, d) has two derivations; retracting one support decrements it
+     to 1 and deletes only {G(b, d), T(b, d)} — no over-deletion *)
+  let eng =
+    E.create ~maintenance:E.Counting tc_program
+      (facts "G(a, b). G(b, d). G(a, c). G(c, d).")
+  in
+  check_audit eng "after create";
+  let removed, deleted, kept = E.retract_facts eng (facts "G(b, d).") in
+  Alcotest.(check int) "removed" 1 removed;
+  Alcotest.(check int) "deleted exactly the zero-support facts" 2 deleted;
+  Alcotest.(check int) "T(a, d) verified and kept" 1 kept;
+  check_rel "T(a, d) survives via c"
+    (pairs [ ("a", "b"); ("a", "c"); ("a", "d") ])
+    (E.query eng (atom "T(a, Y)"));
+  check_audit eng "after retract"
+
+let test_assert_maintains_counts () =
+  let eng = E.create ~maintenance:E.Counting tc_program (facts "G(a, b).") in
+  ignore (E.assert_facts eng (facts "G(b, c). G(c, d)."));
+  check_audit eng "after assert";
+  (* duplicate assert adds base support to an already-derived fact *)
+  ignore (E.assert_facts eng (facts "T(a, c)."));
+  check_audit eng "after asserting a derived fact";
+  let removed, deleted, _ = E.retract_facts eng (facts "T(a, c).") in
+  Alcotest.(check int) "base support withdrawn" 1 removed;
+  Alcotest.(check int) "still derived, nothing deleted" 0 deleted;
+  check_audit eng "after retracting the base copy"
+
+(* --- unit: cycles — where counts alone under-delete ---------------------- *)
+
+let test_cycle_garbage_collected () =
+  (* a ⇄ b keeps every TC fact's count positive after G(b, a) goes —
+     the confirmation fixpoint must detect the unfounded cluster *)
+  let eng =
+    E.create ~maintenance:E.Counting tc_program
+      (facts "G(a, b). G(b, a). G(e, a).")
+  in
+  ignore (E.retract_facts eng (facts "G(b, a)."));
+  let oracle =
+    (Datalog.Seminaive.eval tc_program (facts "G(a, b). G(e, a)."))
+      .Datalog.Seminaive.instance
+  in
+  Alcotest.check instance "cycle garbage gone" oracle (E.instance eng);
+  check_audit eng "after cycle retraction"
+
+let test_self_loop () =
+  let eng =
+    E.create ~maintenance:E.Counting tc_program (facts "G(a, a). G(a, b).")
+  in
+  ignore (E.retract_facts eng (facts "G(a, a)."));
+  let oracle =
+    (Datalog.Seminaive.eval tc_program (facts "G(a, b)."))
+      .Datalog.Seminaive.instance
+  in
+  Alcotest.check instance "self-loop retracted" oracle (E.instance eng);
+  check_audit eng "after self-loop retraction"
+
+let test_dense_tc_single_edge () =
+  (* complete graph: every fact supports every other — the worst case
+     for cycle detection. Deleting one edge must keep the closure of
+     the remaining complete-minus-one graph, which is still total *)
+  let g = Graph_gen.complete 6 in
+  let eng = E.create ~maintenance:E.Counting tc_program g in
+  let e01 =
+    Instance.add_fact "G"
+      (Tuple.of_list [ Graph_gen.vertex 0; Graph_gen.vertex 1 ])
+      Instance.empty
+  in
+  ignore (E.retract_facts eng e01);
+  let oracle =
+    (Datalog.Seminaive.eval tc_program (Instance.diff g e01))
+      .Datalog.Seminaive.instance
+  in
+  Alcotest.check instance "dense TC maintained" oracle (E.instance eng);
+  check_audit eng "after dense retraction"
+
+(* --- property: random schedules, Counting ≡ recompute ≡ DRed ------------- *)
+
+(* The scenario generator is shared with the serve suite: sampled
+   sub-programs over g/2 and e/1 with chained idb predicates, plus a
+   random assert/retract schedule hitting present and absent facts. *)
+let prop_counting_matches_recompute (p, inst0, ops) =
+  let eng = E.create ~maintenance:E.Counting p inst0 in
+  let edb = ref inst0 in
+  List.for_all
+    (fun op ->
+      let pred, tup = Test_serve.op_batch op in
+      let batch = Instance.add_fact pred tup Instance.empty in
+      (match op with
+      | Test_serve.Assert_g _ | Test_serve.Assert_e _ ->
+          edb := Instance.add_fact pred tup !edb;
+          ignore (E.assert_facts eng batch)
+      | Test_serve.Retract_g _ | Test_serve.Retract_e _ ->
+          if Instance.mem_fact pred tup !edb then
+            edb := Instance.remove_fact pred tup !edb;
+          ignore (E.retract_facts eng batch));
+      let oracle = (Datalog.Seminaive.eval p !edb).Datalog.Seminaive.instance in
+      let got = E.instance eng in
+      Instance.equal got oracle
+      && String.equal (Instance.to_string got) (Instance.to_string oracle)
+      && (match E.audit_counts eng with [] -> true | _ -> false))
+    ops
+
+(* Counting and DRed are different algorithms for the same function:
+   drive both engines through one schedule and require identical
+   states at every step. *)
+let prop_counting_agrees_with_dred (p, inst0, ops) =
+  let c = E.create ~maintenance:E.Counting p inst0 in
+  let d = E.create ~maintenance:E.Dred p inst0 in
+  List.for_all
+    (fun op ->
+      let pred, tup = Test_serve.op_batch op in
+      let batch = Instance.add_fact pred tup Instance.empty in
+      (match op with
+      | Test_serve.Assert_g _ | Test_serve.Assert_e _ ->
+          ignore (E.assert_facts c batch);
+          ignore (E.assert_facts d batch)
+      | Test_serve.Retract_g _ | Test_serve.Retract_e _ ->
+          ignore (E.retract_facts c batch);
+          ignore (E.retract_facts d batch));
+      Instance.equal (E.instance c) (E.instance d)
+      && Instance.equal (E.edb c) (E.edb d))
+    ops
+
+let suite =
+  [
+    Alcotest.test_case "diamond: decrement, no over-deletion" `Quick
+      test_diamond_retract;
+    Alcotest.test_case "assert maintains counts" `Quick
+      test_assert_maintains_counts;
+    Alcotest.test_case "cycle garbage collected" `Quick
+      test_cycle_garbage_collected;
+    Alcotest.test_case "self-loop" `Quick test_self_loop;
+    Alcotest.test_case "dense TC, single-edge retraction" `Quick
+      test_dense_tc_single_edge;
+    prop "random schedules ≡ recompute-from-scratch (+ audit)"
+      Test_serve.scenario_arb prop_counting_matches_recompute;
+    prop "counting ≡ DRed on random schedules" Test_serve.scenario_arb
+      prop_counting_agrees_with_dred;
+  ]

@@ -26,4 +26,6 @@ let () =
       ("properties-sec6", Test_properties2.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("semiring", Test_semiring.suite);
+      ("counting", Test_counting.suite);
     ]

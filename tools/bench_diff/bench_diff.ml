@@ -8,9 +8,11 @@
      "after": {...}, ...}) — every object member with a "rows" array
      contributes its rows.
 
-   Rows are keyed by (experiment, case, engine); when a key repeats, the
-   LAST occurrence wins (the committed file's "after" section supersedes
-   "before"). Rows may carry a "meta" object ({"jobs": J, "cores": C},
+   Rows are keyed by (experiment, case, engine, annot) — "annot" is the
+   optional semiring-annotation field the e22 rows carry ("" when
+   absent), so a case's bool/count/minplus variants diff independently.
+   When a key repeats, the LAST occurrence wins (the committed file's
+   "after" section supersedes "before"). Rows may carry a "meta" object ({"jobs": J, "cores": C},
    written by bench --json); when both sides have meta and the machine
    shape differs (different core count or job setting), the pair is
    flagged "machine-diff" and excluded from regression accounting —
@@ -79,7 +81,9 @@ let load path =
       let order = ref [] in
       List.iter
         (fun r ->
-          let key = (str "experiment" r, str "case" r, str "engine" r) in
+          let key =
+            (str "experiment" r, str "case" r, str "engine" r, str "annot" r)
+          in
           let ms = num (Json.member "wall_ms" r) in
           if not (Float.is_nan ms) then (
             if not (Hashtbl.mem tbl key) then order := key :: !order;
@@ -104,7 +108,10 @@ let () =
   Printf.printf "%-12s %-24s %-20s %10s %10s %8s\n" "experiment" "case"
     "engine" "old ms" "new ms" "delta";
   List.iter
-    (fun ((exp_, case_, engine) as key) ->
+    (fun ((exp_, case_, engine, annot) as key) ->
+      let engine =
+        if annot = "" then engine else engine ^ "#" ^ annot
+      in
       let new_ms, new_meta = Hashtbl.find new_tbl key in
       match Hashtbl.find_opt old_tbl key with
       | None ->
@@ -131,7 +138,8 @@ let () =
             case_ engine old_ms new_ms pct flag)
     new_order;
   Hashtbl.iter
-    (fun ((exp_, case_, engine) as key) (old_ms, _) ->
+    (fun ((exp_, case_, engine, annot) as key) (old_ms, _) ->
+      let engine = if annot = "" then engine else engine ^ "#" ^ annot in
       if not (Hashtbl.mem new_tbl key) then
         Printf.printf "%-12s %-24s %-20s %10.3f %10s %8s\n" exp_ case_ engine
           old_ms "-" "gone")
